@@ -1,0 +1,234 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper's evaluation (one testing.B benchmark per artifact, backed by the
+// internal/experiments harness) plus microbenchmarks of the core machinery.
+// Benchmarks run at reduced budgets; use cmd/restune-bench -full for the
+// paper's complete protocol.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bo"
+	"repro/internal/dbsim"
+	"repro/internal/experiments"
+	"repro/internal/gp"
+	"repro/internal/knobs"
+	"repro/internal/meta"
+	"repro/internal/minidb"
+	"repro/internal/workload"
+	"repro/restune"
+)
+
+// benchParams keeps every experiment benchmark at a budget that finishes in
+// seconds while exercising the full pipeline.
+func benchParams() experiments.Params {
+	return experiments.Params{
+		Seed: 1, Iters: 10, RepoIters: 10, RepoWorkloadLimit: 4, Runs: 1,
+		Acq: bo.OptimizerConfig{RandomCandidates: 64, LocalStarts: 2, LocalSteps: 8, StepScale: 0.1},
+	}
+}
+
+// runExperiment is the shared body for the per-artifact benchmarks.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(id, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Lines) == 0 {
+			b.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func BenchmarkFig1ResponseSurface(b *testing.B)  { runExperiment(b, "fig1") }
+func BenchmarkTable3TimeBreakdown(b *testing.B)  { runExperiment(b, "table3") }
+func BenchmarkFig3Efficiency(b *testing.B)       { runExperiment(b, "fig3") }
+func BenchmarkFig4HardwareAdaption(b *testing.B) { runExperiment(b, "fig4") }
+func BenchmarkTable4MoreInstances(b *testing.B)  { runExperiment(b, "table4") }
+func BenchmarkFig5WorkloadAdaption(b *testing.B) { runExperiment(b, "fig5") }
+func BenchmarkFig6CaseStudy(b *testing.B)        { runExperiment(b, "fig6") }
+func BenchmarkTable5VariantStats(b *testing.B)   { runExperiment(b, "table5") }
+func BenchmarkTable6BestConfigs(b *testing.B)    { runExperiment(b, "table6") }
+func BenchmarkFig7SHAP(b *testing.B)             { runExperiment(b, "fig7") }
+func BenchmarkFig8RequestRate(b *testing.B)      { runExperiment(b, "fig8") }
+func BenchmarkTable7DataSize(b *testing.B)       { runExperiment(b, "table7") }
+func BenchmarkFig9OtherResources(b *testing.B)   { runExperiment(b, "fig9") }
+func BenchmarkTable8TCOCPU(b *testing.B)         { runExperiment(b, "table8") }
+func BenchmarkTable9TCOMemory(b *testing.B)      { runExperiment(b, "table9") }
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks of the core machinery.
+
+// BenchmarkSimulatorEval measures one configuration evaluation — the unit
+// of work every tuning iteration's replay performs in this substrate.
+func BenchmarkSimulatorEval(b *testing.B) {
+	w := workload.Sysbench(10)
+	sim := dbsim.New(dbsim.Instance("A"), w.Profile, 1, dbsim.WithHalfRAMBufferPool())
+	space := knobs.CPUSpace()
+	native := dbsim.DefaultNative(space, dbsim.Instance("A"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sim.Eval(space, native)
+	}
+}
+
+// BenchmarkGPFit measures fitting the three-output surrogate on a
+// mid-session history (the Model Update stage of Table 3).
+func BenchmarkGPFit(b *testing.B) {
+	h := syntheticHistory(50, 14, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tri := bo.NewTriGP(14, 1)
+		if err := tri.Fit(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGPPredict measures one posterior evaluation.
+func BenchmarkGPPredict(b *testing.B) {
+	g := gp.New(gp.NewMatern52(1, 0.5), 0.01)
+	h := syntheticHistory(100, 14, 2)
+	if err := g.Fit(h.Thetas(), h.Values(bo.Res)); err != nil {
+		b.Fatal(err)
+	}
+	x := h[0].Theta
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = g.Predict(x)
+	}
+}
+
+// BenchmarkCEI measures one constrained-acquisition evaluation.
+func BenchmarkCEI(b *testing.B) {
+	tri := bo.NewTriGP(14, 1)
+	if err := tri.Fit(syntheticHistory(50, 14, 3)); err != nil {
+		b.Fatal(err)
+	}
+	cons := bo.Constraints{LambdaTps: 0, LambdaLat: 0}
+	x := make([]float64, 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bo.CEI(tri, x, 0, cons)
+	}
+}
+
+// BenchmarkDynamicWeights measures the RGPE ranking-loss weight assignment
+// over a 10-learner ensemble (the dynamic phase of the Model Update stage).
+func BenchmarkDynamicWeights(b *testing.B) {
+	var base []*meta.BaseLearner
+	for i := 0; i < 10; i++ {
+		bl, err := meta.NewBaseLearner(fmt.Sprintf("t%d", i), "w", "A", nil,
+			syntheticHistory(30, 3, int64(i)), 3, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		base = append(base, bl)
+	}
+	target, err := meta.NewBaseLearner("target", "w", "A", nil,
+		syntheticHistory(20, 3, 99), 3, 99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = meta.DynamicWeights(base, target, 100, r)
+	}
+}
+
+// BenchmarkFullTuningIteration measures one complete ResTune-w/o-ML
+// iteration (model update + recommendation + replay) at a mid-session
+// history size.
+func BenchmarkFullTuningIteration(b *testing.B) {
+	w := restune.Twitter()
+	sim := restune.NewSimulator(restune.Instance("A"), w.Profile, 1, restune.WithHalfRAMBufferPool())
+	ev := restune.NewEvaluator(sim, restune.CPUKnobs(), restune.CPU)
+	cfg := restune.DefaultConfig(1)
+	cfg.Acq = bo.OptimizerConfig{RandomCandidates: 128, LocalStarts: 3, LocalSteps: 10, StepScale: 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := restune.New(cfg).Run(ev, 15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func syntheticHistory(n, dim int, seed int64) bo.History {
+	r := rand.New(rand.NewSource(seed))
+	var h bo.History
+	for i := 0; i < n; i++ {
+		x := make([]float64, dim)
+		s := 0.0
+		for d := range x {
+			x[d] = r.Float64()
+			s += (x[d] - 0.4) * (x[d] - 0.4)
+		}
+		h = append(h, bo.Observation{
+			Theta: x,
+			Res:   50 + 30*s + r.NormFloat64(),
+			Tps:   10000 - 500*s + 10*r.NormFloat64(),
+			Lat:   5 + s + 0.05*r.NormFloat64(),
+		})
+	}
+	return h
+}
+
+// ---------------------------------------------------------------------------
+// Real-engine (minidb) microbenchmarks.
+
+func benchEngine(b *testing.B) (*minidb.DB, *minidb.Executor) {
+	b.Helper()
+	cfg := minidb.DefaultTestConfig(b.TempDir())
+	db, err := minidb.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	ex := minidb.NewExecutor(db, 10000)
+	if err := ex.Load("sbtest", 10000); err != nil {
+		b.Fatal(err)
+	}
+	return db, ex
+}
+
+// BenchmarkEnginePointSelect measures real point reads through the SQL
+// layer, buffer pool and B+tree.
+func BenchmarkEnginePointSelect(b *testing.B) {
+	_, ex := benchEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Exec(fmt.Sprintf("SELECT c FROM sbtest1 WHERE id = %d", i%10000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineInsert measures logged, fsync-per-commit writes.
+func BenchmarkEngineInsert(b *testing.B) {
+	_, ex := benchEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stmt := fmt.Sprintf("INSERT INTO sbtest1 (id, k, c, pad) VALUES (%d, 1, 2, 3)", 20000+i)
+		if _, err := ex.Exec(stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRangeScan measures 100-row range reads.
+func BenchmarkEngineRangeScan(b *testing.B) {
+	_, ex := benchEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := (i * 37) % 9000
+		stmt := fmt.Sprintf("SELECT c FROM sbtest1 WHERE id BETWEEN %d AND %d", lo, lo+100)
+		if _, err := ex.Exec(stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

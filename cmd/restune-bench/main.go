@@ -1,0 +1,105 @@
+// Command restune-bench regenerates the paper's tables and figures from
+// this reproduction. Each experiment id matches the paper artifact (fig1,
+// fig3-fig9, table3-table9); -all runs the whole evaluation section.
+//
+// Examples:
+//
+//	restune-bench -list
+//	restune-bench -id fig3
+//	restune-bench -id table4 -full
+//	restune-bench -all -iters 40 > results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/restune"
+)
+
+func main() {
+	var (
+		id     = flag.String("id", "", "experiment id (see -list)")
+		all    = flag.Bool("all", false, "run every experiment")
+		list   = flag.Bool("list", false, "list experiment ids")
+		full   = flag.Bool("full", false, "use the paper's full protocol (200 iterations, 3 runs, 34-task repository)")
+		iters  = flag.Int("iters", 0, "override tuning iterations per session")
+		seed   = flag.Int64("seed", 1, "random seed")
+		csvDir = flag.String("csv", "", "also write each experiment's numeric series as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, eid := range restune.ExperimentIDs() {
+			fmt.Printf("%-8s %s\n", eid, restune.ExperimentTitle(eid))
+		}
+		return
+	}
+
+	p := restune.QuickExperimentParams()
+	if *full {
+		p = restune.FullExperimentParams()
+	}
+	p.Seed = *seed
+	if *iters > 0 {
+		p.Iters = *iters
+	}
+
+	ids := []string{*id}
+	if *all {
+		ids = restune.ExperimentIDs()
+	} else if *id == "" {
+		fmt.Fprintln(os.Stderr, "restune-bench: pass -id <experiment>, -all or -list")
+		os.Exit(2)
+	}
+
+	for _, eid := range ids {
+		start := time.Now()
+		rep, err := restune.RunExperiment(eid, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "restune-bench: %s: %v\n", eid, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		if *csvDir != "" {
+			path, err := writeCSV(*csvDir, rep)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "restune-bench: writing CSV: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("(series written to %s)\n", path)
+		}
+		fmt.Printf("(%s completed in %s)\n\n", eid, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// writeCSV dumps an experiment's series, one row per series, as
+// name,v0,v1,... — the format is deliberately trivial to plot.
+func writeCSV(dir string, rep *restune.ExperimentReport) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	names := make([]string, 0, len(rep.Series))
+	for name := range rep.Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		b.WriteString(strings.ReplaceAll(name, ",", ";"))
+		for _, v := range rep.Series[name] {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	path := filepath.Join(dir, rep.ID+".csv")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

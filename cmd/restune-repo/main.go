@@ -1,0 +1,93 @@
+// Command restune-repo builds and inspects the ResTune data repository:
+// tuning histories collected by running past tuning tasks (the repository
+// workloads on instances A and B — 34 tasks at the paper's full scale),
+// each with its workload meta-feature, persisted as JSON for later
+// meta-boosted sessions.
+//
+// Examples:
+//
+//	restune-repo -out repo.json -iters 60               # build (full: 34 tasks)
+//	restune-repo -out repo.json -iters 24 -limit 6      # quicker, 12 tasks
+//	restune-repo -inspect repo.json                     # summarize an existing repository
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dbsim"
+	"repro/internal/experiments"
+	"repro/internal/knobs"
+	"repro/restune"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "repo.json", "output path for the repository JSON")
+		iters   = flag.Int("iters", 40, "tuning iterations per repository task")
+		limit   = flag.Int("limit", 0, "cap the number of distinct workloads (0 = all 17)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		space   = flag.String("space", "cpu", "knob space the histories cover: cpu, memory, io")
+		inspect = flag.String("inspect", "", "summarize an existing repository instead of building")
+	)
+	flag.Parse()
+	if err := run(*out, *iters, *limit, *seed, *space, *inspect); err != nil {
+		fmt.Fprintln(os.Stderr, "restune-repo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, iters, limit int, seed int64, spaceName, inspect string) error {
+	if inspect != "" {
+		return inspectRepo(inspect)
+	}
+
+	var space *knobs.Space
+	var resource dbsim.ResourceKind
+	halfRAM := true
+	switch spaceName {
+	case "cpu":
+		space, resource = knobs.CPUSpace(), dbsim.CPUPct
+	case "memory":
+		space, resource, halfRAM = knobs.MemorySpace(), dbsim.MemoryBytes, false
+	case "io":
+		space, resource = knobs.IOSpace(), dbsim.IOPS
+	default:
+		return fmt.Errorf("unknown space %q (cpu, memory, io)", spaceName)
+	}
+
+	p := experiments.Quick()
+	p.Seed = seed
+	p.RepoIters = iters
+	p.RepoWorkloadLimit = limit
+
+	nWorkloads := len(experiments.RepoWorkloads())
+	if limit > 0 && limit < nWorkloads {
+		nWorkloads = limit
+	}
+	fmt.Printf("building %s repository: %d workloads x 2 instances (A, B), %d iterations each\n",
+		spaceName, nWorkloads, iters)
+	r, err := experiments.BuildRepository(space, resource, p, halfRAM)
+	if err != nil {
+		return err
+	}
+	if err := r.Save(out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d tasks, %d observations\n", out, len(r.Tasks), r.Observations())
+	return nil
+}
+
+func inspectRepo(path string) error {
+	r, err := restune.LoadRepository(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d tasks, %d observations\n\n", path, len(r.Tasks), r.Observations())
+	fmt.Printf("%-28s %-10s %6s %14s\n", "Task", "Hardware", "Obs", "KnobSpace")
+	for _, t := range r.Tasks {
+		fmt.Printf("%-28s %-10s %6d %10d knobs\n", t.TaskID, t.Hardware, len(t.Observations), len(t.KnobNames))
+	}
+	return nil
+}

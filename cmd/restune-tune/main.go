@@ -1,0 +1,254 @@
+// Command restune-tune runs one resource-oriented tuning session: it picks
+// a workload and instance type, measures the DBA default to fix the SLA,
+// and tunes the selected knob space with ResTune (optionally meta-boosted
+// by a repository built with restune-repo) or any baseline method.
+//
+// Examples:
+//
+//	restune-tune -workload twitter -instance A -resource cpu -iters 50
+//	restune-tune -workload tpcc -resource iops -knobs io -method ituned
+//	restune-tune -workload sysbench -repo repo.json -method restune
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/restune"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "sysbench", "workload: sysbench, tpcc, twitter, hotel, sales, twitter-w1..w5")
+		instance     = flag.String("instance", "A", "instance type A-F (paper Table 1)")
+		resource     = flag.String("resource", "cpu", "resource to minimize: cpu, io_bps, iops, memory")
+		knobSet      = flag.String("knobs", "", "knob space: cpu (14), memory (6), io (20), case-study (3); default follows -resource")
+		method       = flag.String("method", "restune", "method: restune, ituned, ottertune, cdbtune, grid, default")
+		iters        = flag.Int("iters", 50, "tuning iterations")
+		seed         = flag.Int64("seed", 1, "random seed")
+		repoPath     = flag.String("repo", "", "repository JSON for meta-learning (restune only)")
+		converge     = flag.Bool("converge", false, "stop early under the paper's 0.5%/10-iteration convergence rule")
+		verbose      = flag.Bool("v", false, "print every iteration")
+		engine       = flag.Bool("engine", false, "measure against the real minidb storage engine instead of the simulator (slower, real I/O; engine-relevant knobs only)")
+	)
+	flag.Parse()
+	if err := run(*workloadName, *instance, *resource, *knobSet, *method, *iters, *seed, *repoPath, *converge, *verbose, *engine); err != nil {
+		fmt.Fprintln(os.Stderr, "restune-tune:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workloadName, instance, resource, knobSet, method string, iters int, seed int64, repoPath string, converge, verbose, engine bool) error {
+	w, err := pickWorkload(workloadName)
+	if err != nil {
+		return err
+	}
+	res, err := pickResource(resource)
+	if err != nil {
+		return err
+	}
+	space, err := pickSpace(knobSet, res)
+	if err != nil {
+		return err
+	}
+
+	var ev restune.Evaluator
+	if engine {
+		// Real engine: scale the workload to desk size and restrict to the
+		// knobs minidb implements.
+		space = restune.MySQLKnobs().Subset(
+			"innodb_buffer_pool_size", "innodb_flush_log_at_trx_commit",
+			"innodb_thread_concurrency", "innodb_lru_scan_depth", "table_open_cache")
+		dir, err := os.MkdirTemp("", "restune-engine")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		eng := restune.NewEngineEvaluator(dir, space, res, w.WithRequestRate(1200), seed)
+		eng.Rows = 1500
+		ev = eng
+		fmt.Println("engine mode: measurements come from real replays against minidb")
+	} else {
+		var opts []restune.SimulatorOption
+		if res == restune.CPU || res == restune.IOBandwidth || res == restune.IOOperations {
+			opts = append(opts, restune.WithHalfRAMBufferPool())
+		}
+		sim := restune.NewSimulator(restune.Instance(instance), w.Profile, seed, opts...)
+		ev = restune.NewEvaluator(sim, space, res)
+	}
+
+	tuner, err := pickTuner(method, seed, repoPath, space, w, converge, engine)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("tuning %s on instance %s: minimize %s over %d knobs with %s (%d iterations)\n",
+		w.Name, instance, res, space.Dim(), tuner.Name(), iters)
+	result, err := tuner.Run(ev, iters)
+	if err != nil {
+		return err
+	}
+
+	def := result.Iterations[0]
+	fmt.Printf("\nSLA from default config: throughput >= %.0f txn/s, p99 latency <= %.1f ms\n",
+		result.SLA.LambdaTps, result.SLA.LambdaLat)
+	fmt.Printf("default %s: %s\n", res, fmtRes(res, def.Observation.Res))
+
+	if verbose {
+		for _, it := range result.Iterations[1:] {
+			feas := " "
+			if it.Feasible {
+				feas = "*"
+			}
+			fmt.Printf("  iter %3d [%-7s]%s res=%-12s tps=%-8.0f lat=%.1fms\n",
+				it.Index, it.Phase, feas, fmtRes(res, it.Observation.Res),
+				it.Observation.Tps, it.Observation.Lat)
+		}
+	}
+
+	best, ok := result.BestFeasible()
+	if !ok {
+		fmt.Println("\nno feasible configuration found beyond the default")
+		return nil
+	}
+	fmt.Printf("\nbest feasible %s: %s (%.1f%% below default, found at iteration %d%s)\n",
+		res, fmtRes(res, best.Res), result.ImprovementPct(), result.IterationsToBest(),
+		map[bool]string{true: ", converged", false: ""}[result.Converged])
+	fmt.Printf("configuration: %s\n", space.Describe(space.Denormalize(best.Theta)))
+	fmt.Printf("at that point: throughput %.0f txn/s, p99 latency %.1f ms (SLA held)\n", best.Tps, best.Lat)
+	return nil
+}
+
+func pickWorkload(name string) (restune.Workload, error) {
+	switch strings.ToLower(name) {
+	case "sysbench":
+		return restune.Sysbench(10), nil
+	case "sysbench-100g":
+		return restune.Sysbench(100), nil
+	case "tpcc":
+		return restune.TPCC(200), nil
+	case "twitter":
+		return restune.Twitter(), nil
+	case "hotel":
+		return restune.Hotel(), nil
+	case "sales":
+		return restune.Sales(), nil
+	}
+	for i := 1; i <= 5; i++ {
+		if strings.EqualFold(name, fmt.Sprintf("twitter-w%d", i)) {
+			return restune.TwitterVariant(i), nil
+		}
+	}
+	return restune.Workload{}, fmt.Errorf("unknown workload %q", name)
+}
+
+func pickResource(name string) (restune.Resource, error) {
+	switch strings.ToLower(name) {
+	case "cpu":
+		return restune.CPU, nil
+	case "io_bps", "bps":
+		return restune.IOBandwidth, nil
+	case "iops":
+		return restune.IOOperations, nil
+	case "memory", "mem":
+		return restune.Memory, nil
+	}
+	return 0, fmt.Errorf("unknown resource %q", name)
+}
+
+func pickSpace(name string, res restune.Resource) (*restune.Space, error) {
+	if name == "" {
+		switch res {
+		case restune.Memory:
+			return restune.MemoryKnobs(), nil
+		case restune.IOBandwidth, restune.IOOperations:
+			return restune.IOKnobs(), nil
+		default:
+			return restune.CPUKnobs(), nil
+		}
+	}
+	switch strings.ToLower(name) {
+	case "cpu":
+		return restune.CPUKnobs(), nil
+	case "memory", "mem":
+		return restune.MemoryKnobs(), nil
+	case "io":
+		return restune.IOKnobs(), nil
+	case "case-study":
+		return restune.MySQLKnobs().Subset(
+			"innodb_thread_concurrency", "innodb_spin_wait_delay", "innodb_lru_scan_depth"), nil
+	}
+	return nil, fmt.Errorf("unknown knob set %q", name)
+}
+
+func pickTuner(method string, seed int64, repoPath string, space *restune.Space, w restune.Workload, converge, engine bool) (restune.Tuner, error) {
+	switch strings.ToLower(method) {
+	case "restune":
+		cfg := restune.DefaultConfig(seed)
+		if converge {
+			cfg.ConvergenceWindow = 10
+		}
+		if engine {
+			// Real measurements at short windows are noisy; widen the SLA
+			// tolerance and shorten initialization accordingly.
+			cfg.SLATolerance = 0.30
+			cfg.InitIters = 6
+		}
+		if repoPath != "" {
+			r, err := restune.LoadRepository(repoPath)
+			if err != nil {
+				return nil, err
+			}
+			base, err := r.BaseLearners(space, seed, nil)
+			if err != nil {
+				return nil, err
+			}
+			ch, err := restune.NewCharacterizer(restune.Workloads(), seed)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Base = base
+			cfg.TargetMetaFeature = ch.MetaFeature(w, 3000, rngFor(seed))
+			fmt.Printf("loaded %d base-learners from %s\n", len(base), repoPath)
+		}
+		return restune.New(cfg), nil
+	case "ituned":
+		return restune.ITuned(seed), nil
+	case "ottertune":
+		var tasks []restune.TaskRecord
+		if repoPath != "" {
+			r, err := restune.LoadRepository(repoPath)
+			if err != nil {
+				return nil, err
+			}
+			tasks = r.Tasks
+		}
+		return restune.OtterTuneWithConstraints(seed, tasks), nil
+	case "cdbtune":
+		return restune.CDBTuneWithConstraints(seed), nil
+	case "grid":
+		return restune.GridSearch(8), nil
+	case "default":
+		return restune.Default(), nil
+	}
+	return nil, fmt.Errorf("unknown method %q", method)
+}
+
+func rngFor(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func fmtRes(res restune.Resource, v float64) string {
+	switch res {
+	case restune.CPU:
+		return fmt.Sprintf("%.1f%%", v)
+	case restune.IOBandwidth:
+		return fmt.Sprintf("%.1fMB/s", v/1e6)
+	case restune.IOOperations:
+		return fmt.Sprintf("%.0fop/s", v)
+	case restune.Memory:
+		return fmt.Sprintf("%.2fGB", v/1e9)
+	}
+	return fmt.Sprintf("%v", v)
+}

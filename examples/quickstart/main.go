@@ -1,0 +1,48 @@
+// Quickstart: minimize CPU for the Twitter workload on a 48-core instance
+// without violating the SLA derived from the DBA default configuration.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/restune"
+)
+
+func main() {
+	// The workload under tuning and the database instance it runs on
+	// (instance A = 48 cores / 12GB, paper Table 1).
+	w := restune.Twitter()
+	sim := restune.NewSimulator(restune.Instance("A"), w.Profile, 42,
+		restune.WithHalfRAMBufferPool())
+
+	// Tune the paper's 14 CPU knobs, minimizing CPU utilization. The SLA
+	// (throughput and p99 latency of the default configuration) is captured
+	// automatically on the first measurement.
+	ev := restune.NewEvaluator(sim, restune.CPUKnobs(), restune.CPU)
+
+	tuner := restune.New(restune.DefaultConfig(42)) // no history: ResTune-w/o-ML
+	result, err := tuner.Run(ev, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	def := result.Iterations[0].Observation
+	fmt.Printf("workload: %s on instance A (%d client threads, %.0f txn/s offered)\n",
+		w.Name, w.Profile.Threads, w.Profile.RequestRate)
+	fmt.Printf("SLA: throughput >= %.0f txn/s, p99 latency <= %.1f ms\n",
+		result.SLA.LambdaTps, result.SLA.LambdaLat)
+	fmt.Printf("default config: %.1f%% CPU\n\n", def.Res)
+
+	best, ok := result.BestFeasible()
+	if !ok {
+		log.Fatal("no feasible configuration found")
+	}
+	space := restune.CPUKnobs()
+	fmt.Printf("best feasible config after %d iterations: %.1f%% CPU (%.1f%% reduction)\n",
+		len(result.Iterations)-1, best.Res, result.ImprovementPct())
+	fmt.Printf("throughput %.0f txn/s, p99 latency %.1f ms — SLA held\n\n", best.Tps, best.Lat)
+	fmt.Printf("recommended knobs:\n  %s\n", space.Describe(space.Denormalize(best.Theta)))
+}

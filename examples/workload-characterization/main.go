@@ -1,0 +1,72 @@
+// Workload characterization and replay: the client-side machinery of
+// ResTune. A recorded SQL stream is reduced to templates (scalars and
+// sharded table names re-sampled, so replayed writes do not collide),
+// characterized into a meta-feature, and compared against known workloads —
+// the signal the meta-learner's static weights are built from
+// (paper Sections 4 and 6.2).
+//
+//	go run ./examples/workload-characterization
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/restune"
+)
+
+func main() {
+	// Train the characterization pipeline on the benchmark corpus.
+	ch, err := restune.NewCharacterizer(restune.Workloads(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A captured window of the target workload's SQL stream.
+	target := restune.Twitter()
+	rng := rand.New(rand.NewSource(1))
+	stream := target.Generate(4000, rng)
+	fmt.Printf("captured %d statements from %s; first three:\n", len(stream), target.Name)
+	for _, q := range stream[:3] {
+		fmt.Printf("  %s\n", q)
+	}
+
+	// Template extraction (the replayer's first step).
+	templates := restune.ExtractTemplates(stream)
+	fmt.Printf("\nextracted %d templates:\n", len(templates))
+	for _, t := range templates {
+		fmt.Printf("  %5d x %s\n", t.Count, t.Template)
+	}
+
+	// Meta-feature: average predicted resource-cost distribution.
+	mf := ch.MetaFeature(target, 4000, rng)
+	fmt.Printf("\nmeta-feature (cost-level distribution): ")
+	for _, v := range mf {
+		fmt.Printf("%.3f ", v)
+	}
+	fmt.Println()
+
+	// Distance to the other workloads: the similar Twitter variants should
+	// be closest, TPC-C farthest.
+	fmt.Println("\ndistance from twitter's meta-feature:")
+	candidates := []restune.Workload{
+		restune.TwitterVariant(1), restune.TwitterVariant(3), restune.TwitterVariant(5),
+		restune.Sales(), restune.Hotel(), restune.Sysbench(10), restune.TPCC(200),
+	}
+	for _, c := range candidates {
+		d := restune.MetaFeatureDistance(mf, ch.MetaFeature(c, 4000, rng))
+		fmt.Printf("  %-14s %.4f\n", c.Name, d)
+	}
+
+	// Replay a window against the database copy at the recorded rate.
+	sim := restune.NewSimulator(restune.Instance("A"), target.Profile, 1,
+		restune.WithHalfRAMBufferPool())
+	rp := restune.NewReplayer(sim, target, 4000, 3*time.Minute, 1)
+	res := rp.Replay(nil, nil)
+	fmt.Printf("\nreplayed %s for %s at the recorded request rate: %d statements issued\n",
+		target.Name, res.SimulatedDuration, res.QueriesIssued)
+	fmt.Printf("measured: %.0f txn/s, p99 %.1f ms, CPU %.1f%%\n",
+		res.Measurement.TPS, res.Measurement.LatencyP99Ms, res.Measurement.CPUUtilPct)
+}

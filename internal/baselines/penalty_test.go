@@ -1,0 +1,39 @@
+package baselines
+
+import (
+	"testing"
+)
+
+func TestPenaltyBORuns(t *testing.T) {
+	tuner := NewPenaltyBO(3)
+	tuner.Acq = fastAcq()
+	res, err := tuner.Run(twitterEv(3), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "Penalty-BO" {
+		t.Fatal(res.Method)
+	}
+	if len(res.Iterations) != 26 {
+		t.Fatalf("iterations %d", len(res.Iterations))
+	}
+	if res.Iterations[1].Phase != "lhs" || res.Iterations[12].Phase != "penalty-ei" {
+		t.Fatalf("phases: %s %s", res.Iterations[1].Phase, res.Iterations[12].Phase)
+	}
+	// The penalty keeps it roughly honest: it should find some feasible
+	// improvement on Twitter's wide feasible region.
+	if res.ImprovementPct() <= 0 {
+		t.Fatalf("penalty BO found no improvement: %v%%", res.ImprovementPct())
+	}
+}
+
+func TestPenaltyBODefaults(t *testing.T) {
+	tuner := &PenaltyBO{Seed: 1, Acq: fastAcq()} // zero InitIters/Penalty
+	res, err := tuner.Run(twitterEv(4), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) != 13 {
+		t.Fatal("defaults not applied")
+	}
+}

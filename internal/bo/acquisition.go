@@ -1,0 +1,69 @@
+package bo
+
+import (
+	"math"
+)
+
+// Surrogate predicts the posterior mean and variance of the three metrics at
+// a configuration. Both the single-task three-GP model (TriGP) and the
+// meta-learner ensemble implement it, so the same acquisition code drives
+// plain CBO and meta-boosted CBO.
+type Surrogate interface {
+	Predict(m Metric, x []float64) (mu, variance float64)
+}
+
+// normPDF is the standard normal density.
+func normPDF(z float64) float64 {
+	return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi)
+}
+
+// normCDF is the standard normal cumulative distribution function.
+func normCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// EI returns the expected improvement of a Gaussian posterior N(mu, sigma²)
+// below the incumbent best (minimization), paper Eq. 2:
+// E[max(0, best - f(θ))].
+func EI(mu, sigma, best float64) float64 {
+	if sigma <= 0 {
+		return math.Max(0, best-mu)
+	}
+	z := (best - mu) / sigma
+	return (best-mu)*normCDF(z) + sigma*normPDF(z)
+}
+
+// Constraints holds the thresholds the surrogate's tps/lat predictions are
+// compared against. For the single-task path these are the raw SLA lambdas;
+// for the meta path they are the re-scaled λ' = L_M(θ_d) of Section 6.1.
+type Constraints struct {
+	LambdaTps float64
+	LambdaLat float64
+}
+
+// ProbFeasible returns Pr[f̃_tps(θ) >= λ_tps] · Pr[f̃_lat(θ) <= λ_lat] under
+// the surrogate's independent Gaussian posteriors (paper Section 5.2).
+func ProbFeasible(s Surrogate, x []float64, c Constraints) float64 {
+	muT, vT := s.Predict(Tps, x)
+	muL, vL := s.Predict(Lat, x)
+	pT := normCDF((muT - c.LambdaTps) / math.Sqrt(vT))
+	pL := normCDF((c.LambdaLat - muL) / math.Sqrt(vL))
+	return pT * pL
+}
+
+// CEI returns the Constrained Expected Improvement (paper Eq. 5):
+//
+//	α_CEI(θ) = Pr[tps ok] · Pr[lat ok] · α_EI(θ over best feasible point).
+//
+// bestFeasibleRes is the resource value of the incumbent best feasible
+// configuration in the surrogate's output scale; pass NaN when no feasible
+// point has been observed yet, in which case the acquisition degenerates to
+// the probability of feasibility (the standard CBO bootstrap).
+func CEI(s Surrogate, x []float64, bestFeasibleRes float64, c Constraints) float64 {
+	p := ProbFeasible(s, x, c)
+	if math.IsNaN(bestFeasibleRes) {
+		return p
+	}
+	mu, v := s.Predict(Res, x)
+	return p * EI(mu, math.Sqrt(v), bestFeasibleRes)
+}

@@ -1,0 +1,180 @@
+// Package bo implements the Bayesian-optimization primitives of the paper's
+// Section 5: observation histories, the Expected Improvement and Constrained
+// Expected Improvement acquisition functions, probability of feasibility,
+// per-task standardization ("scale unification", Section 6.1), a three-output
+// GP surrogate over (resource, throughput, latency), and an acquisition
+// optimizer over the normalized configuration space.
+package bo
+
+import (
+	"math"
+)
+
+// Observation is one tuning iteration's outcome: the evaluated configuration
+// (normalized into [0,1]^m) and the measured resource utilization,
+// throughput and p99 latency — the paper's four-tuple
+// (θ_i, f_res(θ_i), f_tps(θ_i), f_lat(θ_i)).
+type Observation struct {
+	Theta []float64
+	Res   float64
+	Tps   float64
+	Lat   float64
+}
+
+// Metric selects one of the three observed outputs.
+type Metric int
+
+const (
+	// Res is the resource-utilization objective.
+	Res Metric = iota
+	// Tps is the throughput constraint metric.
+	Tps
+	// Lat is the p99-latency constraint metric.
+	Lat
+)
+
+// String returns the metric's short name.
+func (m Metric) String() string {
+	switch m {
+	case Res:
+		return "res"
+	case Tps:
+		return "tps"
+	case Lat:
+		return "lat"
+	}
+	return "?"
+}
+
+// Metrics lists all three metrics in canonical order.
+var Metrics = []Metric{Res, Tps, Lat}
+
+// Value extracts the metric's value from an observation.
+func (o Observation) Value(m Metric) float64 {
+	switch m {
+	case Res:
+		return o.Res
+	case Tps:
+		return o.Tps
+	case Lat:
+		return o.Lat
+	}
+	panic("bo: unknown metric")
+}
+
+// SLA holds the constraint thresholds of the resource-oriented tuning
+// problem: throughput must stay at or above LambdaTps and latency at or
+// below LambdaLat (paper Eq. 1). Tolerance is the relative measurement-noise
+// allowance when judging feasibility (the paper accepts 5% deviation).
+type SLA struct {
+	LambdaTps float64
+	LambdaLat float64
+	Tolerance float64
+}
+
+// Feasible reports whether an observation satisfies the SLA within the
+// noise tolerance.
+func (s SLA) Feasible(o Observation) bool {
+	tol := s.Tolerance
+	return o.Tps >= s.LambdaTps*(1-tol) && o.Lat <= s.LambdaLat*(1+tol)
+}
+
+// History is an ordered observation track for one tuning task.
+type History []Observation
+
+// BestFeasible returns the feasible observation with the lowest resource
+// utilization and true, or a zero observation and false if none is feasible.
+func (h History) BestFeasible(sla SLA) (Observation, bool) {
+	best := Observation{Res: math.Inf(1)}
+	found := false
+	for _, o := range h {
+		if sla.Feasible(o) && o.Res < best.Res {
+			best = o
+			found = true
+		}
+	}
+	return best, found
+}
+
+// BestFeasibleByIter returns, for each iteration i, the lowest feasible
+// resource utilization seen in h[:i+1], or def where none exists yet. This
+// is the y-series of the paper's Figures 3-5 and 9.
+func (h History) BestFeasibleByIter(sla SLA, def float64) []float64 {
+	out := make([]float64, len(h))
+	best := math.Inf(1)
+	for i, o := range h {
+		if sla.Feasible(o) && o.Res < best {
+			best = o.Res
+		}
+		if math.IsInf(best, 1) {
+			out[i] = def
+		} else {
+			out[i] = best
+		}
+	}
+	return out
+}
+
+// Thetas returns the observation points.
+func (h History) Thetas() [][]float64 {
+	x := make([][]float64, len(h))
+	for i, o := range h {
+		x[i] = o.Theta
+	}
+	return x
+}
+
+// Values returns the chosen metric's values.
+func (h History) Values(m Metric) []float64 {
+	y := make([]float64, len(h))
+	for i, o := range h {
+		y[i] = o.Value(m)
+	}
+	return y
+}
+
+// Standardizer maps raw metric values to zero mean and unit standard
+// deviation — the paper's scale unification, which lets observations from
+// different hardware and workloads be compared on one scale.
+type Standardizer struct {
+	Mean float64
+	Std  float64
+}
+
+// NewStandardizer computes the transform for the given values. A degenerate
+// (constant or empty) sample yields unit scale so the transform stays
+// invertible.
+func NewStandardizer(values []float64) Standardizer {
+	if len(values) == 0 {
+		return Standardizer{Mean: 0, Std: 1}
+	}
+	m := 0.0
+	for _, v := range values {
+		m += v
+	}
+	m /= float64(len(values))
+	s := 0.0
+	for _, v := range values {
+		s += (v - m) * (v - m)
+	}
+	s = math.Sqrt(s / float64(len(values)))
+	if s < 1e-12 {
+		s = 1
+	}
+	return Standardizer{Mean: m, Std: s}
+}
+
+// Apply maps a raw value to standardized scale.
+func (s Standardizer) Apply(v float64) float64 { return (v - s.Mean) / s.Std }
+
+// Invert maps a standardized value back to raw scale.
+func (s Standardizer) Invert(z float64) float64 { return z*s.Std + s.Mean }
+
+// ApplyAll standardizes a slice.
+func (s Standardizer) ApplyAll(vs []float64) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = s.Apply(v)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package bo
+
+import (
+	"math/rand"
+)
+
+// AcqFunc is an acquisition function over the normalized space [0,1]^m,
+// to be maximized.
+type AcqFunc func(x []float64) float64
+
+// OptimizerConfig controls acquisition maximization.
+type OptimizerConfig struct {
+	// RandomCandidates is the number of uniform random probes.
+	RandomCandidates int
+	// LocalStarts is the number of best probes refined by local search.
+	LocalStarts int
+	// LocalSteps is the number of coordinate-perturbation rounds per start.
+	LocalSteps int
+	// StepScale is the initial perturbation magnitude (fraction of range).
+	StepScale float64
+}
+
+// DefaultOptimizerConfig returns settings balancing quality and cost for the
+// dimensionalities in this repository (2-20 knobs).
+func DefaultOptimizerConfig() OptimizerConfig {
+	return OptimizerConfig{RandomCandidates: 512, LocalStarts: 5, LocalSteps: 40, StepScale: 0.1}
+}
+
+// OptimizeAcq maximizes f over [0,1]^dim with random sampling followed by a
+// shrinking random local search from the best candidates. incumbents, if
+// non-nil, are extra start points (e.g. previously evaluated configurations)
+// included among the probes, which helps exploitation near known-good
+// regions.
+func OptimizeAcq(f AcqFunc, dim int, cfg OptimizerConfig, incumbents [][]float64, rng *rand.Rand) []float64 {
+	type scored struct {
+		x []float64
+		v float64
+	}
+	probes := make([]scored, 0, cfg.RandomCandidates+len(incumbents))
+	for i := 0; i < cfg.RandomCandidates; i++ {
+		x := make([]float64, dim)
+		for d := range x {
+			x[d] = rng.Float64()
+		}
+		probes = append(probes, scored{x, f(x)})
+	}
+	for _, inc := range incumbents {
+		x := append([]float64(nil), inc...)
+		probes = append(probes, scored{x, f(x)})
+	}
+	if len(probes) == 0 {
+		x := make([]float64, dim)
+		for d := range x {
+			x[d] = rng.Float64()
+		}
+		return x
+	}
+
+	// Partial selection of the top LocalStarts probes.
+	starts := cfg.LocalStarts
+	if starts < 1 {
+		starts = 1
+	}
+	if starts > len(probes) {
+		starts = len(probes)
+	}
+	for s := 0; s < starts; s++ {
+		bi := s
+		for j := s + 1; j < len(probes); j++ {
+			if probes[j].v > probes[bi].v {
+				bi = j
+			}
+		}
+		probes[s], probes[bi] = probes[bi], probes[s]
+	}
+
+	best := probes[0]
+	for s := 0; s < starts; s++ {
+		cur := scored{append([]float64(nil), probes[s].x...), probes[s].v}
+		step := cfg.StepScale
+		for it := 0; it < cfg.LocalSteps; it++ {
+			cand := make([]float64, dim)
+			for d := range cand {
+				cand[d] = clamp01(cur.x[d] + step*rng.NormFloat64())
+			}
+			if v := f(cand); v > cur.v {
+				cur = scored{cand, v}
+			} else {
+				step *= 0.9 // shrink on failure
+			}
+		}
+		if cur.v > best.v {
+			best = cur
+		}
+	}
+	return best.x
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

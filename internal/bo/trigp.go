@@ -1,0 +1,99 @@
+package bo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gp"
+)
+
+// TriGP is the paper's multi-output surrogate for one tuning task: three
+// conditionally independent Gaussian processes over resource utilization,
+// throughput and latency (Section 5.1), trained on standardized targets and
+// predicting in standardized scale.
+type TriGP struct {
+	gps  [3]*gp.GP
+	std  [3]Standardizer
+	dim  int
+	n    int
+	seed int64
+}
+
+// NewTriGP returns an unfitted surrogate for a dim-dimensional space. The
+// seed drives hyperparameter search reproducibly.
+func NewTriGP(dim int, seed int64) *TriGP {
+	t := &TriGP{dim: dim, seed: seed}
+	for i := range t.gps {
+		t.gps[i] = gp.New(gp.NewMatern52(1, 0.5), 0.01)
+	}
+	return t
+}
+
+// Fit conditions the three GPs on the history, standardizing each metric
+// separately (scale unification), and refits hyperparameters with the
+// default search budget.
+func (t *TriGP) Fit(h History) error {
+	return t.FitWithBudget(h, 0)
+}
+
+// FitWithBudget is Fit with an explicit hyperparameter-search candidate
+// count (0 selects the default). Because the search always keeps the
+// incumbent hyperparameters as a candidate, re-fitting the same TriGP
+// across tuning iterations warm-starts from the previous solution — a
+// small budget then suffices on most iterations, with an occasional full
+// search to escape stale length scales.
+func (t *TriGP) FitWithBudget(h History, candidates int) error {
+	if len(h) == 0 {
+		return fmt.Errorf("bo: empty history")
+	}
+	t.n = len(h)
+	x := h.Thetas()
+	rng := rand.New(rand.NewSource(t.seed + int64(len(h))))
+	cfg := gp.DefaultFitConfig()
+	if candidates > 0 {
+		cfg.Candidates = candidates
+	}
+	for i, m := range Metrics {
+		raw := h.Values(m)
+		t.std[i] = NewStandardizer(raw)
+		if err := t.gps[i].Fit(x, t.std[i].ApplyAll(raw)); err != nil {
+			return fmt.Errorf("bo: fitting %v surrogate: %w", m, err)
+		}
+		gp.FitHyperparams(t.gps[i], cfg, rng)
+	}
+	return nil
+}
+
+// Predict implements Surrogate in standardized scale.
+func (t *TriGP) Predict(m Metric, x []float64) (mu, variance float64) {
+	return t.gps[m].Predict(x)
+}
+
+// PredictRaw returns the posterior in the metric's raw units.
+func (t *TriGP) PredictRaw(m Metric, x []float64) (mu, variance float64) {
+	zmu, zv := t.gps[m].Predict(x)
+	s := t.std[m]
+	return s.Invert(zmu), zv * s.Std * s.Std
+}
+
+// Standardizer returns the per-metric scale-unification transform.
+func (t *TriGP) Standardizer(m Metric) Standardizer { return t.std[m] }
+
+// GP exposes the underlying per-metric GP (used by the meta-learner for
+// leave-one-out evaluation of the target base-learner).
+func (t *TriGP) GP(m Metric) *gp.GP { return t.gps[m] }
+
+// N returns the number of fitted observations.
+func (t *TriGP) N() int { return t.n }
+
+// Dim returns the input dimensionality.
+func (t *TriGP) Dim() int { return t.dim }
+
+// RawConstraints converts raw SLA thresholds into the surrogate's
+// standardized output scale.
+func (t *TriGP) RawConstraints(sla SLA) Constraints {
+	return Constraints{
+		LambdaTps: t.std[Tps].Apply(sla.LambdaTps),
+		LambdaLat: t.std[Lat].Apply(sla.LambdaLat),
+	}
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/bo"
+	"repro/internal/dbsim"
+	"repro/internal/lhs"
+	"repro/internal/meta"
+	"repro/internal/rng"
+)
+
+// Config parameterizes a ResTune session.
+type Config struct {
+	// Name overrides the method's display name (e.g. "ResTune-w/o-ML").
+	Name string
+	// Seed drives every stochastic component of the session.
+	Seed int64
+	// InitIters is the initialization budget: the static-weight phase when
+	// meta-learning is active, or the LHS design otherwise (10 in the
+	// paper).
+	InitIters int
+	// Base holds the historical base-learners from the data repository.
+	// Empty disables meta-learning (the ResTune-w/o-ML ablation).
+	Base []*meta.BaseLearner
+	// TargetMetaFeature is the target workload's characterization embedding
+	// (required for static weights when Base is non-empty).
+	TargetMetaFeature []float64
+	// UseWorkloadChar enables the meta-feature-driven static phase. When
+	// false with meta-learning active, initialization falls back to LHS —
+	// the ResTune-w/o-Workload ablation of Figure 6(b).
+	UseWorkloadChar bool
+	// StaticBandwidth is the Epanechnikov bandwidth ρ (Eq. 8).
+	StaticBandwidth float64
+	// DynamicSamples is the posterior sample count for ranking-loss weights.
+	DynamicSamples int
+	// RefitEvery throttles full hyperparameter search: every RefitEvery-th
+	// iteration runs the full search, others warm-start from the previous
+	// hyperparameters with a small budget. 1 (or 0) searches fully every
+	// iteration.
+	RefitEvery int
+	// SLATolerance is the accepted relative measurement deviation when
+	// judging feasibility (5% in the paper).
+	SLATolerance float64
+	// Schema selects the weight-assignment schema; the default is the
+	// paper's adaptive schema (static for the first InitIters iterations,
+	// dynamic afterwards). StaticOnly and DynamicOnly are ablations.
+	Schema WeightSchema
+	// DilutionGuard enables the RGPE weight-dilution guard in the dynamic
+	// phase (an extension of the paper's reference [13]).
+	DilutionGuard bool
+	// WeightedVariance replaces Eq. 7's target-only ensemble variance with
+	// the weighted average of all learners' variances (an ablation).
+	WeightedVariance bool
+	// TargetImprovementPct stops the session early once the best feasible
+	// resource value sits at least this far (percent) below the default —
+	// the paper's "until the decline in resource utilization reaches the
+	// goal" stopping condition. Zero disables it.
+	TargetImprovementPct float64
+	// ConvergenceWindow and ConvergenceEps implement the stopping rule: the
+	// session converges when resource, throughput and latency of the best
+	// feasible configuration all change by less than ConvergenceEps
+	// (relative) across ConvergenceWindow consecutive iterations. A zero
+	// window disables early stopping (experiments run fixed budgets).
+	ConvergenceWindow int
+	ConvergenceEps    float64
+	// Acq tunes acquisition optimization.
+	Acq bo.OptimizerConfig
+}
+
+// WeightSchema selects how ensemble weights are assigned over a session.
+type WeightSchema int
+
+const (
+	// AdaptiveSchema is the paper's design: static (meta-feature) weights
+	// for the first InitIters iterations, dynamic (ranking-loss) weights
+	// afterwards (Section 6.4.3).
+	AdaptiveSchema WeightSchema = iota
+	// StaticOnlySchema keeps meta-feature weights for the whole session.
+	StaticOnlySchema
+	// DynamicOnlySchema uses ranking-loss weights from the first iteration.
+	DynamicOnlySchema
+)
+
+// String returns the schema name.
+func (s WeightSchema) String() string {
+	switch s {
+	case StaticOnlySchema:
+		return "static-only"
+	case DynamicOnlySchema:
+		return "dynamic-only"
+	default:
+		return "adaptive"
+	}
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:            seed,
+		InitIters:       10,
+		UseWorkloadChar: true,
+		StaticBandwidth: meta.EpanechnikovBandwidth,
+		DynamicSamples:  100,
+		RefitEvery:      3,
+		SLATolerance:    0.05,
+		ConvergenceEps:  0.005,
+		Acq:             bo.DefaultOptimizerConfig(),
+	}
+}
+
+// ResTune is the paper's tuner: constrained Bayesian optimization over a
+// meta-learner ensemble with the adaptive weight schema.
+type ResTune struct {
+	cfg Config
+}
+
+// New returns a ResTune tuner.
+func New(cfg Config) *ResTune {
+	if cfg.InitIters <= 0 {
+		cfg.InitIters = 10
+	}
+	if cfg.DynamicSamples <= 0 {
+		cfg.DynamicSamples = 100
+	}
+	if cfg.SLATolerance == 0 {
+		cfg.SLATolerance = 0.05
+	}
+	if cfg.ConvergenceEps == 0 {
+		cfg.ConvergenceEps = 0.005
+	}
+	if cfg.Acq.RandomCandidates == 0 {
+		cfg.Acq = bo.DefaultOptimizerConfig()
+	}
+	if cfg.StaticBandwidth == 0 {
+		cfg.StaticBandwidth = meta.EpanechnikovBandwidth
+	}
+	return &ResTune{cfg: cfg}
+}
+
+// Name implements Tuner.
+func (t *ResTune) Name() string {
+	if t.cfg.Name != "" {
+		return t.cfg.Name
+	}
+	if len(t.cfg.Base) == 0 {
+		return "ResTune-w/o-ML"
+	}
+	return "ResTune"
+}
+
+// Run implements Tuner, executing the Section 4 iteration pipeline.
+func (t *ResTune) Run(ev Evaluator, iters int) (*Result, error) {
+	cfg := t.cfg
+	space := ev.Space()
+	dim := space.Dim()
+	r := rng.Derive(cfg.Seed, "restune:"+t.Name())
+	useMeta := len(cfg.Base) > 0
+
+	// Iteration 0: measure the DBA default; its throughput and latency
+	// become the SLA thresholds λ_tps, λ_lat (Section 3).
+	defaultNative := ev.DefaultNative()
+	defaultTheta := space.Normalize(defaultNative)
+	res := &Result{Method: t.Name()}
+	m0 := ev.Measure(defaultNative)
+	res.DefaultMeasurement = m0
+	res.SLA = bo.SLA{LambdaTps: m0.TPS, LambdaLat: m0.LatencyP99Ms, Tolerance: cfg.SLATolerance}
+	res.Iterations = append(res.Iterations, Iteration{
+		Index:       0,
+		Phase:       "default",
+		Observation: observe(defaultTheta, m0, ev),
+		Measurement: m0,
+		Feasible:    true,
+	})
+	h := bo.History{res.Iterations[0].Observation}
+
+	// Pre-compute the LHS fallback design once. The target surrogate
+	// persists across iterations so hyperparameter search warm-starts.
+	lhsDesign := lhs.Maximin(cfg.InitIters, dim, 10, rng.Derive(cfg.Seed, "lhs"))
+	var tri *bo.TriGP
+
+	for iter := 1; iter <= iters; iter++ {
+		it := Iteration{Index: iter}
+
+		// --- Meta-data processing: scale unification of the target track
+		// happens inside the TriGP fit; here we account the bookkeeping the
+		// paper's client performs per iteration.
+		tMeta := time.Now()
+		staticPhase := useMeta && cfg.UseWorkloadChar && iter <= cfg.InitIters
+		lhsPhase := !useMeta && iter <= cfg.InitIters ||
+			(useMeta && !cfg.UseWorkloadChar && iter <= cfg.InitIters)
+		it.MetaProcessing = time.Since(tMeta)
+
+		// --- Model update: fit the target base-learner and ensemble weights.
+		tModel := time.Now()
+		var target *meta.BaseLearner
+		var surrogate bo.Surrogate
+		var cons bo.Constraints
+		var bestVal = math.NaN()
+
+		if !lhsPhase {
+			if tri == nil {
+				tri = bo.NewTriGP(dim, cfg.Seed)
+			}
+			// Warm-started hyperparameter search: full budget every
+			// RefitEvery-th iteration, a small budget otherwise (the
+			// incumbent hyperparameters are always retained).
+			budget := 0
+			if cfg.RefitEvery > 1 && iter%cfg.RefitEvery != 0 {
+				budget = 6
+			}
+			hist := cloneHistory(h)
+			if err := tri.FitWithBudget(hist, budget); err != nil {
+				return nil, fmt.Errorf("core: target model at iter %d: %w", iter, err)
+			}
+			target = meta.NewBaseLearnerFromSurrogate("target", "target", "target",
+				cfg.TargetMetaFeature, hist, tri)
+		}
+
+		if useMeta && !lhsPhase {
+			var w []float64
+			useStatic := staticPhase
+			switch cfg.Schema {
+			case StaticOnlySchema:
+				useStatic = true
+			case DynamicOnlySchema:
+				useStatic = false
+			}
+			if useStatic {
+				w = meta.StaticWeights(cfg.Base, cfg.TargetMetaFeature, true, cfg.StaticBandwidth)
+				it.Phase = "static"
+			} else {
+				w = meta.DynamicWeightsOpts(cfg.Base, target,
+					meta.DynamicOptions{Samples: cfg.DynamicSamples, DilutionGuard: cfg.DilutionGuard},
+					rng.Derive(cfg.Seed, fmt.Sprintf("dyn:%d", iter)))
+				it.Phase = "dynamic"
+			}
+			ens := meta.NewEnsemble(cfg.Base, target, w)
+			if cfg.WeightedVariance {
+				ens = ens.WithWeightedVariance()
+			}
+			it.Weights = ens.Weights()
+			surrogate = ens
+			cons = ens.RescaledConstraints(defaultTheta)
+			if best, ok := h.BestFeasible(res.SLA); ok {
+				mu, _ := ens.Predict(bo.Res, best.Theta)
+				bestVal = mu
+			}
+		} else if !lhsPhase {
+			surrogate = tri
+			cons = tri.RawConstraints(res.SLA)
+			if best, ok := h.BestFeasible(res.SLA); ok {
+				bestVal = tri.Standardizer(bo.Res).Apply(best.Res)
+			}
+			it.Phase = "cbo"
+		}
+		it.ModelUpdate = time.Since(tModel)
+
+		// --- Knobs recommendation: optimize the constrained acquisition.
+		tRec := time.Now()
+		var theta []float64
+		if lhsPhase {
+			theta = lhsDesign[iter-1]
+			it.Phase = "lhs"
+		} else {
+			acq := func(x []float64) float64 {
+				return bo.CEI(surrogate, x, bestVal, cons)
+			}
+			incumbents := incumbentSet(h, res.SLA, defaultTheta)
+			theta = bo.OptimizeAcq(acq, dim, cfg.Acq, incumbents, r)
+		}
+		theta = space.Quantize(theta)
+		it.Recommend = time.Since(tRec)
+
+		// --- Target workload replay.
+		tRep := time.Now()
+		native := space.Denormalize(theta)
+		meas := ev.Measure(native)
+		it.Replay = time.Since(tRep)
+
+		it.Measurement = meas
+		it.Observation = observe(theta, meas, ev)
+		it.Feasible = res.SLA.Feasible(it.Observation)
+		res.Iterations = append(res.Iterations, it)
+		h = append(h, it.Observation)
+
+		if cfg.TargetImprovementPct > 0 && res.ImprovementPct() >= cfg.TargetImprovementPct {
+			res.Converged = true
+			break
+		}
+		if t.converged(res) {
+			res.Converged = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// observe packs a measurement into the (θ, res, tps, lat) four-tuple, with
+// res selected by the session's resource kind.
+func observe(theta []float64, m dbsim.Measurement, ev Evaluator) bo.Observation {
+	return bo.Observation{
+		Theta: theta,
+		Res:   m.Resource(ev.Resource()),
+		Tps:   m.TPS,
+		Lat:   m.LatencyP99Ms,
+	}
+}
+
+// converged applies the stopping rule: best-feasible res/tps/lat all stable
+// within ConvergenceEps for ConvergenceWindow consecutive iterations.
+func (t *ResTune) converged(res *Result) bool {
+	w := t.cfg.ConvergenceWindow
+	if w <= 0 || len(res.Iterations) < w+1 {
+		return false
+	}
+	h := res.History()
+	type triple struct{ r, tp, l float64 }
+	var prev *triple
+	for i := len(res.Iterations) - w - 1; i < len(res.Iterations); i++ {
+		best, ok := h[:i+1].BestFeasible(res.SLA)
+		if !ok {
+			return false
+		}
+		cur := triple{best.Res, best.Tps, best.Lat}
+		if prev != nil {
+			if relChange(prev.r, cur.r) > t.cfg.ConvergenceEps ||
+				relChange(prev.tp, cur.tp) > t.cfg.ConvergenceEps ||
+				relChange(prev.l, cur.l) > t.cfg.ConvergenceEps {
+				return false
+			}
+		}
+		prev = &cur
+	}
+	return true
+}
+
+func relChange(a, b float64) float64 {
+	if a == 0 {
+		if b == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(b-a) / math.Abs(a)
+}
+
+// incumbentSet picks start points for acquisition optimization: the best
+// feasible configuration, the default, and the most recent probe.
+func incumbentSet(h bo.History, sla bo.SLA, defaultTheta []float64) [][]float64 {
+	var inc [][]float64
+	if best, ok := h.BestFeasible(sla); ok {
+		inc = append(inc, best.Theta)
+	}
+	inc = append(inc, defaultTheta)
+	if len(h) > 0 {
+		inc = append(inc, h[len(h)-1].Theta)
+	}
+	return inc
+}
+
+func cloneHistory(h bo.History) bo.History {
+	out := make(bo.History, len(h))
+	copy(out, h)
+	return out
+}
+
+// LHSInit exposes the session's initial design for tests.
+func LHSInit(n, dim int, seed int64) [][]float64 {
+	return lhs.Maximin(n, dim, 10, rng.Derive(seed, "lhs"))
+}

@@ -1,0 +1,42 @@
+package dbsim
+
+// WorkloadProfile is everything the performance model needs to know about a
+// workload: its offered load, data footprint, access pattern and
+// per-transaction costs. The internal/workload package derives profiles for
+// the paper's five workloads (Table 2) and the Twitter variants (Table 5).
+type WorkloadProfile struct {
+	// Name identifies the workload for reporting.
+	Name string
+	// DataBytes is the on-disk data size.
+	DataBytes int64
+	// Threads is the client connection count.
+	Threads int
+	// ReadRatio is reads / (reads + writes), from the paper's R/W ratios.
+	ReadRatio float64
+	// RequestRate is the client-offered transaction rate (txn/s). The
+	// database cannot exceed it — the paper's central observation that real
+	// workloads are request-rate bounded. Zero means open-loop (throughput
+	// limited only by capacity), used when measuring raw capacity.
+	RequestRate float64
+	// CPUMsPerTxn is the base CPU milliseconds one transaction costs on one
+	// core, before contention/miss/spin overheads.
+	CPUMsPerTxn float64
+	// PagesPerTxn is the logical page accesses per transaction.
+	PagesPerTxn float64
+	// WriteBytesPerTxn is the redo/log bytes a write transaction produces.
+	WriteBytesPerTxn float64
+	// TablesTouched is the number of distinct tables the workload opens,
+	// driving table_open_cache pressure.
+	TablesTouched int
+	// HitExponent is the buffer-pool power-law exponent: hit = r^HitExponent
+	// with r = bufferPool/data. Small values model highly skewed (cacheable)
+	// access; values near 1 approach uniform access. Calibrated so TPC-C at
+	// r=0.137 hits ~93% and SYSBENCH at r=0.53 hits ~97.5% (paper 7.5).
+	HitExponent float64
+	// TmpTableRatio is the fraction of transactions that materialize an
+	// internal temporary table (drives tmp_table_size memory).
+	TmpTableRatio float64
+}
+
+// WriteRatio returns 1 - ReadRatio.
+func (w WorkloadProfile) WriteRatio() float64 { return 1 - w.ReadRatio }

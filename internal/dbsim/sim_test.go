@@ -1,0 +1,351 @@
+package dbsim_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+
+	"repro/internal/dbsim"
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+func simA(w workload.Workload) *dbsim.Simulator {
+	return dbsim.New(dbsim.Instance("A"), w.Profile, 1, dbsim.WithHalfRAMBufferPool())
+}
+
+func TestInstancesTable1(t *testing.T) {
+	// Paper Table 1 hardware.
+	specs := map[string]struct {
+		cores int
+		ramGB int64
+	}{
+		"A": {48, 12}, "B": {8, 12}, "C": {4, 8}, "D": {16, 32}, "E": {32, 64}, "F": {64, 128},
+	}
+	for name, want := range specs {
+		hw := dbsim.Instance(name)
+		if hw.Cores != want.cores || hw.RAMBytes != want.ramGB<<30 {
+			t.Errorf("instance %s: %d cores %dGB, want %d cores %dGB",
+				name, hw.Cores, hw.RAMBytes>>30, want.cores, want.ramGB)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown instance")
+		}
+	}()
+	dbsim.Instance("Z")
+}
+
+func TestDefaultsAreDemandBoundedAndBusy(t *testing.T) {
+	// Under the DBA defaults on instance A, the benchmark workloads should
+	// roughly meet their request rates while using substantial CPU —
+	// matching the starting points of the paper's Figure 3.
+	cases := []struct {
+		w          workload.Workload
+		minCPU     float64
+		maxCPU     float64
+		minTPSFrac float64 // fraction of request rate
+	}{
+		{workload.Sysbench(10), 80, 100, 0.90},
+		{workload.Twitter(), 60, 90, 0.95},
+		{workload.TPCC(200), 70, 100, 0.90},
+		{workload.Hotel(), 70, 100, 0.95},
+		{workload.Sales(), 75, 100, 0.95},
+	}
+	for _, c := range cases {
+		m := simA(c.w).EvalDefault()
+		if m.CPUUtilPct < c.minCPU || m.CPUUtilPct > c.maxCPU {
+			t.Errorf("%s default CPU %.1f%%, want in [%v,%v]", c.w.Name, m.CPUUtilPct, c.minCPU, c.maxCPU)
+		}
+		if m.TPS < c.minTPSFrac*c.w.Profile.RequestRate {
+			t.Errorf("%s default TPS %.0f below %.2f of request rate %.0f",
+				c.w.Name, m.TPS, c.minTPSFrac, c.w.Profile.RequestRate)
+		}
+		if m.TPS > c.w.Profile.RequestRate*1.001 {
+			t.Errorf("%s TPS %.0f exceeds request rate", c.w.Name, m.TPS)
+		}
+	}
+}
+
+// TestFig1FlatTPSVaryingCPU reproduces the Figure 1 phenomenon: across the
+// sync_spin_loops x table_open_cache grid the throughput stays pinned at the
+// request rate while CPU varies widely.
+func TestFig1FlatTPSVaryingCPU(t *testing.T) {
+	// The Figure-1 real workload runs well below capacity (its CPU spans
+	// 15-90% at constant TPS), so we lower the Sales request rate
+	// accordingly.
+	s := simA(workload.Sales().WithRequestRate(8000))
+	space := knobs.Fig1Space()
+	var minCPU, maxCPU = math.Inf(1), math.Inf(-1)
+	var minTPS, maxTPS = math.Inf(1), math.Inf(-1)
+	for _, ssl := range []float64{0, 1724, 4310, 8620} {
+		for _, toc := range []float64{1, 10, 2000, 9886} {
+			m := s.EvalNoiseless(space, []float64{ssl, toc})
+			minCPU = math.Min(minCPU, m.CPUUtilPct)
+			maxCPU = math.Max(maxCPU, m.CPUUtilPct)
+			minTPS = math.Min(minTPS, m.TPS)
+			maxTPS = math.Max(maxTPS, m.TPS)
+		}
+	}
+	if maxCPU-minCPU < 20 {
+		t.Errorf("CPU should vary widely over the grid: [%v, %v]", minCPU, maxCPU)
+	}
+	if (maxTPS-minTPS)/maxTPS > 0.05 {
+		t.Errorf("TPS should stay flat over the grid: [%v, %v]", minTPS, maxTPS)
+	}
+}
+
+// TestThreadConcurrencySweetSpot reproduces the case-study structure: on
+// Twitter (512 threads), capping innodb_thread_concurrency saves a lot of
+// CPU at unchanged throughput, while over-throttling collapses throughput.
+func TestThreadConcurrencySweetSpot(t *testing.T) {
+	s := simA(workload.Twitter())
+	space := knobs.CaseStudySpace()
+	def := s.EvalDefault()
+
+	// The paper's grid search found tc=13; our model's sweet spot sits at a
+	// nearby value (the shape — a low cap far under the 512 client threads —
+	// is what matters).
+	tuned := s.EvalNoiseless(space, []float64{16, 0, 356})
+	if tuned.CPUUtilPct > def.CPUUtilPct*0.45 {
+		t.Errorf("tuned CPU %.1f%% should be well under default %.1f%%", tuned.CPUUtilPct, def.CPUUtilPct)
+	}
+	if tuned.TPS < def.TPS*0.95 {
+		t.Errorf("tuned TPS %.0f dropped below SLA (default %.0f)", tuned.TPS, def.TPS)
+	}
+
+	starved := s.EvalNoiseless(space, []float64{2, 0, 356})
+	if starved.TPS > def.TPS*0.8 {
+		t.Errorf("over-throttled TPS %.0f should collapse (default %.0f)", starved.TPS, def.TPS)
+	}
+}
+
+// TestSpinTradeoff verifies the Figure 7 trade-off: disabling spin saves CPU
+// but increases latency.
+func TestSpinTradeoff(t *testing.T) {
+	s := simA(workload.Sysbench(10))
+	space := knobs.MySQL57Catalogue().Subset("innodb_spin_wait_delay", "innodb_sync_spin_loops")
+	spinOn := s.EvalNoiseless(space, []float64{6, 30})
+	spinOff := s.EvalNoiseless(space, []float64{0, 0})
+	if spinOff.CPUUtilPct >= spinOn.CPUUtilPct {
+		t.Errorf("spin off should save CPU: %v vs %v", spinOff.CPUUtilPct, spinOn.CPUUtilPct)
+	}
+	if spinOff.LatencyP99Ms <= spinOn.LatencyP99Ms {
+		t.Errorf("spin off should cost latency: %v vs %v", spinOff.LatencyP99Ms, spinOn.LatencyP99Ms)
+	}
+}
+
+func TestHitRatioCalibration(t *testing.T) {
+	// Section 7.5: TPC-C 100G with 16G buffer pool -> ~93.2% hit;
+	// SYSBENCH 30G with 16G -> ~97.5%.
+	tp := dbsim.New(dbsim.Instance("E"), workload.TPCC100G().Profile, 1,
+		dbsim.WithFixedBufferPool(16<<30))
+	if h := tp.EvalDefault().HitRatio; math.Abs(h-0.932) > 0.02 {
+		t.Errorf("TPC-C 100G/16G hit ratio %.3f, paper 0.932", h)
+	}
+	sb := dbsim.New(dbsim.Instance("E"), workload.Sysbench(30).Profile, 1,
+		dbsim.WithFixedBufferPool(16<<30))
+	if h := sb.EvalDefault().HitRatio; math.Abs(h-0.975) > 0.02 {
+		t.Errorf("SYSBENCH 30G/16G hit ratio %.3f, paper 0.975", h)
+	}
+}
+
+func TestMemoryModel(t *testing.T) {
+	hw := dbsim.Instance("E")
+	s := dbsim.New(hw, workload.Sysbench(30).Profile, 1)
+	space := knobs.MemorySpace()
+	def := dbsim.DefaultNative(space, hw)
+	m := s.EvalNoiseless(space, def)
+	// Default buffer pool is half of RAM.
+	if m.MemoryBytes < 32e9 || m.MemoryBytes > 40e9 {
+		t.Errorf("default memory %.1fG, want ~32-40G on instance E", m.MemoryBytes/1e9)
+	}
+	// Shrinking the buffer pool shrinks memory and the hit ratio.
+	small := append([]float64(nil), def...)
+	small[space.Index("innodb_buffer_pool_size")] = 8 << 30
+	ms := s.EvalNoiseless(space, small)
+	if ms.MemoryBytes >= m.MemoryBytes || ms.HitRatio >= m.HitRatio {
+		t.Errorf("smaller pool: mem %.1fG hit %.3f vs default mem %.1fG hit %.3f",
+			ms.MemoryBytes/1e9, ms.HitRatio, m.MemoryBytes/1e9, m.HitRatio)
+	}
+	// SLA guardrail: overcommitting memory must explode latency.
+	huge := append([]float64(nil), def...)
+	huge[space.Index("innodb_buffer_pool_size")] = 100 << 30 // >0.85*RAM clamps, so inflate buffers too
+	huge[space.Index("sort_buffer_size")] = 64 << 20
+	huge[space.Index("join_buffer_size")] = 64 << 20
+	mh := s.EvalNoiseless(space, huge)
+	if mh.MemoryBytes < 0.95*float64(hw.RAMBytes) {
+		t.Skip("config did not overcommit; model headroom changed")
+	}
+	if mh.LatencyP99Ms < 5*m.LatencyP99Ms {
+		t.Errorf("swapping should explode latency: %.1fms vs %.1fms", mh.LatencyP99Ms, m.LatencyP99Ms)
+	}
+}
+
+func TestIOKnobsMoveIO(t *testing.T) {
+	s := dbsim.New(dbsim.Instance("E"), workload.TPCC100G().Profile, 1,
+		dbsim.WithFixedBufferPool(16<<30))
+	space := knobs.IOSpace()
+	def := dbsim.DefaultNative(space, dbsim.Instance("E"))
+	base := s.EvalNoiseless(space, def)
+
+	relaxed := append([]float64(nil), def...)
+	relaxed[space.Index("innodb_flush_log_at_trx_commit")] = 2
+	relaxed[space.Index("sync_binlog")] = 1000
+	relaxed[space.Index("innodb_flush_neighbors")] = 0
+	relaxed[space.Index("innodb_doublewrite")] = 0
+	relaxed[space.Index("innodb_io_capacity")] = 200
+	m := s.EvalNoiseless(space, relaxed)
+	if m.IOPS >= base.IOPS {
+		t.Errorf("relaxed flushing should cut IOPS: %v vs %v", m.IOPS, base.IOPS)
+	}
+	if m.IOBps >= base.IOBps {
+		t.Errorf("relaxed flushing should cut BPS: %v vs %v", m.IOBps, base.IOBps)
+	}
+}
+
+func TestNoiseAndDeterminism(t *testing.T) {
+	w := workload.Sysbench(10)
+	a := simA(w)
+	b := simA(w)
+	m1 := a.Eval(nil, nil)
+	m2 := b.Eval(nil, nil)
+	if m1.TPS != m2.TPS || m1.CPUUtilPct != m2.CPUUtilPct {
+		t.Fatal("same seed must give identical noisy measurements")
+	}
+	clean := a.EvalNoiseless(nil, nil)
+	noisy := b.Eval(nil, nil) // second draw differs from the first
+	if noisy.CPUUtilPct == clean.CPUUtilPct {
+		t.Fatal("noise should perturb measurements")
+	}
+	if math.Abs(noisy.CPUUtilPct-clean.CPUUtilPct)/clean.CPUUtilPct > 0.1 {
+		t.Fatal("noise too large")
+	}
+}
+
+func TestInternalMetrics(t *testing.T) {
+	m := simA(workload.Twitter()).EvalDefault()
+	if len(m.Internal) != len(dbsim.InternalMetricNames()) {
+		t.Fatalf("internal metrics %d, names %d", len(m.Internal), len(dbsim.InternalMetricNames()))
+	}
+	for i, v := range m.Internal {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("internal metric %s is %v", dbsim.InternalMetricNames()[i], v)
+		}
+	}
+}
+
+func TestResourceKinds(t *testing.T) {
+	m := dbsim.Measurement{CPUUtilPct: 1, IOBps: 2, IOPS: 3, MemoryBytes: 4}
+	if m.Resource(dbsim.CPUPct) != 1 || m.Resource(dbsim.IOBps) != 2 ||
+		m.Resource(dbsim.IOPS) != 3 || m.Resource(dbsim.MemoryBytes) != 4 {
+		t.Fatal("resource extraction wrong")
+	}
+	names := []string{dbsim.CPUPct.String(), dbsim.IOBps.String(), dbsim.IOPS.String(), dbsim.MemoryBytes.String()}
+	want := []string{"cpu", "io_bps", "iops", "memory"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("resource name %d: %s want %s", i, names[i], want[i])
+		}
+	}
+}
+
+// Property: across random configurations, all outputs are finite and within
+// physical bounds.
+func TestQuickPhysicalBounds(t *testing.T) {
+	s := simA(workload.TPCC(200))
+	space := knobs.CPUSpace()
+	f := func(seed int64) bool {
+		r := quickRand(seed)
+		u := make([]float64, space.Dim())
+		for i := range u {
+			u[i] = r.Float64()
+		}
+		m := s.EvalNoiseless(space, space.Denormalize(u))
+		if m.CPUUtilPct < 0 || m.CPUUtilPct > 100 {
+			return false
+		}
+		if m.TPS <= 0 || m.TPS > workload.TPCC(200).Profile.RequestRate*1.001 {
+			return false
+		}
+		if m.LatencyP99Ms <= 0 || math.IsInf(m.LatencyP99Ms, 0) || math.IsNaN(m.LatencyP99Ms) {
+			return false
+		}
+		if m.HitRatio < 0 || m.HitRatio > 1 {
+			return false
+		}
+		return m.IOPS >= 0 && m.IOBps >= 0 && m.MemoryBytes > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hit ratio is non-decreasing in buffer pool size.
+func TestQuickHitMonotoneInBufferPool(t *testing.T) {
+	space := knobs.MemorySpace()
+	f := func(seed int64) bool {
+		r := quickRand(seed)
+		s := dbsim.New(dbsim.Instance("E"), workload.TPCC100G().Profile, seed)
+		def := dbsim.DefaultNative(space, dbsim.Instance("E"))
+		a := 1<<30 + r.Int63n(30<<30)
+		b := a + 2<<30
+		ca := append([]float64(nil), def...)
+		cb := append([]float64(nil), def...)
+		ca[space.Index("innodb_buffer_pool_size")] = float64(a)
+		cb[space.Index("innodb_buffer_pool_size")] = float64(b)
+		return s.EvalNoiseless(space, ca).HitRatio <= s.EvalNoiseless(space, cb).HitRatio+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quickRand builds a deterministic rand for property tests.
+func quickRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Property: CPU utilization is non-decreasing in innodb_sync_spin_loops
+// when throughput stays demand-bounded (more spinning can only burn more
+// CPU at the same TPS).
+func TestQuickCPUMonotoneInSpin(t *testing.T) {
+	space := knobs.MySQL57Catalogue().Subset("innodb_sync_spin_loops")
+	s := dbsim.New(dbsim.Instance("A"), workload.Sales().WithRequestRate(8000).Profile, 1,
+		dbsim.WithHalfRAMBufferPool())
+	f := func(seed int64) bool {
+		r := quickRand(seed)
+		a := float64(r.Intn(8000))
+		b := a + 100 + float64(r.Intn(600))
+		ma := s.EvalNoiseless(space, []float64{a})
+		mb := s.EvalNoiseless(space, []float64{b})
+		if ma.TPS != mb.TPS { // demand bound must hold for the comparison
+			return true
+		}
+		return mb.CPUUtilPct >= ma.CPUUtilPct-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: throughput is non-decreasing in the request rate (the simulator
+// never serves less when offered more).
+func TestQuickTPSMonotoneInRate(t *testing.T) {
+	space := knobs.CPUSpace()
+	def := dbsim.DefaultNative(space, dbsim.Instance("A"))
+	f := func(seed int64) bool {
+		r := quickRand(seed)
+		lo := 500 + float64(r.Intn(20000))
+		hi := lo + 100 + float64(r.Intn(5000))
+		wLo := workload.Sysbench(10).WithRequestRate(lo)
+		wHi := workload.Sysbench(10).WithRequestRate(hi)
+		sLo := dbsim.New(dbsim.Instance("A"), wLo.Profile, seed, dbsim.WithHalfRAMBufferPool())
+		sHi := dbsim.New(dbsim.Instance("A"), wHi.Profile, seed, dbsim.WithHalfRAMBufferPool())
+		return sHi.EvalNoiseless(space, def).TPS >= sLo.EvalNoiseless(space, def).TPS-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

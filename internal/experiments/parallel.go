@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelMap runs jobs with bounded concurrency and returns their results
+// in input order. Every tuning session is seeded independently, so running
+// them concurrently does not perturb determinism — it only uses the cores
+// the paper's serial replay protocol leaves idle.
+func parallelMap[T any](n int, job func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	limit := runtime.NumCPU()
+	if limit > n {
+		limit = n
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i], errs[i] = job(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

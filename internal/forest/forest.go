@@ -1,0 +1,239 @@
+// Package forest implements a CART decision-tree classifier and a random
+// forest with class-probability output — the classification model of the
+// paper's workload characterization (Section 6.2), which maps a query's
+// TF-IDF vector to a distribution over log-discretized resource-cost levels.
+package forest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config controls forest training.
+type Config struct {
+	// Trees is the ensemble size.
+	Trees int
+	// MaxDepth bounds tree depth.
+	MaxDepth int
+	// MinLeaf is the minimum samples in a leaf.
+	MinLeaf int
+	// FeatureFrac is the fraction of features considered per split
+	// (0 selects sqrt(d), the usual default).
+	FeatureFrac float64
+	// Classes is the number of class labels (labels are 0..Classes-1).
+	Classes int
+}
+
+// DefaultConfig returns standard settings for nClasses labels.
+func DefaultConfig(nClasses int) Config {
+	return Config{Trees: 30, MaxDepth: 8, MinLeaf: 2, Classes: nClasses}
+}
+
+// node is a tree node: either an internal split or a leaf with a class
+// distribution.
+type node struct {
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+	dist      []float64 // non-nil at leaves
+}
+
+// Forest is a trained random-forest classifier.
+type Forest struct {
+	trees   []*node
+	classes int
+}
+
+// Train fits a random forest on features x and integer labels y.
+func Train(x [][]float64, y []int, cfg Config, rng *rand.Rand) (*Forest, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("forest: bad training set (%d features, %d labels)", len(x), len(y))
+	}
+	if cfg.Classes <= 0 {
+		return nil, fmt.Errorf("forest: Classes must be positive")
+	}
+	for _, label := range y {
+		if label < 0 || label >= cfg.Classes {
+			return nil, fmt.Errorf("forest: label %d outside [0,%d)", label, cfg.Classes)
+		}
+	}
+	if cfg.Trees <= 0 {
+		cfg.Trees = 30
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 8
+	}
+	if cfg.MinLeaf <= 0 {
+		cfg.MinLeaf = 1
+	}
+	dim := len(x[0])
+	mtry := int(cfg.FeatureFrac * float64(dim))
+	if cfg.FeatureFrac <= 0 {
+		mtry = int(math.Ceil(math.Sqrt(float64(dim))))
+	}
+	if mtry < 1 {
+		mtry = 1
+	}
+	if mtry > dim {
+		mtry = dim
+	}
+
+	f := &Forest{classes: cfg.Classes}
+	n := len(x)
+	for t := 0; t < cfg.Trees; t++ {
+		// Bootstrap sample.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		f.trees = append(f.trees, buildTree(x, y, idx, cfg, mtry, 0, rng))
+	}
+	return f, nil
+}
+
+// buildTree grows one CART tree on the index subset.
+func buildTree(x [][]float64, y []int, idx []int, cfg Config, mtry, depth int, rng *rand.Rand) *node {
+	dist := classDist(y, idx, cfg.Classes)
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf || pure(dist) {
+		return &node{dist: dist}
+	}
+	feat, thr, ok := bestSplit(x, y, idx, cfg, mtry, rng)
+	if !ok {
+		return &node{dist: dist}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if x[i][feat] <= thr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) < cfg.MinLeaf || len(ri) < cfg.MinLeaf {
+		return &node{dist: dist}
+	}
+	return &node{
+		feature:   feat,
+		threshold: thr,
+		left:      buildTree(x, y, li, cfg, mtry, depth+1, rng),
+		right:     buildTree(x, y, ri, cfg, mtry, depth+1, rng),
+	}
+}
+
+// bestSplit searches mtry random features for the split minimizing weighted
+// Gini impurity.
+func bestSplit(x [][]float64, y []int, idx []int, cfg Config, mtry int, rng *rand.Rand) (feat int, thr float64, ok bool) {
+	dim := len(x[0])
+	feats := rng.Perm(dim)[:mtry]
+	bestGini := math.Inf(1)
+	vals := make([]float64, 0, len(idx))
+	for _, fi := range feats {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, x[i][fi])
+		}
+		sort.Float64s(vals)
+		// Candidate thresholds: midpoints between distinct sorted values.
+		for v := 1; v < len(vals); v++ {
+			if vals[v] == vals[v-1] {
+				continue
+			}
+			t := (vals[v] + vals[v-1]) / 2
+			g := splitGini(x, y, idx, fi, t, cfg.Classes)
+			if g < bestGini {
+				bestGini, feat, thr, ok = g, fi, t, true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+// splitGini returns the size-weighted Gini impurity of the two sides.
+func splitGini(x [][]float64, y []int, idx []int, feat int, thr float64, classes int) float64 {
+	lc := make([]float64, classes)
+	rc := make([]float64, classes)
+	var ln, rn float64
+	for _, i := range idx {
+		if x[i][feat] <= thr {
+			lc[y[i]]++
+			ln++
+		} else {
+			rc[y[i]]++
+			rn++
+		}
+	}
+	return ln/(ln+rn)*gini(lc, ln) + rn/(ln+rn)*gini(rc, rn)
+}
+
+func gini(counts []float64, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := c / n
+		g -= p * p
+	}
+	return g
+}
+
+func classDist(y []int, idx []int, classes int) []float64 {
+	d := make([]float64, classes)
+	for _, i := range idx {
+		d[y[i]]++
+	}
+	for i := range d {
+		d[i] /= float64(len(idx))
+	}
+	return d
+}
+
+func pure(dist []float64) bool {
+	for _, p := range dist {
+		if p == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// PredictProba returns the class-probability distribution for x, averaged
+// over the ensemble.
+func (f *Forest) PredictProba(x []float64) []float64 {
+	out := make([]float64, f.classes)
+	for _, t := range f.trees {
+		n := t
+		for n.dist == nil {
+			if x[n.feature] <= n.threshold {
+				n = n.left
+			} else {
+				n = n.right
+			}
+		}
+		for i, p := range n.dist {
+			out[i] += p
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(f.trees))
+	}
+	return out
+}
+
+// Predict returns the most probable class.
+func (f *Forest) Predict(x []float64) int {
+	p := f.PredictProba(x)
+	best := 0
+	for i := range p {
+		if p[i] > p[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Classes returns the label count.
+func (f *Forest) Classes() int { return f.classes }

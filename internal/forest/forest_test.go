@@ -1,0 +1,138 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// separableData builds a 2-class problem split on feature 0.
+func separableData(n int, rng *rand.Rand) (x [][]float64, y []int) {
+	for i := 0; i < n; i++ {
+		v := rng.Float64()
+		x = append(x, []float64{v, rng.Float64()})
+		if v < 0.5 {
+			y = append(y, 0)
+		} else {
+			y = append(y, 1)
+		}
+	}
+	return x, y
+}
+
+func TestTrainSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := separableData(200, rng)
+	f, err := Train(x, y, DefaultConfig(2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range x {
+		if f.Predict(x[i]) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(x)); acc < 0.95 {
+		t.Fatalf("training accuracy %v too low for separable data", acc)
+	}
+	// Confident region probabilities.
+	p := f.PredictProba([]float64{0.05, 0.5})
+	if p[0] < 0.9 {
+		t.Fatalf("proba for clear class-0 point: %v", p)
+	}
+	if f.Classes() != 2 {
+		t.Fatal("classes")
+	}
+}
+
+func TestMulticlass(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 300; i++ {
+		v := rng.Float64() * 3
+		x = append(x, []float64{v})
+		y = append(y, int(v))
+	}
+	f, err := Train(x, y, DefaultConfig(3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cls := 0; cls < 3; cls++ {
+		if got := f.Predict([]float64{float64(cls) + 0.5}); got != cls {
+			t.Fatalf("class %d misclassified as %d", cls, got)
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := Train(nil, nil, DefaultConfig(2), rng); err == nil {
+		t.Fatal("expected error on empty set")
+	}
+	if _, err := Train([][]float64{{1}}, []int{0, 1}, DefaultConfig(2), rng); err == nil {
+		t.Fatal("expected error on length mismatch")
+	}
+	if _, err := Train([][]float64{{1}}, []int{5}, DefaultConfig(2), rng); err == nil {
+		t.Fatal("expected error on out-of-range label")
+	}
+	if _, err := Train([][]float64{{1}}, []int{0}, Config{Classes: 0}, rng); err == nil {
+		t.Fatal("expected error on zero classes")
+	}
+}
+
+func TestConfigDefaultsApplied(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := separableData(50, rng)
+	// Zero-valued knobs fall back to sane defaults.
+	f, err := Train(x, y, Config{Classes: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.trees) == 0 {
+		t.Fatal("no trees grown")
+	}
+}
+
+// Property: PredictProba always returns a probability distribution.
+func TestQuickProbaIsDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := separableData(100, rng)
+	f, err := Train(x, y, DefaultConfig(2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := f.PredictProba([]float64{r.Float64() * 2, r.Float64() * 2})
+		sum := 0.0
+		for _, pi := range p {
+			if pi < 0 || pi > 1 {
+				return false
+			}
+			sum += pi
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstantFeatures(t *testing.T) {
+	// All features identical: no split possible, forest degenerates to the
+	// class prior without crashing.
+	rng := rand.New(rand.NewSource(6))
+	x := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	y := []int{0, 0, 1, 1}
+	f, err := Train(x, y, DefaultConfig(2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f.PredictProba([]float64{1, 1})
+	if math.Abs(p[0]-0.5) > 0.25 {
+		t.Fatalf("expected ~prior distribution, got %v", p)
+	}
+}

@@ -1,0 +1,95 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+)
+
+// FitConfig controls marginal-likelihood hyperparameter search.
+type FitConfig struct {
+	// Candidates is the number of random hyperparameter draws evaluated.
+	Candidates int
+	// LengthScaleMin/Max bound the length-scale search (inputs are in [0,1]).
+	LengthScaleMin, LengthScaleMax float64
+	// VarianceMin/Max bound the signal-variance search (targets standardized).
+	VarianceMin, VarianceMax float64
+	// NoiseMin/Max bound the noise-variance search.
+	NoiseMin, NoiseMax float64
+}
+
+// DefaultFitConfig returns search bounds appropriate for normalized inputs
+// and standardized targets.
+func DefaultFitConfig() FitConfig {
+	return FitConfig{
+		Candidates:     32,
+		LengthScaleMin: 0.05, LengthScaleMax: 3,
+		VarianceMin: 0.05, VarianceMax: 5,
+		NoiseMin: 1e-5, NoiseMax: 0.25,
+	}
+}
+
+// FitHyperparams maximizes the log marginal likelihood over kernel length
+// scale, signal variance and noise variance by seeded random search in log
+// space, keeping the incumbent hyperparameters as one of the candidates.
+// The GP must already hold data (Fit must have been called). It returns the
+// best log marginal likelihood found.
+func FitHyperparams(g *GP, cfg FitConfig, rng *rand.Rand) float64 {
+	if g.N() == 0 {
+		return math.Inf(-1)
+	}
+	type cand struct {
+		params []float64
+		noise  float64
+	}
+	best := cand{params: g.kernel.Params(), noise: g.NoiseVariance}
+	bestLML := g.LogMarginalLikelihood()
+	if math.IsInf(bestLML, -1) {
+		// incumbent failed to factor; force replacement
+		bestLML = math.Inf(-1)
+	}
+
+	logU := func(lo, hi float64) float64 {
+		return math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo)))
+	}
+
+	nParams := len(g.kernel.Params())
+	for c := 0; c < cfg.Candidates; c++ {
+		p := make([]float64, nParams)
+		p[0] = math.Log(logU(cfg.VarianceMin, cfg.VarianceMax))
+		for i := 1; i < nParams; i++ {
+			p[i] = math.Log(logU(cfg.LengthScaleMin, cfg.LengthScaleMax))
+		}
+		noise := logU(cfg.NoiseMin, cfg.NoiseMax)
+
+		g.kernel.SetParams(p)
+		g.NoiseVariance = noise
+		if err := g.refactor(); err != nil {
+			continue
+		}
+		lml := g.LogMarginalLikelihood()
+		if lml > bestLML {
+			bestLML = lml
+			best = cand{params: p, noise: noise}
+		}
+	}
+
+	g.kernel.SetParams(best.params)
+	g.NoiseVariance = best.noise
+	if err := g.refactor(); err != nil {
+		// Should not happen: best either was the incumbent (which factored at
+		// Fit time) or factored during the search. Fall back to a safe prior.
+		g.kernel.SetParams(defaultParams(nParams))
+		g.NoiseVariance = 0.1
+		_ = g.refactor()
+	}
+	return g.LogMarginalLikelihood()
+}
+
+func defaultParams(n int) []float64 {
+	p := make([]float64, n)
+	// variance 1.0 -> log 0; length scales 0.5
+	for i := 1; i < n; i++ {
+		p[i] = math.Log(0.5)
+	}
+	return p
+}

@@ -1,0 +1,155 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// GP is an exact Gaussian-process regressor with a constant (empirical) mean
+// and homoscedastic Gaussian observation noise.
+type GP struct {
+	kernel Kernel
+	// NoiseVariance is the observation noise variance added to the kernel
+	// diagonal. It is fit together with the kernel hyperparameters.
+	NoiseVariance float64
+
+	x     [][]float64
+	y     []float64
+	meanY float64
+
+	chol  *mat.Cholesky
+	alpha []float64  // (K + σ²I)⁻¹ (y - mean)
+	kinv  *mat.Dense // lazily computed inverse for LOO
+}
+
+// New returns an unfitted GP with the given kernel and noise variance.
+func New(kernel Kernel, noiseVariance float64) *GP {
+	return &GP{kernel: kernel, NoiseVariance: noiseVariance}
+}
+
+// Kernel returns the GP's kernel.
+func (g *GP) Kernel() Kernel { return g.kernel }
+
+// N returns the number of training observations.
+func (g *GP) N() int { return len(g.x) }
+
+// X returns the training inputs (shared storage).
+func (g *GP) X() [][]float64 { return g.x }
+
+// Y returns the training targets (shared storage).
+func (g *GP) Y() []float64 { return g.y }
+
+// Fit conditions the GP on observations (x, y). It copies neither slice, so
+// callers must not mutate them afterwards.
+func (g *GP) Fit(x [][]float64, y []float64) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("gp: %d inputs but %d targets", len(x), len(y))
+	}
+	if len(x) == 0 {
+		return errors.New("gp: no observations")
+	}
+	g.x, g.y = x, y
+	g.meanY = mean(y)
+	return g.refactor()
+}
+
+// refactor rebuilds the Cholesky factorization for the current data and
+// hyperparameters.
+func (g *GP) refactor() error {
+	n := len(g.x)
+	k := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := g.kernel.Eval(g.x[i], g.x[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+		k.Set(i, i, k.At(i, i)+g.NoiseVariance+1e-8) // jitter for stability
+	}
+	chol, err := mat.NewCholesky(k)
+	if err != nil {
+		return fmt.Errorf("gp: factorization failed: %w", err)
+	}
+	g.chol = chol
+	resid := make([]float64, n)
+	for i, yi := range g.y {
+		resid[i] = yi - g.meanY
+	}
+	g.alpha = chol.SolveVec(resid)
+	g.kinv = nil
+	return nil
+}
+
+// Predict returns the posterior mean and variance at x. The variance
+// includes the observation-noise term, matching what a replay measurement
+// would exhibit. An unfitted GP returns the prior.
+func (g *GP) Predict(x []float64) (mu, variance float64) {
+	prior := g.kernel.Eval(x, x) + g.NoiseVariance
+	if g.chol == nil {
+		return 0, prior
+	}
+	ks := make([]float64, len(g.x))
+	for i, xi := range g.x {
+		ks[i] = g.kernel.Eval(x, xi)
+	}
+	mu = g.meanY + mat.Dot(ks, g.alpha)
+	v := g.chol.SolveLowerVec(ks)
+	variance = prior - mat.Dot(v, v)
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	return mu, variance
+}
+
+// LogMarginalLikelihood returns log p(y | X, θ) for the current fit.
+func (g *GP) LogMarginalLikelihood() float64 {
+	if g.chol == nil {
+		return math.Inf(-1)
+	}
+	n := float64(len(g.y))
+	quad := 0.0
+	for i, yi := range g.y {
+		quad += (yi - g.meanY) * g.alpha[i]
+	}
+	return -0.5*quad - 0.5*g.chol.LogDet() - 0.5*n*math.Log(2*math.Pi)
+}
+
+// LOO returns leave-one-out posterior means and variances at every training
+// point without refitting hyperparameters, via the standard identities
+// μ_i = y_i − α_i / K⁻¹_ii and σ²_i = 1 / K⁻¹_ii. This is exactly the
+// "remove the data point from the GP model, kernel hyper-parameters do not
+// need re-estimation" construction of paper Section 6.4.2.
+func (g *GP) LOO() (mu, variance []float64) {
+	if g.chol == nil {
+		return nil, nil
+	}
+	if g.kinv == nil {
+		g.kinv = g.chol.Inverse()
+	}
+	n := len(g.y)
+	mu = make([]float64, n)
+	variance = make([]float64, n)
+	for i := 0; i < n; i++ {
+		kii := g.kinv.At(i, i)
+		mu[i] = g.y[i] - g.alpha[i]/kii
+		variance[i] = 1 / kii
+		if variance[i] < 1e-12 {
+			variance[i] = 1e-12
+		}
+	}
+	return mu, variance
+}
+
+func mean(y []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range y {
+		s += v
+	}
+	return s / float64(len(y))
+}

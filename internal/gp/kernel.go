@@ -1,0 +1,129 @@
+// Package gp implements Gaussian-process regression: covariance kernels,
+// exact inference via Cholesky factorization, marginal-likelihood
+// hyperparameter fitting, and leave-one-out posteriors (needed by the
+// meta-learner's target base-learner evaluation, paper Section 6.4.2).
+//
+// Inputs are points of the normalized configuration space [0,1]^m and
+// outputs are standardized metrics, so unit-scale hyperparameter priors work
+// across all tuning tasks.
+package gp
+
+import (
+	"math"
+)
+
+// Kernel is a positive-semidefinite covariance function on R^m.
+type Kernel interface {
+	// Eval returns k(a, b).
+	Eval(a, b []float64) float64
+	// Params returns the kernel hyperparameters in log space.
+	Params() []float64
+	// SetParams installs hyperparameters from log space.
+	SetParams(logp []float64)
+	// Clone returns an independent copy.
+	Clone() Kernel
+}
+
+// sqDist returns the squared Euclidean distance scaled per-dimension by the
+// inverse squared length scales. If len(ls) == 1 the kernel is isotropic.
+func sqDist(a, b, ls []float64) float64 {
+	s := 0.0
+	if len(ls) == 1 {
+		inv := 1 / (ls[0] * ls[0])
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d * inv
+		}
+		return s
+	}
+	for i := range a {
+		d := (a[i] - b[i]) / ls[i]
+		s += d * d
+	}
+	return s
+}
+
+// Matern52 is the Matérn-5/2 kernel, the standard choice for Bayesian
+// optimization surrogates (BoTorch's default, which the paper builds on).
+type Matern52 struct {
+	// Variance is the signal variance σ².
+	Variance float64
+	// LengthScales holds one (isotropic) or m (ARD) length scales.
+	LengthScales []float64
+}
+
+// NewMatern52 returns an isotropic Matérn-5/2 kernel.
+func NewMatern52(variance, lengthScale float64) *Matern52 {
+	return &Matern52{Variance: variance, LengthScales: []float64{lengthScale}}
+}
+
+// Eval implements Kernel.
+func (k *Matern52) Eval(a, b []float64) float64 {
+	r2 := sqDist(a, b, k.LengthScales)
+	r := math.Sqrt(5 * r2)
+	return k.Variance * (1 + r + 5*r2/3) * math.Exp(-r)
+}
+
+// Params implements Kernel.
+func (k *Matern52) Params() []float64 {
+	p := make([]float64, 1+len(k.LengthScales))
+	p[0] = math.Log(k.Variance)
+	for i, l := range k.LengthScales {
+		p[i+1] = math.Log(l)
+	}
+	return p
+}
+
+// SetParams implements Kernel.
+func (k *Matern52) SetParams(logp []float64) {
+	k.Variance = math.Exp(logp[0])
+	for i := range k.LengthScales {
+		k.LengthScales[i] = math.Exp(logp[i+1])
+	}
+}
+
+// Clone implements Kernel.
+func (k *Matern52) Clone() Kernel {
+	return &Matern52{Variance: k.Variance, LengthScales: append([]float64(nil), k.LengthScales...)}
+}
+
+// RBF is the squared-exponential kernel.
+type RBF struct {
+	// Variance is the signal variance σ².
+	Variance float64
+	// LengthScales holds one (isotropic) or m (ARD) length scales.
+	LengthScales []float64
+}
+
+// NewRBF returns an isotropic RBF kernel.
+func NewRBF(variance, lengthScale float64) *RBF {
+	return &RBF{Variance: variance, LengthScales: []float64{lengthScale}}
+}
+
+// Eval implements Kernel.
+func (k *RBF) Eval(a, b []float64) float64 {
+	return k.Variance * math.Exp(-0.5*sqDist(a, b, k.LengthScales))
+}
+
+// Params implements Kernel.
+func (k *RBF) Params() []float64 {
+	p := make([]float64, 1+len(k.LengthScales))
+	p[0] = math.Log(k.Variance)
+	for i, l := range k.LengthScales {
+		p[i+1] = math.Log(l)
+	}
+	return p
+}
+
+// SetParams implements Kernel.
+func (k *RBF) SetParams(logp []float64) {
+	k.Variance = math.Exp(logp[0])
+	for i := range k.LengthScales {
+		k.LengthScales[i] = math.Exp(logp[i+1])
+	}
+}
+
+// Clone implements Kernel.
+func (k *RBF) Clone() Kernel {
+	return &RBF{Variance: k.Variance, LengthScales: append([]float64(nil), k.LengthScales...)}
+}

@@ -1,0 +1,236 @@
+// Package knobs models DBMS configuration knobs and the continuous
+// configuration space Θ = [0,1]^m the optimizer searches (paper Section 3).
+//
+// Each knob has a native range and type; the space normalizes native values
+// into [0,1] (log-scaled for wide-range knobs) and denormalizes optimizer
+// points back, rounding discrete knobs to the nearest bin exactly as the
+// paper prescribes ("for knobs taking discrete values, we first partition
+// [0,1] into bins and then round each value to the nearest bin").
+package knobs
+
+import (
+	"fmt"
+	"math"
+)
+
+// Type is the value type of a knob.
+type Type int
+
+const (
+	// Int knobs take integer values in [Min, Max].
+	Int Type = iota
+	// Float knobs take real values in [Min, Max].
+	Float
+	// Enum knobs take one of a small set of levels, encoded 0..len-1.
+	Enum
+)
+
+// Category classifies which resource a knob chiefly influences. A knob may
+// belong to several categories (e.g. innodb_lru_scan_depth affects both CPU
+// and IO), so Category is a bit set.
+type Category uint8
+
+const (
+	// CPU marks knobs tuned in the CPU experiments (14 knobs in the paper).
+	CPU Category = 1 << iota
+	// Memory marks knobs tuned in the memory experiments (6 knobs).
+	Memory
+	// IO marks knobs tuned in the IO experiments (20 knobs).
+	IO
+)
+
+// Has reports whether c contains cat.
+func (c Category) Has(cat Category) bool { return c&cat != 0 }
+
+// Knob describes one tunable configuration parameter.
+type Knob struct {
+	// Name is the MySQL-style knob name, e.g. "innodb_thread_concurrency".
+	Name string
+	// Type is the knob's value type.
+	Type Type
+	// Min and Max bound the native value range (inclusive). For Enum knobs
+	// Min is 0 and Max is len(Levels)-1.
+	Min, Max float64
+	// Default is the DBA default value in native units.
+	Default float64
+	// Levels names the enum levels (Enum knobs only).
+	Levels []string
+	// Unit is a human-readable unit for display ("bytes", "pages", ...).
+	Unit string
+	// Categories is the set of resource categories this knob belongs to.
+	Categories Category
+	// LogScale selects logarithmic normalization, appropriate for knobs
+	// whose range spans orders of magnitude (e.g. buffer sizes).
+	LogScale bool
+}
+
+// validate panics if the knob definition is internally inconsistent.
+func (k Knob) validate() {
+	if k.Max < k.Min {
+		panic(fmt.Sprintf("knobs: %s has Max < Min", k.Name))
+	}
+	if k.Default < k.Min || k.Default > k.Max {
+		panic(fmt.Sprintf("knobs: %s default %v outside [%v,%v]", k.Name, k.Default, k.Min, k.Max))
+	}
+	if k.LogScale && k.Min <= 0 {
+		panic(fmt.Sprintf("knobs: %s is log-scale with non-positive Min", k.Name))
+	}
+	if k.Type == Enum && len(k.Levels) != int(k.Max-k.Min)+1 {
+		panic(fmt.Sprintf("knobs: %s enum levels mismatch", k.Name))
+	}
+}
+
+// Space is an ordered set of knobs defining the search space.
+type Space struct {
+	knobs []Knob
+	index map[string]int
+}
+
+// NewSpace builds a space over the given knobs. Knob order is significant:
+// configuration vectors are aligned with it.
+func NewSpace(ks []Knob) *Space {
+	s := &Space{knobs: append([]Knob(nil), ks...), index: make(map[string]int, len(ks))}
+	for i, k := range s.knobs {
+		k.validate()
+		if _, dup := s.index[k.Name]; dup {
+			panic(fmt.Sprintf("knobs: duplicate knob %s", k.Name))
+		}
+		s.index[k.Name] = i
+	}
+	return s
+}
+
+// Dim returns the number of knobs.
+func (s *Space) Dim() int { return len(s.knobs) }
+
+// Knobs returns the knob definitions in order.
+func (s *Space) Knobs() []Knob { return s.knobs }
+
+// Knob returns the definition of the named knob.
+func (s *Space) Knob(name string) (Knob, bool) {
+	i, ok := s.index[name]
+	if !ok {
+		return Knob{}, false
+	}
+	return s.knobs[i], true
+}
+
+// Index returns the position of the named knob, or -1.
+func (s *Space) Index(name string) int {
+	i, ok := s.index[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Defaults returns the default configuration in native units.
+func (s *Space) Defaults() []float64 {
+	v := make([]float64, len(s.knobs))
+	for i, k := range s.knobs {
+		v[i] = k.Default
+	}
+	return v
+}
+
+// normalizeOne maps a native value into [0,1].
+func (k Knob) normalizeOne(v float64) float64 {
+	v = math.Min(math.Max(v, k.Min), k.Max)
+	if k.Max == k.Min {
+		return 0
+	}
+	if k.LogScale {
+		return (math.Log(v) - math.Log(k.Min)) / (math.Log(k.Max) - math.Log(k.Min))
+	}
+	return (v - k.Min) / (k.Max - k.Min)
+}
+
+// denormalizeOne maps u in [0,1] back to a native value, rounding discrete
+// knobs to the nearest bin.
+func (k Knob) denormalizeOne(u float64) float64 {
+	u = math.Min(math.Max(u, 0), 1)
+	var v float64
+	if k.LogScale {
+		v = math.Exp(math.Log(k.Min) + u*(math.Log(k.Max)-math.Log(k.Min)))
+	} else {
+		v = k.Min + u*(k.Max-k.Min)
+	}
+	if k.Type == Int || k.Type == Enum {
+		v = math.Round(v)
+	}
+	return math.Min(math.Max(v, k.Min), k.Max)
+}
+
+// Normalize maps a native configuration into Θ = [0,1]^m.
+func (s *Space) Normalize(native []float64) []float64 {
+	if len(native) != len(s.knobs) {
+		panic(fmt.Sprintf("knobs: config length %d != space dim %d", len(native), len(s.knobs)))
+	}
+	u := make([]float64, len(native))
+	for i, k := range s.knobs {
+		u[i] = k.normalizeOne(native[i])
+	}
+	return u
+}
+
+// Denormalize maps a point of Θ back to native units with discrete rounding.
+func (s *Space) Denormalize(u []float64) []float64 {
+	if len(u) != len(s.knobs) {
+		panic(fmt.Sprintf("knobs: point length %d != space dim %d", len(u), len(s.knobs)))
+	}
+	v := make([]float64, len(u))
+	for i, k := range s.knobs {
+		v[i] = k.denormalizeOne(u[i])
+	}
+	return v
+}
+
+// Quantize snaps a normalized point onto the discrete grid the DBMS will
+// actually see (denormalize then renormalize), so the surrogate is trained
+// on the realized configuration rather than the continuous proposal.
+func (s *Space) Quantize(u []float64) []float64 {
+	return s.Normalize(s.Denormalize(u))
+}
+
+// Subset returns a new space with only the named knobs, in the given order.
+func (s *Space) Subset(names ...string) *Space {
+	ks := make([]Knob, 0, len(names))
+	for _, n := range names {
+		k, ok := s.Knob(n)
+		if !ok {
+			panic(fmt.Sprintf("knobs: unknown knob %s", n))
+		}
+		ks = append(ks, k)
+	}
+	return NewSpace(ks)
+}
+
+// ByCategory returns a new space with the knobs belonging to cat,
+// preserving catalogue order.
+func (s *Space) ByCategory(cat Category) *Space {
+	var ks []Knob
+	for _, k := range s.knobs {
+		if k.Categories.Has(cat) {
+			ks = append(ks, k)
+		}
+	}
+	return NewSpace(ks)
+}
+
+// Describe formats a native configuration as name=value pairs.
+func (s *Space) Describe(native []float64) string {
+	out := ""
+	for i, k := range s.knobs {
+		if i > 0 {
+			out += " "
+		}
+		if k.Type == Enum {
+			out += fmt.Sprintf("%s=%s", k.Name, k.Levels[int(native[i])])
+		} else if k.Type == Int {
+			out += fmt.Sprintf("%s=%d", k.Name, int64(native[i]))
+		} else {
+			out += fmt.Sprintf("%s=%g", k.Name, native[i])
+		}
+	}
+	return out
+}

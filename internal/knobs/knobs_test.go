@@ -1,0 +1,189 @@
+package knobs
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogueCategoryCounts(t *testing.T) {
+	// The paper tunes 14 CPU knobs, 6 memory knobs and 20 IO knobs.
+	if got := CPUSpace().Dim(); got != 14 {
+		t.Fatalf("CPU knobs: got %d want 14", got)
+	}
+	if got := MemorySpace().Dim(); got != 6 {
+		t.Fatalf("Memory knobs: got %d want 6", got)
+	}
+	if got := IOSpace().Dim(); got != 20 {
+		t.Fatalf("IO knobs: got %d want 20", got)
+	}
+}
+
+func TestDefaultsInRange(t *testing.T) {
+	s := MySQL57Catalogue()
+	d := s.Defaults()
+	for i, k := range s.Knobs() {
+		if d[i] < k.Min || d[i] > k.Max {
+			t.Fatalf("%s default %v outside [%v,%v]", k.Name, d[i], k.Min, k.Max)
+		}
+	}
+}
+
+func TestNormalizeDefaultsRoundTrip(t *testing.T) {
+	s := MySQL57Catalogue()
+	d := s.Defaults()
+	back := s.Denormalize(s.Normalize(d))
+	for i, k := range s.Knobs() {
+		// Log-scaled integer knobs may round by at most one grid step.
+		rel := math.Abs(back[i]-d[i]) / math.Max(1, math.Abs(d[i]))
+		if rel > 0.01 {
+			t.Fatalf("%s round trip %v -> %v", k.Name, d[i], back[i])
+		}
+	}
+}
+
+func TestDenormalizeBounds(t *testing.T) {
+	s := MySQL57Catalogue()
+	lo := s.Denormalize(make([]float64, s.Dim()))
+	ones := make([]float64, s.Dim())
+	for i := range ones {
+		ones[i] = 1
+	}
+	hi := s.Denormalize(ones)
+	for i, k := range s.Knobs() {
+		if lo[i] != k.Min {
+			t.Errorf("%s lo: got %v want %v", k.Name, lo[i], k.Min)
+		}
+		if hi[i] != k.Max {
+			t.Errorf("%s hi: got %v want %v", k.Name, hi[i], k.Max)
+		}
+	}
+}
+
+func TestDiscreteRounding(t *testing.T) {
+	s := NewSpace([]Knob{{Name: "k", Type: Int, Min: 0, Max: 10, Default: 5}})
+	v := s.Denormalize([]float64{0.54})
+	if v[0] != 5 {
+		t.Fatalf("expected rounding to 5, got %v", v[0])
+	}
+	v = s.Denormalize([]float64{0.56})
+	if v[0] != 6 {
+		t.Fatalf("expected rounding to 6, got %v", v[0])
+	}
+}
+
+func TestSubsetAndIndex(t *testing.T) {
+	s := CaseStudySpace()
+	if s.Dim() != 3 {
+		t.Fatalf("case study dim: %d", s.Dim())
+	}
+	if s.Index("innodb_spin_wait_delay") != 1 {
+		t.Fatalf("index: %d", s.Index("innodb_spin_wait_delay"))
+	}
+	if s.Index("nope") != -1 {
+		t.Fatal("expected -1 for unknown knob")
+	}
+	if _, ok := s.Knob("innodb_lru_scan_depth"); !ok {
+		t.Fatal("missing knob in subset")
+	}
+}
+
+func TestQuantizeIdempotent(t *testing.T) {
+	s := MySQL57Catalogue()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		u := make([]float64, s.Dim())
+		for i := range u {
+			u[i] = rng.Float64()
+		}
+		q1 := s.Quantize(u)
+		q2 := s.Quantize(q1)
+		for i := range q1 {
+			if math.Abs(q1[i]-q2[i]) > 1e-12 {
+				t.Fatalf("quantize not idempotent at knob %d: %v vs %v", i, q1[i], q2[i])
+			}
+		}
+	}
+}
+
+// Property: denormalized values always lie in [Min, Max], and integers are
+// integral, for any point of the unit cube (even out-of-range inputs clamp).
+func TestQuickDenormalizeValid(t *testing.T) {
+	s := MySQL57Catalogue()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := make([]float64, s.Dim())
+		for i := range u {
+			u[i] = rng.Float64()*1.4 - 0.2 // include out-of-range
+		}
+		v := s.Denormalize(u)
+		for i, k := range s.Knobs() {
+			if v[i] < k.Min || v[i] > k.Max {
+				return false
+			}
+			if (k.Type == Int || k.Type == Enum) && v[i] != math.Trunc(v[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: normalization is monotone for every knob.
+func TestQuickNormalizeMonotone(t *testing.T) {
+	s := MySQL57Catalogue()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, k := range s.Knobs() {
+			a := k.Min + rng.Float64()*(k.Max-k.Min)
+			b := k.Min + rng.Float64()*(k.Max-k.Min)
+			if a > b {
+				a, b = b, a
+			}
+			if k.normalizeOne(a) > k.normalizeOne(b)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := CaseStudySpace()
+	str := s.Describe(s.Defaults())
+	if !strings.Contains(str, "innodb_thread_concurrency=0") {
+		t.Fatalf("describe: %s", str)
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	assertPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanic("max<min", func() {
+		NewSpace([]Knob{{Name: "a", Min: 2, Max: 1, Default: 1}})
+	})
+	assertPanic("default out of range", func() {
+		NewSpace([]Knob{{Name: "a", Min: 0, Max: 1, Default: 5}})
+	})
+	assertPanic("dup", func() {
+		NewSpace([]Knob{{Name: "a", Max: 1}, {Name: "a", Max: 1}})
+	})
+	assertPanic("log nonpositive", func() {
+		NewSpace([]Knob{{Name: "a", Min: 0, Max: 1, LogScale: true}})
+	})
+	assertPanic("unknown subset", func() { MySQL57Catalogue().Subset("nope") })
+}

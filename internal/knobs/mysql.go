@@ -1,0 +1,114 @@
+package knobs
+
+// MySQL57Catalogue returns the MySQL 5.7 knob catalogue used throughout the
+// reproduction. The paper tunes 14 knobs for CPU, 6 for memory and 20 for
+// IO, all "pre-selected as important"; the categories below reproduce those
+// selections. Sizes are in bytes unless noted.
+func MySQL57Catalogue() *Space {
+	const (
+		kb = 1 << 10
+		mb = 1 << 20
+		gb = 1 << 30
+	)
+	return NewSpace([]Knob{
+		// --- Concurrency / CPU ---
+		{Name: "innodb_thread_concurrency", Type: Int, Min: 0, Max: 144, Default: 0,
+			Unit: "threads", Categories: CPU},
+		{Name: "innodb_spin_wait_delay", Type: Int, Min: 0, Max: 128, Default: 6,
+			Unit: "loops", Categories: CPU},
+		{Name: "innodb_sync_spin_loops", Type: Int, Min: 0, Max: 8620, Default: 30,
+			Unit: "loops", Categories: CPU},
+		{Name: "innodb_lru_scan_depth", Type: Int, Min: 100, Max: 8192, Default: 1024,
+			Unit: "pages", Categories: CPU | IO},
+		{Name: "table_open_cache", Type: Int, Min: 1, Max: 10240, Default: 2000,
+			Unit: "tables", Categories: CPU},
+		{Name: "innodb_adaptive_hash_index", Type: Enum, Min: 0, Max: 1, Default: 1,
+			Levels: []string{"OFF", "ON"}, Categories: CPU},
+		{Name: "innodb_buffer_pool_instances", Type: Int, Min: 1, Max: 16, Default: 8,
+			Unit: "instances", Categories: CPU},
+		{Name: "innodb_page_cleaners", Type: Int, Min: 1, Max: 16, Default: 4,
+			Unit: "threads", Categories: CPU | IO},
+		{Name: "innodb_read_io_threads", Type: Int, Min: 1, Max: 64, Default: 4,
+			Unit: "threads", Categories: CPU | IO},
+		{Name: "innodb_write_io_threads", Type: Int, Min: 1, Max: 64, Default: 4,
+			Unit: "threads", Categories: CPU | IO},
+		{Name: "innodb_purge_threads", Type: Int, Min: 1, Max: 32, Default: 4,
+			Unit: "threads", Categories: CPU | IO},
+		{Name: "thread_cache_size", Type: Int, Min: 0, Max: 1024, Default: 100,
+			Unit: "threads", Categories: CPU},
+		{Name: "innodb_concurrency_tickets", Type: Int, Min: 1, Max: 50000, Default: 5000,
+			Unit: "tickets", Categories: CPU, LogScale: true},
+		{Name: "innodb_adaptive_flushing", Type: Enum, Min: 0, Max: 1, Default: 1,
+			Levels: []string{"OFF", "ON"}, Categories: CPU | IO},
+
+		// --- Memory ---
+		{Name: "innodb_buffer_pool_size", Type: Int, Min: 128 * mb, Max: 192 * gb, Default: 6 * gb,
+			Unit: "bytes", Categories: Memory, LogScale: true},
+		{Name: "sort_buffer_size", Type: Int, Min: 32 * kb, Max: 64 * mb, Default: 256 * kb,
+			Unit: "bytes", Categories: Memory, LogScale: true},
+		{Name: "join_buffer_size", Type: Int, Min: 32 * kb, Max: 64 * mb, Default: 256 * kb,
+			Unit: "bytes", Categories: Memory, LogScale: true},
+		{Name: "tmp_table_size", Type: Int, Min: 1 * mb, Max: 512 * mb, Default: 16 * mb,
+			Unit: "bytes", Categories: Memory, LogScale: true},
+		{Name: "innodb_log_buffer_size", Type: Int, Min: 1 * mb, Max: 256 * mb, Default: 16 * mb,
+			Unit: "bytes", Categories: Memory, LogScale: true},
+		{Name: "read_rnd_buffer_size", Type: Int, Min: 64 * kb, Max: 16 * mb, Default: 256 * kb,
+			Unit: "bytes", Categories: Memory, LogScale: true},
+
+		// --- IO / flushing ---
+		{Name: "innodb_io_capacity", Type: Int, Min: 100, Max: 20000, Default: 2000,
+			Unit: "iops", Categories: IO, LogScale: true},
+		{Name: "innodb_io_capacity_max", Type: Int, Min: 100, Max: 40000, Default: 4000,
+			Unit: "iops", Categories: IO, LogScale: true},
+		{Name: "innodb_flush_log_at_trx_commit", Type: Enum, Min: 0, Max: 2, Default: 1,
+			Levels: []string{"0", "1", "2"}, Categories: IO},
+		{Name: "sync_binlog", Type: Int, Min: 0, Max: 1000, Default: 1,
+			Unit: "txns", Categories: IO},
+		{Name: "innodb_flush_neighbors", Type: Enum, Min: 0, Max: 2, Default: 1,
+			Levels: []string{"0", "1", "2"}, Categories: IO},
+		{Name: "innodb_log_file_size", Type: Int, Min: 48 * mb, Max: 4 * gb, Default: 48 * mb,
+			Unit: "bytes", Categories: IO, LogScale: true},
+		{Name: "innodb_max_dirty_pages_pct", Type: Float, Min: 1, Max: 99, Default: 75,
+			Unit: "%", Categories: IO},
+		{Name: "innodb_doublewrite", Type: Enum, Min: 0, Max: 1, Default: 1,
+			Levels: []string{"OFF", "ON"}, Categories: IO},
+		{Name: "innodb_random_read_ahead", Type: Enum, Min: 0, Max: 1, Default: 0,
+			Levels: []string{"OFF", "ON"}, Categories: IO},
+		{Name: "innodb_read_ahead_threshold", Type: Int, Min: 0, Max: 64, Default: 56,
+			Unit: "pages", Categories: IO},
+		{Name: "innodb_purge_batch_size", Type: Int, Min: 1, Max: 5000, Default: 300,
+			Unit: "pages", Categories: IO, LogScale: true},
+		{Name: "innodb_change_buffer_max_size", Type: Int, Min: 0, Max: 50, Default: 25,
+			Unit: "%", Categories: IO},
+		{Name: "innodb_old_blocks_pct", Type: Int, Min: 5, Max: 95, Default: 37,
+			Unit: "%", Categories: IO},
+		{Name: "innodb_flushing_avg_loops", Type: Int, Min: 1, Max: 1000, Default: 30,
+			Unit: "loops", Categories: IO, LogScale: true},
+	})
+}
+
+// CPUSpace returns the 14-knob space used in the CPU experiments.
+func CPUSpace() *Space { return MySQL57Catalogue().ByCategory(CPU) }
+
+// MemorySpace returns the 6-knob space used in the memory experiments.
+func MemorySpace() *Space { return MySQL57Catalogue().ByCategory(Memory) }
+
+// IOSpace returns the 20-knob space used in the IO experiments.
+func IOSpace() *Space { return MySQL57Catalogue().ByCategory(IO) }
+
+// CaseStudySpace returns the 3-knob space of the Twitter case study
+// (paper Section 7.3): innodb_thread_concurrency, innodb_spin_wait_delay and
+// innodb_lru_scan_depth.
+func CaseStudySpace() *Space {
+	return MySQL57Catalogue().Subset(
+		"innodb_thread_concurrency",
+		"innodb_spin_wait_delay",
+		"innodb_lru_scan_depth",
+	)
+}
+
+// Fig1Space returns the 2-knob space of Figure 1:
+// innodb_sync_spin_loops x table_open_cache.
+func Fig1Space() *Space {
+	return MySQL57Catalogue().Subset("innodb_sync_spin_loops", "table_open_cache")
+}

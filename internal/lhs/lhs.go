@@ -1,0 +1,70 @@
+// Package lhs implements Latin hypercube sampling, the initialization
+// strategy the paper's non-meta baselines use for their first 10 iterations
+// (Section 7, "Setting").
+package lhs
+
+import "math/rand"
+
+// Sample returns n points in [0,1]^dim arranged as a Latin hypercube: along
+// every dimension, the n points occupy the n equal-width strata exactly once,
+// each at a uniform position within its stratum.
+func Sample(n, dim int, rng *rand.Rand) [][]float64 {
+	if n <= 0 || dim <= 0 {
+		return nil
+	}
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, dim)
+	}
+	perm := make([]int, n)
+	for d := 0; d < dim; d++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for i := 0; i < n; i++ {
+			pts[i][d] = (float64(perm[i]) + rng.Float64()) / float64(n)
+		}
+	}
+	return pts
+}
+
+// Maximin returns the best of tries Latin hypercubes under the maximin
+// (maximize the minimum pairwise distance) criterion, a standard
+// space-filling refinement.
+func Maximin(n, dim, tries int, rng *rand.Rand) [][]float64 {
+	if tries < 1 {
+		tries = 1
+	}
+	var best [][]float64
+	bestScore := -1.0
+	for t := 0; t < tries; t++ {
+		cand := Sample(n, dim, rng)
+		score := minPairDist2(cand)
+		if score > bestScore {
+			bestScore = score
+			best = cand
+		}
+	}
+	return best
+}
+
+func minPairDist2(pts [][]float64) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	minD := -1.0
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			d := 0.0
+			for k := range pts[i] {
+				diff := pts[i][k] - pts[j][k]
+				d += diff * diff
+			}
+			if minD < 0 || d < minD {
+				minD = d
+			}
+		}
+	}
+	return minD
+}

@@ -1,0 +1,91 @@
+package lhs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestStratification checks the defining Latin hypercube property: each of
+// the n strata along every dimension contains exactly one point.
+func TestStratification(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ n, dim int }{{1, 1}, {5, 2}, {10, 14}, {50, 3}} {
+		pts := Sample(tc.n, tc.dim, rng)
+		if len(pts) != tc.n {
+			t.Fatalf("n=%d: got %d points", tc.n, len(pts))
+		}
+		for d := 0; d < tc.dim; d++ {
+			seen := make([]bool, tc.n)
+			for _, p := range pts {
+				if p[d] < 0 || p[d] >= 1 {
+					t.Fatalf("point out of [0,1): %v", p[d])
+				}
+				s := int(p[d] * float64(tc.n))
+				if seen[s] {
+					t.Fatalf("n=%d dim=%d: stratum %d occupied twice", tc.n, tc.dim, s)
+				}
+				seen[s] = true
+			}
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if Sample(0, 3, rng) != nil {
+		t.Fatal("expected nil for n=0")
+	}
+	if Sample(3, 0, rng) != nil {
+		t.Fatal("expected nil for dim=0")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Sample(8, 4, rand.New(rand.NewSource(42)))
+	b := Sample(8, 4, rand.New(rand.NewSource(42)))
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("same seed must give same samples")
+			}
+		}
+	}
+}
+
+func TestMaximinNoWorse(t *testing.T) {
+	// With multiple tries, the maximin design's minimum pairwise distance is
+	// at least that of a single-try design drawn from the same stream state.
+	d1 := minPairDist2(Sample(12, 3, rand.New(rand.NewSource(5))))
+	dm := minPairDist2(Maximin(12, 3, 20, rand.New(rand.NewSource(5))))
+	if dm < d1 {
+		t.Fatalf("maximin %v worse than single draw %v", dm, d1)
+	}
+	if got := Maximin(4, 2, 0, rand.New(rand.NewSource(9))); len(got) != 4 {
+		t.Fatalf("tries<1 should still sample: %d", len(got))
+	}
+}
+
+// Property: stratification holds for arbitrary small n/dim and seeds.
+func TestQuickStratification(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		dim := 1 + rng.Intn(10)
+		pts := Sample(n, dim, rng)
+		for d := 0; d < dim; d++ {
+			seen := make([]bool, n)
+			for _, p := range pts {
+				s := int(p[d] * float64(n))
+				if s < 0 || s >= n || seen[s] {
+					return false
+				}
+				seen[s] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

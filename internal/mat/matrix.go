@@ -1,0 +1,218 @@
+// Package mat implements the small dense linear-algebra kernel that the
+// Gaussian-process layer is built on: column-major-free dense matrices,
+// Cholesky factorization of symmetric positive-definite matrices, and
+// triangular solves. It is deliberately minimal — exactly what GP regression
+// at n <= a few hundred needs — and uses only the standard library.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns an r x c zero matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewDenseData wraps data (row-major, length r*c) without copying.
+func NewDenseData(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: data length %d != %d*%d", len(data), r, c))
+	}
+	return &Dense{rows: r, cols: c, data: data}
+}
+
+// Dims returns the row and column counts.
+func (m *Dense) Dims() (r, c int) { return m.rows, m.cols }
+
+// At returns the element at (i, j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns a view of row i (shared backing array).
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	d := make([]float64, len(m.data))
+	copy(d, m.data)
+	return &Dense{rows: m.rows, cols: m.cols, data: d}
+}
+
+// Mul returns a*b.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: mul dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := NewDense(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := 0; j < b.cols; j++ {
+				orow[j] += aik * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns a*x for a vector x.
+func MulVec(a *Dense, x []float64) []float64 {
+	if a.cols != len(x) {
+		panic(fmt.Sprintf("mat: mulvec dimension mismatch %dx%d * %d", a.rows, a.cols, len(x)))
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		row := a.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Transpose returns the transpose of m.
+func (m *Dense) Transpose() *Dense {
+	t := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Cholesky holds the lower-triangular factor L of an SPD matrix A = L Lᵀ.
+type Cholesky struct {
+	n int
+	l *Dense
+}
+
+// NewCholesky factors the symmetric positive-definite matrix a.
+// It returns an error if a is not (numerically) positive definite.
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("mat: cholesky of non-square %dx%d matrix", a.rows, a.cols)
+	}
+	n := a.rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		lrowj := l.Row(j)
+		for k := 0; k < j; k++ {
+			d -= lrowj[k] * lrowj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("mat: matrix not positive definite at pivot %d (d=%g)", j, d)
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			lrowi := l.Row(i)
+			for k := 0; k < j; k++ {
+				s -= lrowi[k] * lrowj[k]
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// L returns the lower-triangular factor (shared storage; do not modify).
+func (c *Cholesky) L() *Dense { return c.l }
+
+// SolveVec solves A x = b using the factorization.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	y := c.SolveLowerVec(b)
+	return c.SolveUpperVec(y)
+}
+
+// SolveLowerVec solves L y = b by forward substitution.
+func (c *Cholesky) SolveLowerVec(b []float64) []float64 {
+	if len(b) != c.n {
+		panic("mat: solve dimension mismatch")
+	}
+	y := make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		s := b[i]
+		row := c.l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	return y
+}
+
+// SolveUpperVec solves Lᵀ x = y by back substitution.
+func (c *Cholesky) SolveUpperVec(y []float64) []float64 {
+	x := make([]float64, c.n)
+	for i := c.n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < c.n; k++ {
+			s -= c.l.At(k, i) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x
+}
+
+// LogDet returns log|A| = 2 * sum(log L_ii).
+func (c *Cholesky) LogDet() float64 {
+	s := 0.0
+	for i := 0; i < c.n; i++ {
+		s += math.Log(c.l.At(i, i))
+	}
+	return 2 * s
+}
+
+// Inverse returns A⁻¹ (used for leave-one-out GP formulas, where the full
+// inverse diagonal and rows are needed).
+func (c *Cholesky) Inverse() *Dense {
+	inv := NewDense(c.n, c.n)
+	e := make([]float64, c.n)
+	for j := 0; j < c.n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col := c.SolveVec(e)
+		for i := 0; i < c.n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv
+}

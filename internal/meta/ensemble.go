@@ -1,0 +1,127 @@
+package meta
+
+import (
+	"repro/internal/bo"
+)
+
+// Ensemble is the meta-learner L_M (Section 6.3): a weighted combination of
+// base-learners whose mean prediction is
+//
+//	μ_M(θ) = Σ g_i μ_i(θ) / Σ g_i                       (Eq. 6)
+//
+// and whose variance trusts the target base-learner only:
+//
+//	σ²_M(θ) = σ²_{T+1}(θ)                               (Eq. 7)
+//
+// so that combining meta-data does not add the O(t³n³) cost of pooling all
+// histories in one GP — complexity stays O(n³) in the target history.
+//
+// Ensemble implements bo.Surrogate, so the CEI acquisition of Section 5
+// drives it unchanged.
+type Ensemble struct {
+	base    []*BaseLearner
+	target  *BaseLearner // nil before any target observations
+	weights []float64    // len(base)+1, target last
+	// weightedVariance replaces Eq. 7's target-only variance with the
+	// weighted average of all learners' variances — an ablation of the
+	// paper's design choice (see experiments "ablation-variance").
+	weightedVariance bool
+}
+
+// WithWeightedVariance returns a copy of e using weighted-average variance
+// instead of the paper's target-only variance (Eq. 7).
+func (e *Ensemble) WithWeightedVariance() *Ensemble {
+	c := *e
+	c.weightedVariance = true
+	return &c
+}
+
+// NewEnsemble builds a meta-learner from historical base-learners, the
+// (possibly nil) target base-learner, and weights (len(base)+1, target
+// last). Zero total weight falls back to trusting the target, or a uniform
+// combination when no target model exists yet.
+func NewEnsemble(base []*BaseLearner, target *BaseLearner, weights []float64) *Ensemble {
+	if len(weights) != len(base)+1 {
+		panic("meta: weights length must be len(base)+1")
+	}
+	w := append([]float64(nil), weights...)
+	if target == nil {
+		w[len(base)] = 0
+	}
+	total := 0.0
+	for _, wi := range w {
+		total += wi
+	}
+	if total == 0 {
+		if target != nil {
+			w[len(base)] = 1
+		} else {
+			for i := range base {
+				w[i] = 1
+			}
+		}
+	}
+	return &Ensemble{base: base, target: target, weights: w}
+}
+
+// Weights returns the normalized weights (summing to 1), target last.
+func (e *Ensemble) Weights() []float64 {
+	out := append([]float64(nil), e.weights...)
+	total := 0.0
+	for _, w := range out {
+		total += w
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
+}
+
+// Predict implements bo.Surrogate in the unified (standardized) scale.
+func (e *Ensemble) Predict(m bo.Metric, x []float64) (mu, variance float64) {
+	var sumW, sumWMu, sumWVar float64
+	for i, b := range e.base {
+		if e.weights[i] == 0 {
+			continue
+		}
+		bm, bv := b.Predict(m, x)
+		sumW += e.weights[i]
+		sumWMu += e.weights[i] * bm
+		sumWVar += e.weights[i] * bv
+	}
+	var targetVar float64
+	hasTargetVar := false
+	if e.target != nil {
+		tm, tv := e.target.Predict(m, x)
+		if w := e.weights[len(e.base)]; w > 0 {
+			sumW += w
+			sumWMu += w * tm
+			sumWVar += w * tv
+		}
+		targetVar = tv
+		hasTargetVar = true
+	}
+	if sumW == 0 {
+		return 0, 1
+	}
+	mu = sumWMu / sumW
+	if hasTargetVar && !e.weightedVariance {
+		return mu, targetVar
+	}
+	// Weighted variance: either the explicit ablation mode, or the static
+	// phase before any target model exists (so the acquisition still
+	// explores).
+	return mu, sumWVar / sumW
+}
+
+// RescaledConstraints computes the re-scaled SLA thresholds of Section 6.1:
+// λ'_u = L^u_M(θ_d), the meta-learner's own prediction at the default
+// configuration. A candidate predicted better than the default on the
+// unified scale is predicted feasible in raw scale.
+func (e *Ensemble) RescaledConstraints(defaultTheta []float64) bo.Constraints {
+	muT, _ := e.Predict(bo.Tps, defaultTheta)
+	muL, _ := e.Predict(bo.Lat, defaultTheta)
+	return bo.Constraints{LambdaTps: muT, LambdaLat: muL}
+}

@@ -1,0 +1,239 @@
+package meta
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/bo"
+)
+
+// EpanechnikovBandwidth is the default bandwidth ρ of the static-weight
+// kernel (Eq. 8). Meta-features are probability distributions over a small
+// number of cost levels, so distances live well inside [0, √2]; the
+// bandwidth is set so same-family workload variations (distances ~0.01-0.1)
+// differentiate the way paper Table 5 reports while clearly dissimilar
+// workloads (distances >= 0.2) receive zero static weight.
+const EpanechnikovBandwidth = 0.1
+
+// Epanechnikov is the quadratic kernel γ(t) = 3/4·(1−t²) for t ≤ 1, else 0.
+func Epanechnikov(t float64) float64 {
+	if t > 1 || t < -1 {
+		return 0
+	}
+	return 0.75 * (1 - t*t)
+}
+
+// StaticWeights assigns each historical base-learner a weight from the
+// similarity between its workload meta-feature and the target's (Eq. 8):
+// g_i = γ(‖m_i − m_{T+1}‖₂ / ρ). The returned slice has len(base)+1
+// entries; the last is the target base-learner's weight, which is γ(0)
+// (maximal self-similarity) when the target has a fitted model and zero
+// before any target observations exist.
+func StaticWeights(base []*BaseLearner, targetMeta []float64, targetFitted bool, bandwidth float64) []float64 {
+	if bandwidth <= 0 {
+		bandwidth = EpanechnikovBandwidth
+	}
+	w := make([]float64, len(base)+1)
+	for i, b := range base {
+		w[i] = Epanechnikov(distance(b.MetaFeature, targetMeta) / bandwidth)
+	}
+	if targetFitted {
+		w[len(base)] = Epanechnikov(0)
+	}
+	return w
+}
+
+func distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		// Meta-features from different characterizer versions are
+		// incomparable; treat as maximally distant.
+		return math.Inf(1)
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// RankingLoss counts misranked pairs (Eq. 9) between predictions and ground
+// truths: Σ_j Σ_k 1(pred_j ≤ pred_k) XOR 1(true_j ≤ true_k).
+func RankingLoss(pred, truth []float64) int {
+	n := len(pred)
+	loss := 0
+	for j := 0; j < n; j++ {
+		for k := 0; k < n; k++ {
+			if (pred[j] <= pred[k]) != (truth[j] <= truth[k]) {
+				loss++
+			}
+		}
+	}
+	return loss
+}
+
+// DynamicOptions tunes the dynamic weight assignment.
+type DynamicOptions struct {
+	// Samples is the posterior sample count (100 by default).
+	Samples int
+	// DilutionGuard, when set, applies the RGPE weight-dilution guard
+	// (Feurer et al., the paper's reference [13]): a historical learner
+	// whose median sampled loss exceeds the 95th percentile of the target
+	// learner's own loss samples is discarded outright, preventing many
+	// weakly-wrong learners from collectively diluting the target.
+	DilutionGuard bool
+}
+
+// DynamicWeights implements the RGPE-style weight assignment of Section
+// 6.4.2 with default options; see DynamicWeightsOpts.
+func DynamicWeights(base []*BaseLearner, target *BaseLearner, samples int, r *rand.Rand) []float64 {
+	return DynamicWeightsOpts(base, target, DynamicOptions{Samples: samples}, r)
+}
+
+// DynamicWeightsOpts implements the RGPE-style weight assignment of Section
+// 6.4.2: each learner's ranking loss against the target observations is a
+// random variable (predictions are sampled from the learner's posterior);
+// the weight of learner i is the probability that it attains the minimum
+// loss. Historical learners are scored on their posterior at the target's
+// observed points; the target learner is scored out-of-sample via its
+// leave-one-out posterior. The loss sums over all three metrics
+// (res, tps, lat), evaluating both the objective and constraint surfaces.
+//
+// The returned slice has len(base)+1 entries, target last, summing to 1.
+func DynamicWeightsOpts(base []*BaseLearner, target *BaseLearner, opts DynamicOptions, r *rand.Rand) []float64 {
+	nL := len(base) + 1
+	w := make([]float64, nL)
+	h := target.History
+	nt := len(h)
+	if nt < 2 {
+		// Not enough target observations to rank pairs; trust the target.
+		w[nL-1] = 1
+		return w
+	}
+	samples := opts.Samples
+	if samples <= 0 {
+		samples = 100
+	}
+
+	// Pre-compute posterior means/stds of every learner at the target's
+	// observed points, per metric. For the target learner use LOO.
+	type post struct{ mu, sd []float64 }
+	posts := make([][]post, nL) // [learner][metric]
+	for i, b := range base {
+		posts[i] = make([]post, len(bo.Metrics))
+		for mi, m := range bo.Metrics {
+			mu := make([]float64, nt)
+			sd := make([]float64, nt)
+			for j, o := range h {
+				pm, pv := b.Predict(m, o.Theta)
+				mu[j], sd[j] = pm, math.Sqrt(pv)
+			}
+			posts[i][mi] = post{mu, sd}
+		}
+	}
+	posts[nL-1] = make([]post, len(bo.Metrics))
+	for mi, m := range bo.Metrics {
+		looMu, looVar := target.Surrogate.GP(m).LOO()
+		sd := make([]float64, nt)
+		for j := range sd {
+			sd[j] = math.Sqrt(looVar[j])
+		}
+		posts[nL-1][mi] = post{looMu, sd}
+	}
+
+	// Ground-truth orderings use the raw target observations (ranking is
+	// scale-invariant, the key to hardware transfer).
+	truth := make([][]float64, len(bo.Metrics))
+	for mi, m := range bo.Metrics {
+		truth[mi] = h.Values(m)
+	}
+
+	// Sample every learner's loss distribution.
+	lossMatrix := make([][]int, nL)
+	pred := make([]float64, nt)
+	for i := 0; i < nL; i++ {
+		lossMatrix[i] = make([]int, samples)
+		for s := 0; s < samples; s++ {
+			loss := 0
+			for mi := range bo.Metrics {
+				p := posts[i][mi]
+				for j := 0; j < nt; j++ {
+					pred[j] = p.mu[j] + p.sd[j]*r.NormFloat64()
+				}
+				loss += RankingLoss(pred, truth[mi])
+			}
+			lossMatrix[i][s] = loss
+		}
+	}
+
+	// Weight-dilution guard: drop historical learners whose median loss is
+	// worse than the target's 95th percentile loss.
+	excluded := make([]bool, nL)
+	if opts.DilutionGuard {
+		targetP95 := percentileInt(lossMatrix[nL-1], 0.95)
+		for i := 0; i < nL-1; i++ {
+			if percentileInt(lossMatrix[i], 0.5) > targetP95 {
+				excluded[i] = true
+			}
+		}
+	}
+
+	// Weight each learner by the probability it attains the minimum loss,
+	// splitting ties uniformly.
+	wins := make([]float64, nL)
+	for s := 0; s < samples; s++ {
+		minLoss := -1
+		for i := 0; i < nL; i++ {
+			if excluded[i] {
+				continue
+			}
+			if minLoss < 0 || lossMatrix[i][s] < minLoss {
+				minLoss = lossMatrix[i][s]
+			}
+		}
+		var ties []int
+		for i := 0; i < nL; i++ {
+			if !excluded[i] && lossMatrix[i][s] == minLoss {
+				ties = append(ties, i)
+			}
+		}
+		wins[ties[r.Intn(len(ties))]]++
+	}
+	for i := range w {
+		w[i] = wins[i] / float64(samples)
+	}
+	return w
+}
+
+// percentileInt returns the q-quantile of values (copied, not mutated).
+func percentileInt(values []int, q float64) int {
+	s := append([]int(nil), values...)
+	sort.Ints(s)
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}
+
+// MeanRankingLossPct returns each base-learner's posterior-mean ranking
+// loss against the target history as a percentage of total ordered pairs —
+// the quantity Table 5 reports per variant.
+func MeanRankingLossPct(base []*BaseLearner, h bo.History) []float64 {
+	nt := len(h)
+	out := make([]float64, len(base))
+	if nt < 2 {
+		return out
+	}
+	totalPairs := float64(3 * nt * nt) // three metrics, n² ordered pairs each
+	for i, b := range base {
+		loss := 0
+		for _, m := range bo.Metrics {
+			pred := make([]float64, nt)
+			for j, o := range h {
+				pred[j], _ = b.Predict(m, o.Theta)
+			}
+			loss += RankingLoss(pred, h.Values(m))
+		}
+		out[i] = float64(loss) / totalPairs * 100
+	}
+	return out
+}

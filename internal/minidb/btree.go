@@ -1,0 +1,362 @@
+package minidb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// BTree is a B+tree over buffer-pool pages: int64 keys, bounded []byte
+// values, leaf-level links for range scans. Structure modifications take a
+// coarse tree latch (row-level concurrency is the lock manager's job);
+// deletes remove leaf entries without rebalancing, which is sufficient for
+// the OLTP mixes replayed against it.
+type BTree struct {
+	mu   sync.RWMutex
+	pool *BufferPool
+	root PageID
+}
+
+const (
+	nodeLeaf     = 0
+	nodeInternal = 1
+	// MaxValueLen bounds stored values.
+	MaxValueLen = 256
+	headerSize  = 3 // type byte + uint16 count
+)
+
+// newBTree creates an empty tree with a fresh leaf root.
+func newBTree(pool *BufferPool, pager *pager) (*BTree, error) {
+	root := pager.allocate()
+	t := &BTree{pool: pool, root: root}
+	p, err := pool.Fetch(root)
+	if err != nil {
+		return nil, err
+	}
+	writeLeaf(&p.data, nil)
+	pool.Unpin(p, true)
+	return t, nil
+}
+
+// openBTree attaches to an existing tree.
+func openBTree(pool *BufferPool, root PageID) *BTree {
+	return &BTree{pool: pool, root: root}
+}
+
+// Root returns the root page id (persisted by the catalog).
+func (t *BTree) Root() PageID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.root
+}
+
+// --- node encodings --------------------------------------------------------
+
+type leafEntry struct {
+	key int64
+	val []byte
+}
+
+func readLeaf(data *[PageSize]byte) []leafEntry {
+	n := int(binary.LittleEndian.Uint16(data[1:3]))
+	entries := make([]leafEntry, 0, n)
+	off := headerSize
+	for i := 0; i < n; i++ {
+		key := int64(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+		vlen := int(binary.LittleEndian.Uint16(data[off:]))
+		off += 2
+		val := make([]byte, vlen)
+		copy(val, data[off:off+vlen])
+		off += vlen
+		entries = append(entries, leafEntry{key, val})
+	}
+	return entries
+}
+
+func leafSize(entries []leafEntry) int {
+	s := headerSize
+	for _, e := range entries {
+		s += 10 + len(e.val)
+	}
+	return s
+}
+
+func writeLeaf(data *[PageSize]byte, entries []leafEntry) {
+	data[0] = nodeLeaf
+	binary.LittleEndian.PutUint16(data[1:3], uint16(len(entries)))
+	off := headerSize
+	for _, e := range entries {
+		binary.LittleEndian.PutUint64(data[off:], uint64(e.key))
+		off += 8
+		binary.LittleEndian.PutUint16(data[off:], uint16(len(e.val)))
+		off += 2
+		copy(data[off:], e.val)
+		off += len(e.val)
+	}
+}
+
+type internalNode struct {
+	keys     []int64  // n separators
+	children []PageID // n+1 children; child[i] holds keys < keys[i]
+}
+
+func readInternal(data *[PageSize]byte) internalNode {
+	n := int(binary.LittleEndian.Uint16(data[1:3]))
+	node := internalNode{keys: make([]int64, n), children: make([]PageID, n+1)}
+	off := headerSize
+	node.children[0] = PageID(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	for i := 0; i < n; i++ {
+		node.keys[i] = int64(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+		node.children[i+1] = PageID(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+	}
+	return node
+}
+
+func internalSize(n internalNode) int { return headerSize + 4 + 12*len(n.keys) }
+
+func writeInternal(data *[PageSize]byte, node internalNode) {
+	data[0] = nodeInternal
+	binary.LittleEndian.PutUint16(data[1:3], uint16(len(node.keys)))
+	off := headerSize
+	binary.LittleEndian.PutUint32(data[off:], uint32(node.children[0]))
+	off += 4
+	for i, k := range node.keys {
+		binary.LittleEndian.PutUint64(data[off:], uint64(k))
+		off += 8
+		binary.LittleEndian.PutUint32(data[off:], uint32(node.children[i+1]))
+		off += 4
+	}
+}
+
+// --- operations -------------------------------------------------------------
+
+// Get returns the value stored under key.
+func (t *BTree) Get(key int64) ([]byte, bool, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id := t.root
+	for {
+		p, err := t.pool.Fetch(id)
+		if err != nil {
+			return nil, false, err
+		}
+		if p.data[0] == nodeLeaf {
+			entries := readLeaf(&p.data)
+			t.pool.Unpin(p, false)
+			for _, e := range entries {
+				if e.key == key {
+					return e.val, true, nil
+				}
+				if e.key > key {
+					break
+				}
+			}
+			return nil, false, nil
+		}
+		node := readInternal(&p.data)
+		t.pool.Unpin(p, false)
+		id = node.children[childIndex(node.keys, key)]
+	}
+}
+
+// childIndex returns the child slot for key.
+func childIndex(keys []int64, key int64) int {
+	i := 0
+	for i < len(keys) && key >= keys[i] {
+		i++
+	}
+	return i
+}
+
+// splitResult propagates a child split upward.
+type splitResult struct {
+	sepKey   int64
+	newChild PageID
+}
+
+// Put inserts or updates a key.
+func (t *BTree) Put(key int64, val []byte) error {
+	if len(val) > MaxValueLen {
+		return fmt.Errorf("minidb: value length %d exceeds %d", len(val), MaxValueLen)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	split, err := t.insert(t.root, key, val)
+	if err != nil {
+		return err
+	}
+	if split == nil {
+		return nil
+	}
+	// Root split: grow the tree.
+	newRoot := t.pool.pager.allocate()
+	p, err := t.pool.Fetch(newRoot)
+	if err != nil {
+		return err
+	}
+	writeInternal(&p.data, internalNode{
+		keys:     []int64{split.sepKey},
+		children: []PageID{t.root, split.newChild},
+	})
+	t.pool.Unpin(p, true)
+	t.root = newRoot
+	return nil
+}
+
+func (t *BTree) insert(id PageID, key int64, val []byte) (*splitResult, error) {
+	p, err := t.pool.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	if p.data[0] == nodeLeaf {
+		entries := readLeaf(&p.data)
+		idx := 0
+		for idx < len(entries) && entries[idx].key < key {
+			idx++
+		}
+		if idx < len(entries) && entries[idx].key == key {
+			entries[idx].val = append([]byte(nil), val...)
+		} else {
+			entries = append(entries, leafEntry{})
+			copy(entries[idx+1:], entries[idx:])
+			entries[idx] = leafEntry{key, append([]byte(nil), val...)}
+		}
+		if leafSize(entries) <= PageSize {
+			writeLeaf(&p.data, entries)
+			t.pool.Unpin(p, true)
+			return nil, nil
+		}
+		// Split the leaf.
+		mid := len(entries) / 2
+		left, right := entries[:mid], entries[mid:]
+		writeLeaf(&p.data, left)
+		t.pool.Unpin(p, true)
+		rightID := t.pool.pager.allocate()
+		rp, err := t.pool.Fetch(rightID)
+		if err != nil {
+			return nil, err
+		}
+		writeLeaf(&rp.data, right)
+		t.pool.Unpin(rp, true)
+		return &splitResult{sepKey: right[0].key, newChild: rightID}, nil
+	}
+
+	node := readInternal(&p.data)
+	ci := childIndex(node.keys, key)
+	child := node.children[ci]
+	t.pool.Unpin(p, false)
+	split, err := t.insert(child, key, val)
+	if err != nil || split == nil {
+		return nil, err
+	}
+	// Re-fetch and install the separator.
+	p, err = t.pool.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	node = readInternal(&p.data)
+	ci = childIndex(node.keys, split.sepKey)
+	node.keys = append(node.keys, 0)
+	copy(node.keys[ci+1:], node.keys[ci:])
+	node.keys[ci] = split.sepKey
+	node.children = append(node.children, 0)
+	copy(node.children[ci+2:], node.children[ci+1:])
+	node.children[ci+1] = split.newChild
+
+	if internalSize(node) <= PageSize {
+		writeInternal(&p.data, node)
+		t.pool.Unpin(p, true)
+		return nil, nil
+	}
+	// Split the internal node.
+	mid := len(node.keys) / 2
+	sep := node.keys[mid]
+	leftNode := internalNode{keys: node.keys[:mid], children: node.children[:mid+1]}
+	rightNode := internalNode{
+		keys:     append([]int64(nil), node.keys[mid+1:]...),
+		children: append([]PageID(nil), node.children[mid+1:]...),
+	}
+	writeInternal(&p.data, leftNode)
+	t.pool.Unpin(p, true)
+	rightID := t.pool.pager.allocate()
+	rp, err := t.pool.Fetch(rightID)
+	if err != nil {
+		return nil, err
+	}
+	writeInternal(&rp.data, rightNode)
+	t.pool.Unpin(rp, true)
+	return &splitResult{sepKey: sep, newChild: rightID}, nil
+}
+
+// Delete removes a key, reporting whether it existed.
+func (t *BTree) Delete(key int64) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.root
+	for {
+		p, err := t.pool.Fetch(id)
+		if err != nil {
+			return false, err
+		}
+		if p.data[0] == nodeLeaf {
+			entries := readLeaf(&p.data)
+			for i, e := range entries {
+				if e.key == key {
+					entries = append(entries[:i], entries[i+1:]...)
+					writeLeaf(&p.data, entries)
+					t.pool.Unpin(p, true)
+					return true, nil
+				}
+			}
+			t.pool.Unpin(p, false)
+			return false, nil
+		}
+		node := readInternal(&p.data)
+		t.pool.Unpin(p, false)
+		id = node.children[childIndex(node.keys, key)]
+	}
+}
+
+// Scan visits keys in [lo, hi] in order until fn returns false.
+func (t *BTree) Scan(lo, hi int64, fn func(key int64, val []byte) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, err := t.scan(t.root, lo, hi, fn)
+	return err
+}
+
+func (t *BTree) scan(id PageID, lo, hi int64, fn func(int64, []byte) bool) (bool, error) {
+	p, err := t.pool.Fetch(id)
+	if err != nil {
+		return false, err
+	}
+	if p.data[0] == nodeLeaf {
+		entries := readLeaf(&p.data)
+		t.pool.Unpin(p, false)
+		for _, e := range entries {
+			if e.key < lo {
+				continue
+			}
+			if e.key > hi {
+				return false, nil
+			}
+			if !fn(e.key, e.val) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	node := readInternal(&p.data)
+	t.pool.Unpin(p, false)
+	for ci := childIndex(node.keys, lo); ci < len(node.children); ci++ {
+		more, err := t.scan(node.children[ci], lo, hi, fn)
+		if err != nil || !more {
+			return false, err
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,332 @@
+package minidb
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BufferPool caches pages in memory with an InnoDB-style LRU split into a
+// young (hot) and old (probation) sublist: newly read pages enter at the
+// old-sublist head and are promoted to young on re-access, so one-off scans
+// cannot evict the hot set. A background page cleaner flushes dirty pages
+// from the LRU tail, scanning up to lruScanDepth pages per pass and issuing
+// at most ioCapacity writes per second.
+type BufferPool struct {
+	mu       sync.Mutex
+	pager    *pager
+	frames   map[PageID]*page
+	capacity int
+	// LRU list: head = most recently used young page; oldHead marks the
+	// boundary where the old sublist begins.
+	head, tail *page
+	oldHead    *page
+	oldPct     int // innodb_old_blocks_pct
+
+	lruScanDepth int
+	ioCapacity   int
+
+	hits, misses, flushes, evictions atomic.Uint64
+
+	cleanerStop chan struct{}
+	cleanerDone chan struct{}
+}
+
+// BufferPoolConfig sizes and tunes the pool.
+type BufferPoolConfig struct {
+	// Frames is the pool capacity in pages (innodb_buffer_pool_size /
+	// PageSize).
+	Frames int
+	// OldBlocksPct is the old-sublist share (innodb_old_blocks_pct).
+	OldBlocksPct int
+	// LRUScanDepth is the cleaner's per-pass scan depth
+	// (innodb_lru_scan_depth).
+	LRUScanDepth int
+	// IOCapacity caps cleaner writes per second (innodb_io_capacity).
+	IOCapacity int
+	// CleanerInterval is the cleaner wake-up period (zero disables the
+	// background cleaner; flushing then happens only at eviction and
+	// checkpoint).
+	CleanerInterval time.Duration
+}
+
+func newBufferPool(pg *pager, cfg BufferPoolConfig) *BufferPool {
+	if cfg.Frames < 8 {
+		cfg.Frames = 8
+	}
+	// A desk-scale engine: cap the pool at 1M frames (4GB) no matter what
+	// the knob asks for, like a server refusing to overcommit.
+	if cfg.Frames > 1<<20 {
+		cfg.Frames = 1 << 20
+	}
+	if cfg.OldBlocksPct <= 0 || cfg.OldBlocksPct >= 100 {
+		cfg.OldBlocksPct = 37
+	}
+	if cfg.LRUScanDepth <= 0 {
+		cfg.LRUScanDepth = 1024
+	}
+	if cfg.IOCapacity <= 0 {
+		cfg.IOCapacity = 2000
+	}
+	bp := &BufferPool{
+		pager:        pg,
+		frames:       make(map[PageID]*page, cfg.Frames),
+		capacity:     cfg.Frames,
+		oldPct:       cfg.OldBlocksPct,
+		lruScanDepth: cfg.LRUScanDepth,
+		ioCapacity:   cfg.IOCapacity,
+	}
+	if cfg.CleanerInterval > 0 {
+		bp.cleanerStop = make(chan struct{})
+		bp.cleanerDone = make(chan struct{})
+		go bp.cleanerLoop(cfg.CleanerInterval)
+	}
+	return bp
+}
+
+// Fetch pins a page, reading it from disk on a miss.
+func (b *BufferPool) Fetch(id PageID) (*page, error) {
+	b.mu.Lock()
+	if p, ok := b.frames[id]; ok {
+		b.hits.Add(1)
+		p.pins++
+		b.touch(p)
+		b.mu.Unlock()
+		return p, nil
+	}
+	b.misses.Add(1)
+	p, err := b.admit(id)
+	if err != nil {
+		b.mu.Unlock()
+		return nil, err
+	}
+	p.pins++
+	b.mu.Unlock()
+	return p, nil
+}
+
+// admit loads a page into a (possibly evicted) frame. Caller holds b.mu.
+func (b *BufferPool) admit(id PageID) (*page, error) {
+	for len(b.frames) >= b.capacity {
+		if err := b.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	p := &page{id: id}
+	if err := b.pager.read(id, &p.data); err != nil {
+		return nil, fmt.Errorf("minidb: reading page %d: %w", id, err)
+	}
+	b.frames[id] = p
+	b.insertOld(p)
+	return p, nil
+}
+
+// evictOne removes the least recently used unpinned page, flushing it if
+// dirty. Caller holds b.mu.
+func (b *BufferPool) evictOne() error {
+	for p := b.tail; p != nil; p = p.prev {
+		if p.pins > 0 {
+			continue
+		}
+		if p.dirty {
+			if err := b.pager.write(p.id, &p.data); err != nil {
+				return err
+			}
+			b.flushes.Add(1)
+			p.dirty = false
+		}
+		b.unlink(p)
+		delete(b.frames, p.id)
+		b.evictions.Add(1)
+		return nil
+	}
+	return fmt.Errorf("minidb: buffer pool exhausted (%d pages, all pinned)", len(b.frames))
+}
+
+// Unpin releases a pinned page, marking it dirty if modified.
+func (b *BufferPool) Unpin(p *page, dirty bool) {
+	b.mu.Lock()
+	p.pins--
+	if dirty {
+		p.dirty = true
+	}
+	b.mu.Unlock()
+}
+
+// touch implements the young/old promotion policy. Caller holds b.mu.
+func (b *BufferPool) touch(p *page) {
+	if p.young {
+		// Move to head of young list.
+		b.unlink(p)
+		b.insertYoung(p)
+		return
+	}
+	// Old-sublist page re-accessed: promote to young.
+	b.unlink(p)
+	p.young = true
+	b.insertYoung(p)
+}
+
+// insertYoung places p at the global head. Caller holds b.mu.
+func (b *BufferPool) insertYoung(p *page) {
+	p.prev = nil
+	p.next = b.head
+	if b.head != nil {
+		b.head.prev = p
+	}
+	b.head = p
+	if b.tail == nil {
+		b.tail = p
+	}
+	p.young = true
+}
+
+// insertOld places p at the old-sublist head (roughly oldPct from the
+// tail). Caller holds b.mu.
+func (b *BufferPool) insertOld(p *page) {
+	p.young = false
+	if b.oldHead == nil || b.frames[b.oldHead.id] == nil {
+		b.relocateOldHead()
+	}
+	at := b.oldHead
+	if at == nil {
+		// List shorter than the young target: append at tail.
+		p.prev = b.tail
+		p.next = nil
+		if b.tail != nil {
+			b.tail.next = p
+		}
+		b.tail = p
+		if b.head == nil {
+			b.head = p
+		}
+		b.oldHead = p
+		return
+	}
+	// Insert before `at`.
+	p.prev = at.prev
+	p.next = at
+	if at.prev != nil {
+		at.prev.next = p
+	} else {
+		b.head = p
+	}
+	at.prev = p
+	b.oldHead = p
+}
+
+// relocateOldHead walks from the tail to position the old boundary at
+// oldPct of the list. Caller holds b.mu.
+func (b *BufferPool) relocateOldHead() {
+	target := len(b.frames) * b.oldPct / 100
+	p := b.tail
+	for i := 1; i < target && p != nil; i++ {
+		p = p.prev
+	}
+	b.oldHead = p
+}
+
+// unlink removes p from the LRU list. Caller holds b.mu.
+func (b *BufferPool) unlink(p *page) {
+	if b.oldHead == p {
+		b.oldHead = p.next
+	}
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else if b.head == p {
+		b.head = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else if b.tail == p {
+		b.tail = p.prev
+	}
+	p.prev, p.next = nil, nil
+}
+
+// cleanerLoop is the background page cleaner.
+func (b *BufferPool) cleanerLoop(interval time.Duration) {
+	defer close(b.cleanerDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.cleanerStop:
+			return
+		case <-ticker.C:
+			budget := b.ioCapacity * int(interval) / int(time.Second)
+			if budget < 1 {
+				budget = 1
+			}
+			b.CleanPass(b.lruScanDepth, budget)
+		}
+	}
+}
+
+// CleanPass scans up to scanDepth pages from the LRU tail and flushes up to
+// writeBudget dirty ones. It returns the number flushed.
+func (b *BufferPool) CleanPass(scanDepth, writeBudget int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	flushed := 0
+	scanned := 0
+	for p := b.tail; p != nil && scanned < scanDepth && flushed < writeBudget; p = p.prev {
+		scanned++
+		if p.dirty && p.pins == 0 {
+			if err := b.pager.write(p.id, &p.data); err != nil {
+				return flushed
+			}
+			p.dirty = false
+			b.flushes.Add(1)
+			flushed++
+		}
+	}
+	return flushed
+}
+
+// FlushAll writes every dirty page (checkpoint).
+func (b *BufferPool) FlushAll() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, p := range b.frames {
+		if p.dirty {
+			if err := b.pager.write(p.id, &p.data); err != nil {
+				return err
+			}
+			p.dirty = false
+			b.flushes.Add(1)
+		}
+	}
+	return nil
+}
+
+// Close stops the cleaner and checkpoints.
+func (b *BufferPool) Close() error {
+	if b.cleanerStop != nil {
+		close(b.cleanerStop)
+		<-b.cleanerDone
+	}
+	return b.FlushAll()
+}
+
+// Stats reports pool counters.
+func (b *BufferPool) Stats() (hits, misses, flushes, evictions uint64) {
+	return b.hits.Load(), b.misses.Load(), b.flushes.Load(), b.evictions.Load()
+}
+
+// HitRatio returns hits / (hits + misses), or 1 with no traffic.
+func (b *BufferPool) HitRatio() float64 {
+	h, m, _, _ := b.Stats()
+	if h+m == 0 {
+		return 1
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Len returns the resident page count.
+func (b *BufferPool) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.frames)
+}

@@ -1,0 +1,474 @@
+package minidb
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/knobs"
+)
+
+// Config assembles the engine's tunables — each field mirrors the MySQL
+// knob the paper tunes.
+type Config struct {
+	// Dir is the database directory (data file, WAL, catalog).
+	Dir string
+	// BufferPoolBytes sizes the buffer pool (innodb_buffer_pool_size).
+	BufferPoolBytes int64
+	// OldBlocksPct is the LRU old-sublist share (innodb_old_blocks_pct).
+	OldBlocksPct int
+	// LRUScanDepth is the page cleaner scan depth (innodb_lru_scan_depth).
+	LRUScanDepth int
+	// IOCapacity caps cleaner writes/second (innodb_io_capacity).
+	IOCapacity int
+	// CleanerInterval is the cleaner period (0 disables it).
+	CleanerInterval time.Duration
+	// WAL tunes the redo log.
+	WAL WALConfig
+	// SpinWaitDelay / SyncSpinLoops tune lock acquisition.
+	SpinWaitDelay int
+	SyncSpinLoops int
+	// ThreadConcurrency caps concurrently executing operations
+	// (innodb_thread_concurrency; 0 = unlimited).
+	ThreadConcurrency int
+	// TableOpenCache bounds cached table handles (table_open_cache).
+	TableOpenCache int
+}
+
+// DefaultTestConfig returns a small configuration suitable for tests.
+func DefaultTestConfig(dir string) Config {
+	return Config{
+		Dir:             dir,
+		BufferPoolBytes: 256 * PageSize,
+		OldBlocksPct:    37,
+		LRUScanDepth:    64,
+		IOCapacity:      2000,
+		WAL:             WALConfig{BufferBytes: 1 << 16, Policy: FlushEachCommit},
+		SyncSpinLoops:   30,
+		SpinWaitDelay:   6,
+		TableOpenCache:  64,
+	}
+}
+
+// ConfigFromKnobs maps a native configuration over a knob subspace onto
+// engine parameters; knobs the engine does not model are ignored.
+func ConfigFromKnobs(dir string, space *knobs.Space, native []float64) Config {
+	cfg := DefaultTestConfig(dir)
+	get := func(name string) (float64, bool) {
+		i := space.Index(name)
+		if i < 0 {
+			return 0, false
+		}
+		return native[i], true
+	}
+	if v, ok := get("innodb_buffer_pool_size"); ok {
+		cfg.BufferPoolBytes = int64(v)
+	}
+	if v, ok := get("innodb_old_blocks_pct"); ok {
+		cfg.OldBlocksPct = int(v)
+	}
+	if v, ok := get("innodb_lru_scan_depth"); ok {
+		cfg.LRUScanDepth = int(v)
+	}
+	if v, ok := get("innodb_io_capacity"); ok {
+		cfg.IOCapacity = int(v)
+	}
+	if v, ok := get("innodb_flush_log_at_trx_commit"); ok {
+		cfg.WAL.Policy = FlushPolicy(int(v))
+	}
+	if v, ok := get("innodb_log_buffer_size"); ok {
+		cfg.WAL.BufferBytes = int(v)
+	}
+	if v, ok := get("innodb_spin_wait_delay"); ok {
+		cfg.SpinWaitDelay = int(v)
+	}
+	if v, ok := get("innodb_sync_spin_loops"); ok {
+		cfg.SyncSpinLoops = int(v)
+	}
+	if v, ok := get("innodb_thread_concurrency"); ok {
+		cfg.ThreadConcurrency = int(v)
+	}
+	if v, ok := get("table_open_cache"); ok {
+		cfg.TableOpenCache = int(v)
+	}
+	return cfg
+}
+
+// catalogEntry persists one table's identity.
+type catalogEntry struct {
+	Root PageID `json:"root"`
+	ID   uint32 `json:"id"`
+}
+
+// DB is the engine instance.
+type DB struct {
+	cfg   Config
+	pager *pager
+	pool  *BufferPool
+	wal   *WAL
+	locks *LockManager
+	admit chan struct{}
+
+	mu      sync.Mutex
+	catalog map[string]catalogEntry
+	open    map[string]*BTree // table cache (bounded by TableOpenCache)
+	openLRU []string
+	nextID  uint32
+
+	tableOpens  atomic.Uint64
+	tableHits   atomic.Uint64
+	commits     atomic.Uint64
+	statementsN atomic.Uint64
+}
+
+// Open creates or reopens a database in cfg.Dir, running WAL recovery for
+// transactions committed after the last checkpoint.
+func Open(cfg Config) (*DB, error) {
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	pg, err := newPager(filepath.Join(cfg.Dir, "data.mdb"))
+	if err != nil {
+		return nil, err
+	}
+	frames := int(cfg.BufferPoolBytes / PageSize)
+	pool := newBufferPool(pg, BufferPoolConfig{
+		Frames:          frames,
+		OldBlocksPct:    cfg.OldBlocksPct,
+		LRUScanDepth:    cfg.LRUScanDepth,
+		IOCapacity:      cfg.IOCapacity,
+		CleanerInterval: cfg.CleanerInterval,
+	})
+	db := &DB{
+		cfg:     cfg,
+		pager:   pg,
+		pool:    pool,
+		locks:   NewLockManager(cfg.SpinWaitDelay, cfg.SyncSpinLoops),
+		catalog: make(map[string]catalogEntry),
+		open:    make(map[string]*BTree),
+	}
+	if cfg.ThreadConcurrency > 0 {
+		db.admit = make(chan struct{}, cfg.ThreadConcurrency)
+	}
+	if err := db.loadCatalog(); err != nil {
+		pool.Close()
+		pg.close()
+		return nil, err
+	}
+	walPath := filepath.Join(cfg.Dir, "wal.log")
+	if err := db.recover(walPath); err != nil {
+		pool.Close()
+		pg.close()
+		return nil, err
+	}
+	db.wal, err = openWAL(walPath, cfg.WAL)
+	if err != nil {
+		pool.Close()
+		pg.close()
+		return nil, err
+	}
+	return db, nil
+}
+
+func (db *DB) catalogPath() string { return filepath.Join(db.cfg.Dir, "catalog.json") }
+
+func (db *DB) loadCatalog() error {
+	data, err := os.ReadFile(db.catalogPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, &db.catalog); err != nil {
+		return fmt.Errorf("minidb: corrupt catalog: %w", err)
+	}
+	for _, e := range db.catalog {
+		if e.ID >= db.nextID {
+			db.nextID = e.ID + 1
+		}
+	}
+	return nil
+}
+
+func (db *DB) saveCatalog() error {
+	data, err := json.Marshal(db.catalog)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(db.catalogPath(), data, 0o644)
+}
+
+// recover applies committed WAL entries, checkpoints, and truncates the log.
+func (db *DB) recover(walPath string) error {
+	entries, err := ReplayWAL(walPath)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return removeIfExists(walPath)
+	}
+	byID := make(map[uint32]string)
+	for name, e := range db.catalog {
+		byID[e.ID] = name
+	}
+	for _, e := range entries {
+		name, ok := byID[e.Table]
+		if !ok {
+			continue // table dropped
+		}
+		t := openBTree(db.pool, db.catalog[name].Root)
+		switch e.Kind {
+		case recPut:
+			if err := t.Put(e.Key, e.Val); err != nil {
+				return err
+			}
+		case recDelete:
+			if _, err := t.Delete(e.Key); err != nil {
+				return err
+			}
+		}
+		// Root may have grown during recovery.
+		ce := db.catalog[name]
+		ce.Root = t.Root()
+		db.catalog[name] = ce
+	}
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := db.saveCatalog(); err != nil {
+		return err
+	}
+	return removeIfExists(walPath)
+}
+
+// removeIfExists deletes a file, treating absence as success.
+func removeIfExists(path string) error {
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// CreateTable registers a new table.
+func (db *DB) CreateTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.catalog[name]; exists {
+		return fmt.Errorf("minidb: table %s already exists", name)
+	}
+	t, err := newBTree(db.pool, db.pager)
+	if err != nil {
+		return err
+	}
+	db.catalog[name] = catalogEntry{Root: t.Root(), ID: db.nextID}
+	db.nextID++
+	db.open[name] = t
+	db.openLRU = append(db.openLRU, name)
+	db.evictTablesLocked()
+	return db.saveCatalog()
+}
+
+// table returns the cached handle, opening it on a miss. Opening is not
+// free: the root page is fetched and checksummed (the dictionary work
+// table_open_cache exists to avoid).
+func (db *DB) table(name string) (*BTree, uint32, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ce, ok := db.catalog[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("minidb: no such table %s", name)
+	}
+	if t, ok := db.open[name]; ok {
+		db.tableHits.Add(1)
+		db.touchTableLocked(name)
+		return t, ce.ID, nil
+	}
+	db.tableOpens.Add(1)
+	t := openBTree(db.pool, ce.Root)
+	// Open cost: validate the root page.
+	p, err := db.pool.Fetch(ce.Root)
+	if err != nil {
+		return nil, 0, err
+	}
+	_ = crc32.ChecksumIEEE(p.data[:])
+	db.pool.Unpin(p, false)
+	db.open[name] = t
+	db.openLRU = append(db.openLRU, name)
+	db.evictTablesLocked()
+	return t, ce.ID, nil
+}
+
+func (db *DB) touchTableLocked(name string) {
+	for i, n := range db.openLRU {
+		if n == name {
+			db.openLRU = append(db.openLRU[:i], db.openLRU[i+1:]...)
+			db.openLRU = append(db.openLRU, name)
+			return
+		}
+	}
+}
+
+func (db *DB) evictTablesLocked() {
+	limit := db.cfg.TableOpenCache
+	if limit < 1 {
+		limit = 1
+	}
+	for len(db.openLRU) > limit {
+		victim := db.openLRU[0]
+		db.openLRU = db.openLRU[1:]
+		// Persist the (possibly grown) root before dropping the handle.
+		if t, ok := db.open[victim]; ok {
+			ce := db.catalog[victim]
+			ce.Root = t.Root()
+			db.catalog[victim] = ce
+			delete(db.open, victim)
+		}
+	}
+}
+
+// enter applies admission control.
+func (db *DB) enter() func() {
+	if db.admit == nil {
+		return func() {}
+	}
+	db.admit <- struct{}{}
+	return func() { <-db.admit }
+}
+
+// Get reads one row.
+func (db *DB) Get(tableName string, key int64) ([]byte, bool, error) {
+	defer db.enter()()
+	db.statementsN.Add(1)
+	t, _, err := db.table(tableName)
+	if err != nil {
+		return nil, false, err
+	}
+	return t.Get(key)
+}
+
+// Put writes one row under the row lock, logged and committed.
+func (db *DB) Put(tableName string, key int64, val []byte) error {
+	defer db.enter()()
+	db.statementsN.Add(1)
+	t, id, err := db.table(tableName)
+	if err != nil {
+		return err
+	}
+	lockID := rowLockID(id, key)
+	db.locks.Acquire(lockID)
+	defer db.locks.Release(lockID)
+	if err := db.wal.Append(recPut, id, key, val); err != nil {
+		return err
+	}
+	if err := t.Put(key, val); err != nil {
+		return err
+	}
+	db.syncRoot(tableName, t)
+	db.commits.Add(1)
+	return db.wal.Commit(id)
+}
+
+// Delete removes one row.
+func (db *DB) Delete(tableName string, key int64) (bool, error) {
+	defer db.enter()()
+	db.statementsN.Add(1)
+	t, id, err := db.table(tableName)
+	if err != nil {
+		return false, err
+	}
+	lockID := rowLockID(id, key)
+	db.locks.Acquire(lockID)
+	defer db.locks.Release(lockID)
+	if err := db.wal.Append(recDelete, id, key, nil); err != nil {
+		return false, err
+	}
+	ok, err := t.Delete(key)
+	if err != nil {
+		return false, err
+	}
+	db.commits.Add(1)
+	return ok, db.wal.Commit(id)
+}
+
+// Scan visits [lo, hi] in key order.
+func (db *DB) Scan(tableName string, lo, hi int64, fn func(key int64, val []byte) bool) error {
+	defer db.enter()()
+	db.statementsN.Add(1)
+	t, _, err := db.table(tableName)
+	if err != nil {
+		return err
+	}
+	return t.Scan(lo, hi, fn)
+}
+
+// syncRoot records root growth in the catalog (persisted lazily; recovery
+// replays the WAL against the last persisted root).
+func (db *DB) syncRoot(name string, t *BTree) {
+	db.mu.Lock()
+	ce := db.catalog[name]
+	if ce.Root != t.Root() {
+		ce.Root = t.Root()
+		db.catalog[name] = ce
+		_ = db.saveCatalog()
+	}
+	db.mu.Unlock()
+}
+
+func rowLockID(table uint32, key int64) uint64 {
+	return uint64(table)<<40 ^ uint64(key)
+}
+
+// Close checkpoints and shuts down.
+func (db *DB) Close() error {
+	if err := db.pool.Close(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	err := db.saveCatalog()
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := db.wal.Close(); err != nil {
+		return err
+	}
+	// A clean shutdown checkpointed everything: the WAL is obsolete.
+	_ = os.Remove(filepath.Join(db.cfg.Dir, "wal.log"))
+	return db.pager.close()
+}
+
+// Stats is an engine counter snapshot — the minidb analogue of the
+// simulator's internal metrics.
+type Stats struct {
+	BufferHits, BufferMisses  uint64
+	PageFlushes, Evictions    uint64
+	PhysicalReads, PhysWrites uint64
+	WALWrites, WALSyncs       uint64
+	LockWaits, SpinRounds     uint64
+	TableOpens, TableHits     uint64
+	Commits, Statements       uint64
+	ResidentPages             int
+}
+
+// Stats returns the current counters.
+func (db *DB) Stats() Stats {
+	h, m, f, e := db.pool.Stats()
+	pr, pw := db.pager.counters()
+	ww, ws := db.wal.Stats()
+	lw, sr := db.locks.Stats()
+	return Stats{
+		BufferHits: h, BufferMisses: m, PageFlushes: f, Evictions: e,
+		PhysicalReads: pr, PhysWrites: pw,
+		WALWrites: ww, WALSyncs: ws,
+		LockWaits: lw, SpinRounds: sr,
+		TableOpens: db.tableOpens.Load(), TableHits: db.tableHits.Load(),
+		Commits: db.commits.Load(), Statements: db.statementsN.Load(),
+		ResidentPages: db.pool.Len(),
+	}
+}

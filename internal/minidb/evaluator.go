@@ -1,0 +1,293 @@
+package minidb
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/dbsim"
+	"repro/internal/knobs"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// Evaluator implements core.Evaluator against a live minidb instance: every
+// Measure call opens a fresh engine with the candidate knobs, loads the
+// dataset, replays generated workload statements at the configured request
+// rate from a worker pool, and reports *real* measurements — wall-clock
+// throughput, sampled p99 latency, process CPU time via getrusage, and
+// engine counters for IO and memory. This is the substrate swap that turns
+// the tuning loop from simulation into an actual end-to-end system
+// (examples/real-engine); it is far slower per iteration than
+// internal/dbsim, which is why the paper-scale experiments stay on the
+// simulator.
+type Evaluator struct {
+	// Knobs is the tuned subspace.
+	Knobs *knobs.Space
+	// Kind is the resource to minimize.
+	Kind dbsim.ResourceKind
+	// Workload supplies the statement generator and request rate.
+	Workload workload.Workload
+	// BaseDir hosts the per-measurement database directories.
+	BaseDir string
+	// Rows is the loaded dataset size per table.
+	Rows int64
+	// Duration is the replay window per measurement.
+	Duration time.Duration
+	// Workers is the client pool size (defaults to min(8, workload threads)).
+	Workers int
+	// RequestRate overrides the workload's rate (0 keeps it; negative means
+	// open loop).
+	RequestRate float64
+	// TxnMode replays transaction-shaped statement groups (the workload's
+	// StatementsPerTxn) committed atomically, instead of per-statement
+	// auto-commit. Throughput then counts transactions.
+	TxnMode bool
+	// Seed drives statement generation.
+	Seed int64
+
+	runs int
+}
+
+// Space implements core.Evaluator.
+func (e *Evaluator) Space() *knobs.Space { return e.Knobs }
+
+// Resource implements core.Evaluator.
+func (e *Evaluator) Resource() dbsim.ResourceKind { return e.Kind }
+
+// DefaultNative implements core.Evaluator. The engine's defaults mirror
+// the DBA defaults of the knob catalogue.
+func (e *Evaluator) DefaultNative() []float64 { return e.Knobs.Defaults() }
+
+// cpuTime returns the process's combined user+system CPU time.
+func cpuTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	toDur := func(tv syscall.Timeval) time.Duration {
+		return time.Duration(tv.Sec)*time.Second + time.Duration(tv.Usec)*time.Microsecond
+	}
+	return toDur(ru.Utime) + toDur(ru.Stime)
+}
+
+// Measure implements core.Evaluator with a real replay.
+func (e *Evaluator) Measure(native []float64) dbsim.Measurement {
+	e.runs++
+	dir := filepath.Join(e.BaseDir, fmt.Sprintf("run-%d", e.runs))
+	m, err := e.measure(dir, native)
+	os.RemoveAll(dir)
+	if err != nil {
+		// A broken configuration (e.g. unopenable) measures as a stalled
+		// database: zero throughput, enormous latency. The SLA check
+		// rejects it, which is exactly how a failed replay behaves.
+		return dbsim.Measurement{TPS: 1, LatencyP99Ms: 1e6, CPUUtilPct: 100}
+	}
+	return m
+}
+
+func (e *Evaluator) measure(dir string, native []float64) (dbsim.Measurement, error) {
+	cfg := ConfigFromKnobs(dir, e.Knobs, native)
+	cfg.CleanerInterval = 20 * time.Millisecond
+	cfg.WAL.TimerInterval = 100 * time.Millisecond
+	db, err := Open(cfg)
+	if err != nil {
+		return dbsim.Measurement{}, err
+	}
+	defer db.Close()
+
+	rows := e.Rows
+	if rows <= 0 {
+		rows = 2000
+	}
+	ex := NewExecutor(db, rows)
+	r := rng.Derive(e.Seed+int64(e.runs), "minidb-eval")
+	warmup := e.Workload.Generate(64, r)
+	for _, stmt := range warmup {
+		ex.Exec(stmt) // creates tables referenced by the workload
+	}
+	for name := range ex.created {
+		if err := ex.Load(name, rows); err != nil {
+			return dbsim.Measurement{}, err
+		}
+	}
+
+	// Pre-generate the replay stream.
+	duration := e.Duration
+	if duration <= 0 {
+		duration = 250 * time.Millisecond
+	}
+	rate := e.Workload.Profile.RequestRate
+	if e.RequestRate != 0 {
+		rate = e.RequestRate
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = e.Workload.Profile.Threads
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	budget := int(rate * duration.Seconds() * 2)
+	if rate <= 0 || budget > 100000 {
+		budget = 100000
+	}
+	var stream [][]string
+	if e.TxnMode {
+		stream = e.Workload.GenerateTransactions(budget, r)
+	} else {
+		for _, stmt := range e.Workload.Generate(budget, r) {
+			stream = append(stream, []string{stmt})
+		}
+	}
+
+	// Token bucket paces the offered load; closed channel = window over.
+	tokens := make(chan []string, workers*4)
+	stop := make(chan struct{})
+	go func() {
+		defer close(tokens)
+		if rate <= 0 {
+			for _, s := range stream {
+				select {
+				case tokens <- s:
+				case <-stop:
+					return
+				}
+			}
+			return
+		}
+		interval := time.Duration(float64(time.Second) / rate)
+		t := time.NewTicker(maxDur(interval, 50*time.Microsecond))
+		defer t.Stop()
+		per := int(float64(maxDur(interval, 50*time.Microsecond)) / float64(interval))
+		if per < 1 {
+			per = 1
+		}
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				for k := 0; k < per && i < len(stream); k++ {
+					select {
+					case tokens <- stream[i]:
+						i++
+					case <-stop:
+						return
+					}
+				}
+				if i >= len(stream) {
+					return
+				}
+			}
+		}
+	}()
+
+	statsBefore := db.Stats()
+	cpuBefore := cpuTime()
+	start := time.Now()
+	var wg sync.WaitGroup
+	latencies := make([][]time.Duration, workers)
+	executed := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker gets its own executor with a snapshot of the
+			// table registry (the map is not safe for sharing).
+			exw := NewExecutor(db, rows)
+			for name := range ex.created {
+				exw.created[name] = true
+			}
+			for group := range tokens {
+				t0 := time.Now()
+				if e.TxnMode {
+					if _, err := exw.ExecTxn(group); errors.Is(err, ErrTxAborted) {
+						continue // aborted transactions are not counted
+					}
+				} else {
+					exw.Exec(group[0])
+				}
+				latencies[w] = append(latencies[w], time.Since(t0))
+				executed[w]++
+			}
+		}(w)
+	}
+	timer := time.NewTimer(duration)
+	<-timer.C
+	close(stop)
+	wg.Wait()
+	wall := time.Since(start)
+	cpuDelta := cpuTime() - cpuBefore
+	statsAfter := db.Stats()
+
+	total := 0
+	var all []time.Duration
+	for w := range latencies {
+		total += executed[w]
+		all = append(all, latencies[w]...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p99 := time.Duration(0)
+	if len(all) > 0 {
+		p99 = all[int(float64(len(all)-1)*0.99)]
+	}
+
+	tps := float64(total) / wall.Seconds()
+	cpuPct := cpuDelta.Seconds() / wall.Seconds() / float64(runtime.NumCPU()) * 100
+	if cpuPct > 100 {
+		cpuPct = 100
+	}
+	reads := statsAfter.PhysicalReads - statsBefore.PhysicalReads
+	writes := statsAfter.PhysWrites - statsBefore.PhysWrites
+	syncs := statsAfter.WALSyncs - statsBefore.WALSyncs
+	walWrites := statsAfter.WALWrites - statsBefore.WALWrites
+	iops := float64(reads+writes+syncs+walWrites) / wall.Seconds()
+	bps := float64(reads+writes) * PageSize / wall.Seconds()
+	mem := float64(cfg.BufferPoolBytes) + float64(cfg.WAL.BufferBytes) + 8e6
+
+	m := dbsim.Measurement{
+		TPS:          tps,
+		LatencyP99Ms: float64(p99) / float64(time.Millisecond),
+		CPUUtilPct:   cpuPct,
+		IOPS:         iops,
+		IOBps:        bps,
+		MemoryBytes:  mem,
+		HitRatio:     db.pool.HitRatio(),
+	}
+	m.Internal = []float64{
+		m.HitRatio,
+		float64(statsAfter.LockWaits - statsBefore.LockWaits),
+		float64(statsAfter.SpinRounds - statsBefore.SpinRounds),
+		float64(statsAfter.TableOpens - statsBefore.TableOpens),
+		iops, bps, tps, m.LatencyP99Ms, cpuPct,
+	}
+	return m, nil
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NewEvaluator builds a real-engine evaluator with sensible demo settings.
+func NewEvaluator(base string, space *knobs.Space, kind dbsim.ResourceKind, w workload.Workload, seed int64) *Evaluator {
+	return &Evaluator{
+		Knobs:    space,
+		Kind:     kind,
+		Workload: w,
+		BaseDir:  base,
+		Rows:     2000,
+		Duration: 250 * time.Millisecond,
+		Seed:     seed,
+	}
+}

@@ -1,0 +1,454 @@
+package minidb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// --- pager / buffer pool ----------------------------------------------------
+
+func testPager(t *testing.T) *pager {
+	t.Helper()
+	p, err := newPager(filepath.Join(t.TempDir(), "data.mdb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.close() })
+	return p
+}
+
+func TestPagerRoundTrip(t *testing.T) {
+	p := testPager(t)
+	id := p.allocate()
+	var buf [PageSize]byte
+	copy(buf[:], "hello page")
+	if err := p.write(id, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var out [PageSize]byte
+	if err := p.read(id, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[:10], []byte("hello page")) {
+		t.Fatalf("read back %q", out[:10])
+	}
+	// A freshly allocated page reads back zeroed even if the frame held
+	// stale bytes.
+	id2 := p.allocate()
+	out[0] = 0xFF
+	if err := p.read(id2, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 {
+		t.Fatal("fresh page not zeroed")
+	}
+}
+
+func TestBufferPoolHitMissEvict(t *testing.T) {
+	pg := testPager(t)
+	pool := newBufferPool(pg, BufferPoolConfig{Frames: 8})
+	defer pool.Close()
+
+	ids := make([]PageID, 16)
+	for i := range ids {
+		ids[i] = pg.allocate()
+		p, err := pool.Fetch(ids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.data[0] = byte(i)
+		pool.Unpin(p, true)
+	}
+	// Pool capacity 8 < 16 pages: evictions must have occurred and dirty
+	// evictees must have been flushed.
+	_, misses, flushes, evictions := pool.Stats()
+	if misses != 16 {
+		t.Fatalf("misses %d want 16", misses)
+	}
+	if evictions < 8 || flushes < 8 {
+		t.Fatalf("evictions %d flushes %d", evictions, flushes)
+	}
+	// Re-fetch an evicted page: content survived through the pager.
+	p, err := pool.Fetch(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.data[0] != 0 {
+		t.Fatalf("evicted page content lost: %d", p.data[0])
+	}
+	pool.Unpin(p, false)
+	// Fetch the now-resident page again: a hit.
+	p, err = pool.Fetch(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(p, false)
+	if pool.HitRatio() <= 0 || pool.HitRatio() > 1 {
+		t.Fatalf("hit ratio %v", pool.HitRatio())
+	}
+	if pool.Len() > 8 {
+		t.Fatalf("resident %d exceeds capacity", pool.Len())
+	}
+}
+
+func TestBufferPoolYoungOldProtection(t *testing.T) {
+	pg := testPager(t)
+	pool := newBufferPool(pg, BufferPoolConfig{Frames: 10, OldBlocksPct: 40})
+	defer pool.Close()
+
+	// Establish a hot set of 5 pages, touched twice (promoted to young).
+	hot := make([]PageID, 5)
+	for i := range hot {
+		hot[i] = pg.allocate()
+	}
+	for round := 0; round < 2; round++ {
+		for _, id := range hot {
+			p, err := pool.Fetch(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool.Unpin(p, false)
+		}
+	}
+	// Scan 30 one-off pages through the pool.
+	for i := 0; i < 30; i++ {
+		id := pg.allocate()
+		p, err := pool.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(p, false)
+	}
+	// The hot set should still be mostly resident: one-off pages entered
+	// the old sublist and evicted each other.
+	resident := 0
+	h0, _, _, _ := pool.Stats()
+	for _, id := range hot {
+		p, err := pool.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(p, false)
+	}
+	h1, _, _, _ := pool.Stats()
+	resident = int(h1 - h0)
+	if resident < 3 {
+		t.Fatalf("only %d/5 hot pages survived a scan; young/old split ineffective", resident)
+	}
+}
+
+func TestCleanPass(t *testing.T) {
+	pg := testPager(t)
+	pool := newBufferPool(pg, BufferPoolConfig{Frames: 32})
+	defer pool.Close()
+	for i := 0; i < 10; i++ {
+		id := pg.allocate()
+		p, err := pool.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(p, true)
+	}
+	if n := pool.CleanPass(100, 4); n != 4 {
+		t.Fatalf("write budget not honored: flushed %d", n)
+	}
+	if n := pool.CleanPass(3, 100); n > 3 {
+		t.Fatalf("scan depth not honored: flushed %d", n)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n := pool.CleanPass(100, 100); n != 0 {
+		t.Fatalf("clean pool flushed %d", n)
+	}
+}
+
+// --- B+tree -------------------------------------------------------------------
+
+func testTree(t *testing.T) *BTree {
+	t.Helper()
+	pg := testPager(t)
+	pool := newBufferPool(pg, BufferPoolConfig{Frames: 256})
+	t.Cleanup(func() { pool.Close() })
+	tree, err := newBTree(pool, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestBTreeBasic(t *testing.T) {
+	tree := testTree(t)
+	if _, found, _ := tree.Get(1); found {
+		t.Fatal("empty tree should not find keys")
+	}
+	if err := tree.Put(1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Put(1, []byte("uno")); err != nil { // update
+		t.Fatal(err)
+	}
+	v, found, err := tree.Get(1)
+	if err != nil || !found || string(v) != "uno" {
+		t.Fatalf("get: %q %v %v", v, found, err)
+	}
+	ok, err := tree.Delete(1)
+	if err != nil || !ok {
+		t.Fatal("delete failed")
+	}
+	if _, found, _ := tree.Get(1); found {
+		t.Fatal("deleted key still present")
+	}
+	if ok, _ := tree.Delete(1); ok {
+		t.Fatal("double delete reported success")
+	}
+	if err := tree.Put(2, make([]byte, MaxValueLen+1)); err == nil {
+		t.Fatal("oversized value accepted")
+	}
+}
+
+func TestBTreeSplitsAndScan(t *testing.T) {
+	tree := testTree(t)
+	const n = 5000 // forces multiple levels of splits
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, k := range perm {
+		if err := tree.Put(int64(k), []byte(fmt.Sprintf("v%05d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every key retrievable.
+	for k := 0; k < n; k += 97 {
+		v, found, err := tree.Get(int64(k))
+		if err != nil || !found || string(v) != fmt.Sprintf("v%05d", k) {
+			t.Fatalf("key %d: %q %v %v", k, v, found, err)
+		}
+	}
+	// Ordered full scan.
+	prev := int64(-1)
+	count := 0
+	if err := tree.Scan(0, int64(n), func(k int64, v []byte) bool {
+		if k <= prev {
+			t.Fatalf("scan out of order: %d after %d", k, prev)
+		}
+		prev = k
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("scan visited %d of %d", count, n)
+	}
+	// Bounded scan with early stop.
+	count = 0
+	tree.Scan(100, 199, func(k int64, v []byte) bool {
+		count++
+		return count < 50
+	})
+	if count != 50 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+// Property: the tree agrees with a reference map under random workloads.
+func TestQuickBTreeAgainstMap(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tree := testTree(t)
+		ref := make(map[int64][]byte)
+		for op := 0; op < 400; op++ {
+			k := int64(r.Intn(200))
+			switch r.Intn(3) {
+			case 0, 1:
+				v := []byte(fmt.Sprintf("%d-%d", k, op))
+				if err := tree.Put(k, v); err != nil {
+					return false
+				}
+				ref[k] = v
+			case 2:
+				ok, err := tree.Delete(k)
+				if err != nil {
+					return false
+				}
+				_, existed := ref[k]
+				if ok != existed {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		for k, want := range ref {
+			v, found, err := tree.Get(k)
+			if err != nil || !found || !bytes.Equal(v, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- WAL ----------------------------------------------------------------------
+
+func TestWALReplayCommittedOnly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, err := openWAL(path, WALConfig{Policy: FlushEachCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(recPut, 1, 10, []byte("a"))
+	w.Commit(1)
+	w.Append(recPut, 1, 20, []byte("b"))
+	w.Append(recDelete, 1, 10, nil)
+	w.Commit(1)
+	w.Append(recPut, 1, 30, []byte("uncommitted"))
+	// Flush the uncommitted tail to disk, then "crash" without commit.
+	w.mu.Lock()
+	w.writeLocked()
+	w.mu.Unlock()
+	w.file.Close()
+
+	entries, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("replayed %d entries, want 3 (uncommitted dropped)", len(entries))
+	}
+	if entries[2].Kind != recDelete || entries[2].Key != 10 {
+		t.Fatalf("order wrong: %+v", entries)
+	}
+}
+
+func TestWALTornRecord(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, err := openWAL(path, WALConfig{Policy: FlushEachCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(recPut, 1, 1, []byte("x"))
+	w.Commit(1)
+	w.Close()
+	// Append garbage (a torn write).
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	f.Write([]byte{9, 0, 0, 0, 1, 2, 3})
+	f.Close()
+	entries, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("torn tail should be ignored: %d entries", len(entries))
+	}
+	// Missing file is fine.
+	if e, err := ReplayWAL(filepath.Join(dir, "absent")); err != nil || e != nil {
+		t.Fatal("missing WAL should replay empty")
+	}
+}
+
+func TestWALPolicies(t *testing.T) {
+	for _, policy := range []FlushPolicy{FlushByTimer, FlushEachCommit, WriteEachCommit} {
+		dir := t.TempDir()
+		w, err := openWAL(filepath.Join(dir, "wal.log"), WALConfig{Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			w.Append(recPut, 1, int64(i), []byte("v"))
+			w.Commit(1)
+		}
+		writes, syncs := w.Stats()
+		switch policy {
+		case FlushEachCommit:
+			if syncs < 10 {
+				t.Fatalf("policy 1: %d syncs, want >=10", syncs)
+			}
+		case WriteEachCommit:
+			if writes < 10 || syncs > 1 {
+				t.Fatalf("policy 2: writes %d syncs %d", writes, syncs)
+			}
+		case FlushByTimer:
+			if writes > 1 {
+				t.Fatalf("policy 0: %d writes before close", writes)
+			}
+		}
+		w.Close()
+	}
+}
+
+// --- lock manager ---------------------------------------------------------------
+
+func TestLockMutualExclusion(t *testing.T) {
+	lm := NewLockManager(4, 8)
+	var counter, race int
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				lm.Acquire(7)
+				c := counter
+				// Widen the critical section so goroutines actually overlap.
+				for spin := 0; spin < 50; spin++ {
+					runtime.Gosched()
+				}
+				counter = c + 1
+				if counter != c+1 {
+					race++
+				}
+				lm.Release(7)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 1600 || race != 0 {
+		t.Fatalf("counter %d race %d", counter, race)
+	}
+	waits, _ := lm.Stats()
+	if waits == 0 {
+		t.Fatal("contended workload should record waits")
+	}
+}
+
+func TestLockSpinCounters(t *testing.T) {
+	lm := NewLockManager(2, 50)
+	lm.Acquire(1)
+	done := make(chan struct{})
+	go func() {
+		lm.Acquire(1) // must spin then park
+		lm.Release(1)
+		close(done)
+	}()
+	// Wait until the contender is observably spinning, then release.
+	for {
+		if _, spins := lm.Stats(); spins > 0 {
+			break
+		}
+		runtime.Gosched()
+	}
+	lm.Release(1)
+	<-done
+	_, spins := lm.Stats()
+	if spins == 0 {
+		t.Fatal("spin rounds not counted")
+	}
+	// Uncontended locks do not spin.
+	lm2 := NewLockManager(2, 50)
+	lm2.Acquire(5)
+	lm2.Release(5)
+	if w, s := lm2.Stats(); w != 0 || s != 0 {
+		t.Fatal("uncontended acquire recorded contention")
+	}
+}

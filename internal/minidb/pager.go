@@ -1,0 +1,115 @@
+// Package minidb is a compact, genuinely functional storage engine with the
+// knob-sensitive behaviours ResTune tunes: a buffer pool with an LRU
+// young/old split and a background page cleaner (innodb_buffer_pool_size,
+// innodb_lru_scan_depth, innodb_old_blocks_pct, innodb_io_capacity), a
+// write-ahead log with commit-durability policies
+// (innodb_flush_log_at_trx_commit, innodb_log_buffer_size), a lock manager
+// with spin-then-sleep acquisition (innodb_spin_wait_delay,
+// innodb_sync_spin_loops), an admission controller
+// (innodb_thread_concurrency) and a table cache (table_open_cache), under a
+// B+tree storage layout and a small SQL subset.
+//
+// The analytical simulator (internal/dbsim) remains the evaluation
+// substrate for the paper's experiments — it is deterministic and fast.
+// minidb exists so the client-side stack (template extraction, replay at a
+// request rate, the tuning loop itself) can be exercised against a real
+// database with real disk I/O and real CPU time; see
+// examples/real-engine and minidb.Evaluator.
+package minidb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// PageSize is the fixed on-disk page size.
+const PageSize = 4096
+
+// PageID identifies a page within the database file.
+type PageID uint32
+
+// invalidPage marks an absent page reference.
+const invalidPage PageID = 0xFFFFFFFF
+
+// page is an in-memory frame.
+type page struct {
+	id    PageID
+	data  [PageSize]byte
+	dirty bool
+	pins  int
+	// young marks membership in the LRU young sublist.
+	young bool
+	// prev/next chain the LRU list (most recent at head).
+	prev, next *page
+}
+
+// pager performs page-granular file I/O and allocation.
+type pager struct {
+	mu    sync.Mutex
+	file  *os.File
+	pages PageID // allocated count
+	// Reads and Writes count physical page I/O operations.
+	reads, writes uint64
+}
+
+func newPager(path string) (*pager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("minidb: opening %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &pager{file: f, pages: PageID(st.Size() / PageSize)}, nil
+}
+
+// allocate extends the file by one page.
+func (p *pager) allocate() PageID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.pages
+	p.pages++
+	return id
+}
+
+// read loads a page from disk. The frame is zeroed first so pages past the
+// current end of file (allocated but never flushed) come back empty rather
+// than retaining the frame's previous occupant.
+func (p *pager) read(id PageID, buf *[PageSize]byte) error {
+	p.mu.Lock()
+	p.reads++
+	p.mu.Unlock()
+	for i := range buf {
+		buf[i] = 0
+	}
+	_, err := p.file.ReadAt(buf[:], int64(id)*PageSize)
+	if errors.Is(err, io.EOF) {
+		// Freshly allocated page not yet written: zero-filled beyond the
+		// bytes actually read.
+		return nil
+	}
+	return err
+}
+
+// write persists a page to disk.
+func (p *pager) write(id PageID, buf *[PageSize]byte) error {
+	p.mu.Lock()
+	p.writes++
+	p.mu.Unlock()
+	_, err := p.file.WriteAt(buf[:], int64(id)*PageSize)
+	return err
+}
+
+func (p *pager) close() error { return p.file.Close() }
+
+// counters returns physical read/write totals.
+func (p *pager) counters() (reads, writes uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reads, p.writes
+}

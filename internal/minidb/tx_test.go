@@ -1,0 +1,279 @@
+package minidb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestTxCommitAtomicVisible(t *testing.T) {
+	db := testDB(t, nil)
+	if err := db.CreateTable("acct"); err != nil {
+		t.Fatal(err)
+	}
+	db.Put("acct", 1, []byte("100"))
+	db.Put("acct", 2, []byte("0"))
+
+	// Transfer: two writes under one transaction.
+	err := db.Txn(func(tx *Tx) error {
+		if err := tx.Put("acct", 1, []byte("60")); err != nil {
+			return err
+		}
+		return tx.Put("acct", 2, []byte("40"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _, _ := db.Get("acct", 1)
+	v2, _, _ := db.Get("acct", 2)
+	if string(v1) != "60" || string(v2) != "40" {
+		t.Fatalf("transfer lost: %s/%s", v1, v2)
+	}
+}
+
+func TestTxRollbackRestores(t *testing.T) {
+	db := testDB(t, nil)
+	db.CreateTable("t")
+	db.Put("t", 1, []byte("orig"))
+
+	sentinel := errors.New("boom")
+	err := db.Txn(func(tx *Tx) error {
+		if err := tx.Put("t", 1, []byte("changed")); err != nil {
+			return err
+		}
+		if err := tx.Put("t", 2, []byte("new")); err != nil {
+			return err
+		}
+		if _, err := tx.Delete("t", 1); err != nil {
+			return err
+		}
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("expected sentinel, got %v", err)
+	}
+	v, found, _ := db.Get("t", 1)
+	if !found || string(v) != "orig" {
+		t.Fatalf("rollback did not restore key 1: %q found=%v", v, found)
+	}
+	if _, found, _ := db.Get("t", 2); found {
+		t.Fatal("rollback did not remove inserted key 2")
+	}
+}
+
+func TestTxCrashRecoveryDropsUncommitted(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultTestConfig(dir)
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.CreateTable("t")
+	db.Put("t", 1, []byte("committed"))
+
+	// An open transaction writes, its records reach the OS, then "crash".
+	tx := db.Begin()
+	tx.Put("t", 2, []byte("uncommitted"))
+	db.wal.mu.Lock()
+	db.wal.writeLocked()
+	db.wal.syncLocked()
+	db.wal.mu.Unlock()
+
+	db2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, found, _ := db2.Get("t", 1); !found {
+		t.Fatal("committed row lost")
+	}
+	if _, found, _ := db2.Get("t", 2); found {
+		t.Fatal("uncommitted transaction replayed")
+	}
+}
+
+func TestTxRepeatableReadAndIsolation(t *testing.T) {
+	db := testDB(t, nil)
+	db.CreateTable("t")
+	db.Put("t", 1, []byte("a"))
+
+	tx := db.Begin()
+	v, _, err := tx.Get("t", 1)
+	if err != nil || string(v) != "a" {
+		t.Fatal("first read")
+	}
+	// A concurrent writer must block (lock held by tx) and time out.
+	blockedErr := make(chan error, 1)
+	go func() {
+		blockedErr <- db.Txn(func(other *Tx) error {
+			return other.Put("t", 1, []byte("b"))
+		})
+	}()
+	err = <-blockedErr
+	if !errors.Is(err, ErrTxAborted) {
+		t.Fatalf("concurrent writer should abort on lock timeout, got %v", err)
+	}
+	// The row is unchanged under the original transaction.
+	v, _, _ = tx.Get("t", 1)
+	if string(v) != "a" {
+		t.Fatalf("repeatable read violated: %q", v)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Lock released: a new writer succeeds.
+	if err := db.Txn(func(other *Tx) error {
+		return other.Put("t", 1, []byte("b"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxFinishedGuards(t *testing.T) {
+	db := testDB(t, nil)
+	db.CreateTable("t")
+	tx := db.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put("t", 1, []byte("x")); err == nil {
+		t.Fatal("write on finished transaction accepted")
+	}
+	if _, _, err := tx.Get("t", 1); err == nil {
+		t.Fatal("read on finished transaction accepted")
+	}
+	if _, err := tx.Delete("t", 1); err == nil {
+		t.Fatal("delete on finished transaction accepted")
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("double commit accepted")
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal("rollback after commit should be a no-op")
+	}
+}
+
+func TestTxConcurrentTransfers(t *testing.T) {
+	// Classic bank-transfer stress: total balance is invariant under
+	// concurrent transactional transfers; aborted transactions retry.
+	db := testDB(t, nil)
+	db.CreateTable("acct")
+	const accounts = 8
+	for i := int64(0); i < accounts; i++ {
+		db.Put("acct", i, []byte{100})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				from := int64((g + i) % accounts)
+				to := int64((g + i + 1 + g%3) % accounts)
+				if from == to {
+					continue
+				}
+				for attempt := 0; attempt < 20; attempt++ {
+					err := db.Txn(func(tx *Tx) error {
+						fv, _, err := tx.Get("acct", from)
+						if err != nil {
+							return err
+						}
+						tv, _, err := tx.Get("acct", to)
+						if err != nil {
+							return err
+						}
+						if fv[0] == 0 {
+							return nil // nothing to move
+						}
+						if err := tx.Put("acct", from, []byte{fv[0] - 1}); err != nil {
+							return err
+						}
+						return tx.Put("acct", to, []byte{tv[0] + 1})
+					})
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrTxAborted) {
+						panic(fmt.Sprintf("unexpected error: %v", err))
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for i := int64(0); i < accounts; i++ {
+		v, found, err := db.Get("acct", i)
+		if err != nil || !found {
+			t.Fatalf("account %d missing", i)
+		}
+		total += int(v[0])
+	}
+	if total != accounts*100 {
+		t.Fatalf("balance invariant broken: total %d want %d", total, accounts*100)
+	}
+}
+
+func TestExecTxnGroupsStatements(t *testing.T) {
+	db := testDB(t, nil)
+	ex := NewExecutor(db, 500)
+	if err := ex.Load("sbtest", 500); err != nil {
+		t.Fatal(err)
+	}
+	commitsBefore := db.Stats().Commits
+	syncsBefore := db.Stats().WALSyncs
+
+	// A sysbench-shaped transaction: several reads and three writes under
+	// one commit.
+	stmts := []string{
+		"SELECT c FROM sbtest1 WHERE id = 10",
+		"SELECT c FROM sbtest1 WHERE id BETWEEN 20 AND 30",
+		"UPDATE sbtest1 SET k = k + 1 WHERE id = 40",
+		"DELETE FROM sbtest1 WHERE id = 50",
+		"INSERT INTO sbtest1 (id, k, c, pad) VALUES (601, 1, 2, 3)",
+	}
+	rt, err := ex.ExecTxn(stmts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Read == 0 || rt.Written != 3 {
+		t.Fatalf("rows touched: %+v", rt)
+	}
+	st := db.Stats()
+	if st.Commits != commitsBefore+1 {
+		t.Fatalf("expected exactly one commit, got %d", st.Commits-commitsBefore)
+	}
+	// One commit -> at most one fsync for the whole group (policy 1), far
+	// fewer than per-statement auto-commit.
+	if st.WALSyncs-syncsBefore > 1 {
+		t.Fatalf("group commit should fsync once, got %d", st.WALSyncs-syncsBefore)
+	}
+	// Effects visible after commit.
+	if _, found, _ := db.Get("sbtest", 50); found {
+		t.Fatal("transactional delete not applied")
+	}
+	if _, found, _ := db.Get("sbtest", 101); !found { // 601 mod 500
+		t.Fatal("transactional insert not applied")
+	}
+}
+
+func TestGenerateTransactionsAgainstEngine(t *testing.T) {
+	db := testDB(t, nil)
+	ex := NewExecutor(db, 1000)
+	if err := ex.Load("sbtest", 1000); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	w := workload.Sysbench(10)
+	for i := 0; i < 20; i++ {
+		group := w.Generate(8, r)
+		if _, err := ex.ExecTxn(group); err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package minidb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FlushPolicy mirrors innodb_flush_log_at_trx_commit.
+type FlushPolicy int
+
+const (
+	// FlushByTimer (0): records stay in the log buffer; a background timer
+	// writes and syncs roughly once per second. Fastest, least durable.
+	FlushByTimer FlushPolicy = 0
+	// FlushEachCommit (1): write and fsync on every commit. Durable.
+	FlushEachCommit FlushPolicy = 1
+	// WriteEachCommit (2): write to the OS on every commit, fsync by timer.
+	WriteEachCommit FlushPolicy = 2
+)
+
+// walRecord kinds.
+const (
+	recPut    = 1
+	recDelete = 2
+	recCommit = 3
+)
+
+// WAL is an append-only write-ahead log with a log buffer and the three
+// InnoDB durability policies. Records carry a CRC so recovery stops at the
+// first torn write.
+type WAL struct {
+	mu     sync.Mutex
+	file   *os.File
+	buf    []byte // log buffer (innodb_log_buffer_size)
+	cap    int
+	policy FlushPolicy
+
+	writes, syncs atomic.Uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// WALConfig tunes the log.
+type WALConfig struct {
+	// BufferBytes is the log buffer capacity (innodb_log_buffer_size).
+	BufferBytes int
+	// Policy is the commit durability policy.
+	Policy FlushPolicy
+	// TimerInterval is the background write/sync period for policies 0 and
+	// 2 (zero disables the timer; Close still flushes).
+	TimerInterval time.Duration
+}
+
+func openWAL(path string, cfg WALConfig) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("minidb: opening wal %s: %w", path, err)
+	}
+	if cfg.BufferBytes < 4096 {
+		cfg.BufferBytes = 4096
+	}
+	w := &WAL{
+		file:   f,
+		buf:    make([]byte, 0, cfg.BufferBytes),
+		cap:    cfg.BufferBytes,
+		policy: cfg.Policy,
+	}
+	if cfg.TimerInterval > 0 && cfg.Policy != FlushEachCommit {
+		w.stop = make(chan struct{})
+		w.done = make(chan struct{})
+		go w.timerLoop(cfg.TimerInterval)
+	}
+	return w, nil
+}
+
+func (w *WAL) timerLoop(interval time.Duration) {
+	defer close(w.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			w.writeLocked()
+			w.syncLocked()
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Append adds one record: kind, table id, key and value.
+func (w *WAL) Append(kind byte, table uint32, key int64, val []byte) error {
+	rec := encodeRecord(kind, table, key, val)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.buf)+len(rec) > w.cap {
+		// Log buffer full: forced write (the stall larger
+		// innodb_log_buffer_size avoids).
+		if err := w.writeLocked(); err != nil {
+			return err
+		}
+	}
+	w.buf = append(w.buf, rec...)
+	return nil
+}
+
+// Commit appends a commit record and applies the durability policy.
+func (w *WAL) Commit(table uint32) error {
+	if err := w.Append(recCommit, table, 0, nil); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch w.policy {
+	case FlushEachCommit:
+		if err := w.writeLocked(); err != nil {
+			return err
+		}
+		return w.syncLocked()
+	case WriteEachCommit:
+		return w.writeLocked()
+	default:
+		return nil
+	}
+}
+
+// writeLocked drains the log buffer to the OS. Caller holds w.mu.
+func (w *WAL) writeLocked() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	if _, err := w.file.Write(w.buf); err != nil {
+		return err
+	}
+	w.writes.Add(1)
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// syncLocked fsyncs the log file. Caller holds w.mu.
+func (w *WAL) syncLocked() error {
+	w.syncs.Add(1)
+	return w.file.Sync()
+}
+
+// Close flushes and closes the log.
+func (w *WAL) Close() error {
+	if w.stop != nil {
+		close(w.stop)
+		<-w.done
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.writeLocked(); err != nil {
+		return err
+	}
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	return w.file.Close()
+}
+
+// Stats reports physical log writes and fsyncs.
+func (w *WAL) Stats() (writes, syncs uint64) {
+	return w.writes.Load(), w.syncs.Load()
+}
+
+// encodeRecord layout: len uint32 | crc uint32 | kind byte | table uint32 |
+// key int64 | vlen uint16 | value.
+func encodeRecord(kind byte, table uint32, key int64, val []byte) []byte {
+	body := make([]byte, 1+4+8+2+len(val))
+	body[0] = kind
+	binary.LittleEndian.PutUint32(body[1:], table)
+	binary.LittleEndian.PutUint64(body[5:], uint64(key))
+	binary.LittleEndian.PutUint16(body[13:], uint16(len(val)))
+	copy(body[15:], val)
+	rec := make([]byte, 8+len(body))
+	binary.LittleEndian.PutUint32(rec[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(body))
+	copy(rec[8:], body)
+	return rec
+}
+
+// WALEntry is a decoded log record.
+type WALEntry struct {
+	Kind  byte
+	Table uint32
+	Key   int64
+	Val   []byte
+}
+
+// ReplayWAL streams committed records from a log file, stopping cleanly at
+// the first torn or corrupt record. Only operations belonging to
+// transactions whose commit record made it to disk are returned, in order.
+func ReplayWAL(path string) ([]WALEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var pending []WALEntry
+	var committed []WALEntry
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			break // EOF or torn header: stop
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:])
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if n == 0 || n > 1<<20 {
+			break
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(body) != crc {
+			break
+		}
+		e := WALEntry{
+			Kind:  body[0],
+			Table: binary.LittleEndian.Uint32(body[1:]),
+			Key:   int64(binary.LittleEndian.Uint64(body[5:])),
+		}
+		vlen := int(binary.LittleEndian.Uint16(body[13:]))
+		e.Val = append([]byte(nil), body[15:15+vlen]...)
+		if e.Kind == recCommit {
+			committed = append(committed, pending...)
+			pending = pending[:0]
+		} else {
+			pending = append(pending, e)
+		}
+	}
+	return committed, nil
+}

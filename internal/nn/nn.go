@@ -1,0 +1,239 @@
+// Package nn implements minimal feed-forward neural networks with manual
+// backpropagation and the Adam optimizer — the substrate for the
+// CDBTune-w-Con baseline's DDPG actor/critic networks (paper Section 7's
+// RL comparison).
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer nonlinearity.
+type Activation int
+
+const (
+	// Identity applies no nonlinearity.
+	Identity Activation = iota
+	// ReLU is max(0, x).
+	ReLU
+	// Tanh is the hyperbolic tangent.
+	Tanh
+	// Sigmoid is the logistic function (used for actions bounded to [0,1]).
+	Sigmoid
+)
+
+func (a Activation) apply(z float64) float64 {
+	switch a {
+	case ReLU:
+		if z < 0 {
+			return 0
+		}
+		return z
+	case Tanh:
+		return math.Tanh(z)
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-z))
+	default:
+		return z
+	}
+}
+
+// derivative is expressed in terms of the activation output y.
+func (a Activation) derivative(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Tanh:
+		return 1 - y*y
+	case Sigmoid:
+		return y * (1 - y)
+	default:
+		return 1
+	}
+}
+
+// Dense is a fully connected layer with activation.
+type Dense struct {
+	In, Out int
+	Act     Activation
+	W       []float64 // Out x In, row-major
+	B       []float64
+
+	x, y   []float64 // forward caches
+	GW, GB []float64 // accumulated gradients
+}
+
+// NewDense initializes a layer with Xavier-uniform weights.
+func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In: in, Out: out, Act: act,
+		W:  make([]float64, out*in),
+		B:  make([]float64, out),
+		GW: make([]float64, out*in),
+		GB: make([]float64, out),
+	}
+	bound := math.Sqrt(6.0 / float64(in+out))
+	for i := range d.W {
+		d.W[i] = (rng.Float64()*2 - 1) * bound
+	}
+	return d
+}
+
+// Forward computes the layer output, caching for backprop.
+func (d *Dense) Forward(x []float64) []float64 {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: input %d != layer in %d", len(x), d.In))
+	}
+	d.x = x
+	y := make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		z := d.B[o]
+		row := d.W[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			z += row[i] * xi
+		}
+		y[o] = d.Act.apply(z)
+	}
+	d.y = y
+	return y
+}
+
+// Backward accumulates parameter gradients for the cached forward pass and
+// returns the gradient with respect to the input.
+func (d *Dense) Backward(dy []float64) []float64 {
+	dx := make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		dz := dy[o] * d.Act.derivative(d.y[o])
+		d.GB[o] += dz
+		row := d.W[o*d.In : (o+1)*d.In]
+		grow := d.GW[o*d.In : (o+1)*d.In]
+		for i := 0; i < d.In; i++ {
+			grow[i] += dz * d.x[i]
+			dx[i] += dz * row[i]
+		}
+	}
+	return dx
+}
+
+// MLP is a stack of dense layers.
+type MLP struct {
+	Layers []*Dense
+}
+
+// NewMLP builds an MLP with the given layer sizes, hidden activation and
+// output activation.
+func NewMLP(sizes []int, hidden, out Activation, rng *rand.Rand) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		act := hidden
+		if i+2 == len(sizes) {
+			act = out
+		}
+		m.Layers = append(m.Layers, NewDense(sizes[i], sizes[i+1], act, rng))
+	}
+	return m
+}
+
+// Forward runs the network.
+func (m *MLP) Forward(x []float64) []float64 {
+	for _, l := range m.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward backpropagates an output gradient (for the latest Forward),
+// accumulating parameter gradients, and returns the input gradient.
+func (m *MLP) Backward(dy []float64) []float64 {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		dy = m.Layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// ZeroGrad clears accumulated gradients.
+func (m *MLP) ZeroGrad() {
+	for _, l := range m.Layers {
+		for i := range l.GW {
+			l.GW[i] = 0
+		}
+		for i := range l.GB {
+			l.GB[i] = 0
+		}
+	}
+}
+
+// Params returns flat views of all parameters and their gradients, aligned.
+func (m *MLP) Params() (params, grads [][]float64) {
+	for _, l := range m.Layers {
+		params = append(params, l.W, l.B)
+		grads = append(grads, l.GW, l.GB)
+	}
+	return params, grads
+}
+
+// CopyFrom copies parameters from another identically shaped MLP.
+func (m *MLP) CopyFrom(src *MLP) {
+	for i, l := range m.Layers {
+		copy(l.W, src.Layers[i].W)
+		copy(l.B, src.Layers[i].B)
+	}
+}
+
+// SoftUpdate moves parameters toward src: θ ← (1−τ)θ + τθ_src.
+func (m *MLP) SoftUpdate(src *MLP, tau float64) {
+	for i, l := range m.Layers {
+		for j := range l.W {
+			l.W[j] = (1-tau)*l.W[j] + tau*src.Layers[i].W[j]
+		}
+		for j := range l.B {
+			l.B[j] = (1-tau)*l.B[j] + tau*src.Layers[i].B[j]
+		}
+	}
+}
+
+// Adam is the Adam optimizer over a fixed parameter layout.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	m, v [][]float64
+	t    int
+}
+
+// NewAdam returns an optimizer with standard hyperparameters.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one update to params given aligned grads.
+func (a *Adam) Step(params, grads [][]float64) {
+	if a.m == nil {
+		a.m = make([][]float64, len(params))
+		a.v = make([][]float64, len(params))
+		for i, p := range params {
+			a.m[i] = make([]float64, len(p))
+			a.v[i] = make([]float64, len(p))
+		}
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		g := grads[i]
+		for j := range p {
+			a.m[i][j] = a.Beta1*a.m[i][j] + (1-a.Beta1)*g[j]
+			a.v[i][j] = a.Beta2*a.v[i][j] + (1-a.Beta2)*g[j]*g[j]
+			mh := a.m[i][j] / c1
+			vh := a.v[i][j] / c2
+			p[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}

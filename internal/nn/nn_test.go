@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestActivations(t *testing.T) {
+	if ReLU.apply(-1) != 0 || ReLU.apply(2) != 2 {
+		t.Fatal("relu")
+	}
+	if math.Abs(Sigmoid.apply(0)-0.5) > 1e-12 {
+		t.Fatal("sigmoid")
+	}
+	if Tanh.apply(0) != 0 || Identity.apply(3.3) != 3.3 {
+		t.Fatal("tanh/identity")
+	}
+}
+
+// TestGradientCheck validates backprop against finite differences.
+func TestGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP([]int{3, 5, 2}, Tanh, Identity, rng)
+	x := []float64{0.3, -0.7, 0.5}
+
+	// Loss = sum of outputs; dL/dy = 1.
+	loss := func() float64 {
+		y := m.Forward(x)
+		return y[0] + y[1]
+	}
+	m.ZeroGrad()
+	_ = m.Forward(x)
+	m.Backward([]float64{1, 1})
+
+	params, grads := m.Params()
+	const eps = 1e-6
+	for pi, p := range params {
+		for j := 0; j < len(p); j += 3 { // spot-check every third param
+			orig := p[j]
+			p[j] = orig + eps
+			lp := loss()
+			p[j] = orig - eps
+			lm := loss()
+			p[j] = orig
+			numeric := (lp - lm) / (2 * eps)
+			if math.Abs(numeric-grads[pi][j]) > 1e-5 {
+				t.Fatalf("grad mismatch at param[%d][%d]: analytic %v numeric %v",
+					pi, j, grads[pi][j], numeric)
+			}
+		}
+	}
+}
+
+// TestInputGradient checks Backward's returned input gradient numerically —
+// DDPG's actor update depends on it.
+func TestInputGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMLP([]int{2, 4, 1}, ReLU, Identity, rng)
+	x := []float64{0.4, -0.2}
+	m.ZeroGrad()
+	_ = m.Forward(x)
+	dx := m.Backward([]float64{1})
+	const eps = 1e-6
+	for i := range x {
+		xp := append([]float64(nil), x...)
+		xp[i] += eps
+		lp := m.Forward(xp)[0]
+		xm := append([]float64(nil), x...)
+		xm[i] -= eps
+		lm := m.Forward(xm)[0]
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-dx[i]) > 1e-5 {
+			t.Fatalf("input grad %d: analytic %v numeric %v", i, dx[i], numeric)
+		}
+	}
+}
+
+func TestMLPLearnsRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLP([]int{1, 16, 1}, Tanh, Identity, rng)
+	opt := NewAdam(0.01)
+	target := func(x float64) float64 { return math.Sin(3 * x) }
+	for epoch := 0; epoch < 2000; epoch++ {
+		x := rng.Float64()*2 - 1
+		y := m.Forward([]float64{x})
+		err := y[0] - target(x)
+		m.ZeroGrad()
+		m.Backward([]float64{2 * err})
+		p, g := m.Params()
+		opt.Step(p, g)
+	}
+	mse := 0.0
+	for i := 0; i < 50; i++ {
+		x := float64(i)/25 - 1
+		d := m.Forward([]float64{x})[0] - target(x)
+		mse += d * d
+	}
+	mse /= 50
+	if mse > 0.02 {
+		t.Fatalf("MLP failed to fit sin: mse %v", mse)
+	}
+}
+
+func TestCopyAndSoftUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := NewMLP([]int{2, 3, 1}, ReLU, Identity, rng)
+	b := NewMLP([]int{2, 3, 1}, ReLU, Identity, rng)
+	b.CopyFrom(a)
+	x := []float64{0.5, 0.5}
+	if a.Forward(x)[0] != b.Forward(x)[0] {
+		t.Fatal("copy should make networks identical")
+	}
+	// Perturb a, soft-update b toward it.
+	a.Layers[0].W[0] += 1
+	before := b.Layers[0].W[0]
+	b.SoftUpdate(a, 0.1)
+	want := 0.9*before + 0.1*a.Layers[0].W[0]
+	if math.Abs(b.Layers[0].W[0]-want) > 1e-12 {
+		t.Fatal("soft update wrong")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	assertPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanic("short sizes", func() { NewMLP([]int{3}, ReLU, Identity, rng) })
+	assertPanic("bad input", func() {
+		NewMLP([]int{2, 1}, ReLU, Identity, rng).Forward([]float64{1})
+	})
+}

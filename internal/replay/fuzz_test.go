@@ -1,0 +1,38 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzExtractTemplate checks the template extractor on arbitrary statement
+// bytes: it must never panic, must be idempotent (a template re-extracted is
+// itself), and must never leave a bare numeric literal behind.
+func FuzzExtractTemplate(f *testing.F) {
+	f.Add("SELECT c FROM sbtest1 WHERE id = 42")
+	f.Add("INSERT INTO t VALUES ('a''b', 3.14, -7)")
+	f.Add("UPDATE x SET y = 'unterminated")
+	f.Add("'")
+	f.Add("")
+	f.Add("123 456.789 sbtest99")
+	f.Fuzz(func(t *testing.T, sql string) {
+		tpl := ExtractTemplate(sql)
+		// Idempotence.
+		if again := ExtractTemplate(tpl); again != tpl {
+			t.Fatalf("not idempotent: %q -> %q -> %q", sql, tpl, again)
+		}
+		// No digit may survive unless it is glued to an identifier…
+		// which extraction also rewrites, so templates are digit-free.
+		for i := 0; i < len(tpl); i++ {
+			if unicode.IsDigit(rune(tpl[i])) {
+				t.Fatalf("digit survived extraction: %q -> %q", sql, tpl)
+			}
+		}
+		// Templates never grow beyond the input (placeholders only shrink).
+		if len(tpl) > len(sql)+1 {
+			t.Fatalf("template longer than input: %q -> %q", sql, tpl)
+		}
+		_ = strings.Count(tpl, "?")
+	})
+}

@@ -1,0 +1,97 @@
+package replay
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dbsim"
+	"repro/internal/workload"
+)
+
+func TestExtractTemplate(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT c FROM sbtest1 WHERE id = 42", "SELECT c FROM sbtest? WHERE id = ?"},
+		{"SELECT c FROM t WHERE id BETWEEN 5 AND 10", "SELECT c FROM t WHERE id BETWEEN ? AND ?"},
+		{"INSERT INTO t VALUES ('abc', 3.14)", "INSERT INTO t VALUES (?, ?)"},
+		{"SELECT 1", "SELECT ?"},
+	}
+	for _, c := range cases {
+		if got := ExtractTemplate(c.in); got != c.want {
+			t.Errorf("ExtractTemplate(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestExtractTemplateCollapsesShardedTables(t *testing.T) {
+	// The paper samples variable names too, so sharded tables collapse into
+	// one pattern.
+	a := ExtractTemplate("SELECT c FROM sbtest12 WHERE id = 7")
+	b := ExtractTemplate("SELECT c FROM sbtest99 WHERE id = 3")
+	if a != b {
+		t.Fatalf("sharded tables should share a template: %q vs %q", a, b)
+	}
+	if !strings.Contains(a, "sbtest?") {
+		t.Fatalf("table suffix not normalized: %q", a)
+	}
+}
+
+func TestExtractTemplatesRoundTrip(t *testing.T) {
+	// Generating from a workload and re-extracting recovers the template
+	// set (modulo literal positions).
+	r := rand.New(rand.NewSource(1))
+	w := workload.Sysbench(10)
+	stream := w.Generate(3000, r)
+	tcs := ExtractTemplates(stream)
+	if len(tcs) != len(w.Templates) {
+		t.Fatalf("extracted %d templates, workload has %d", len(tcs), len(w.Templates))
+	}
+	// Counts ordered descending and total preserved.
+	total := 0
+	for i, tc := range tcs {
+		if i > 0 && tc.Count > tcs[i-1].Count {
+			t.Fatal("templates not sorted by count")
+		}
+		total += tc.Count
+	}
+	if total != 3000 {
+		t.Fatalf("counts sum to %d", total)
+	}
+	// The most frequent template is the sysbench point select (weight 10/18).
+	if !strings.Contains(tcs[0].Template, "WHERE id = ?") {
+		t.Fatalf("unexpected top template %q", tcs[0].Template)
+	}
+}
+
+func TestReplayer(t *testing.T) {
+	w := workload.Sysbench(10)
+	sim := dbsim.New(dbsim.Instance("A"), w.Profile, 1, dbsim.WithHalfRAMBufferPool())
+	rp := New(sim, w, 2000, 3*time.Minute, 7)
+	if len(rp.Templates()) == 0 {
+		t.Fatal("no templates extracted")
+	}
+	res := rp.Replay(nil, nil)
+	if res.SimulatedDuration != 3*time.Minute {
+		t.Fatal("window wrong")
+	}
+	// At ~21K txn/s over 180s the replayer issues millions of statements.
+	if res.QueriesIssued < 1_000_000 {
+		t.Fatalf("issued %d statements, expected millions", res.QueriesIssued)
+	}
+	if res.Measurement.TPS <= 0 {
+		t.Fatal("no measurement")
+	}
+	if res.WallTime <= 0 {
+		t.Fatal("wall time not recorded")
+	}
+}
+
+func TestReplayerDefaultSample(t *testing.T) {
+	w := workload.Twitter()
+	sim := dbsim.New(dbsim.Instance("A"), w.Profile, 1, dbsim.WithHalfRAMBufferPool())
+	rp := New(sim, w, 0, time.Minute, 7) // 0 -> default sample size
+	if len(rp.Templates()) == 0 {
+		t.Fatal("no templates")
+	}
+}

@@ -1,0 +1,160 @@
+// Package repo implements the paper's Data Repository (Section 4): durable
+// storage of meta-features and observation histories from past tuning
+// tasks, from which base-learners are fit for new target tasks. The paper's
+// repository held 34 tasks from 17 workloads on 2 instance types (~6400
+// observations); cmd/restune-repo rebuilds an equivalent corpus in this
+// substrate.
+package repo
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/bo"
+	"repro/internal/core"
+	"repro/internal/knobs"
+	"repro/internal/meta"
+)
+
+// ObservationRecord is one stored iteration: the four-tuple the paper's
+// repository keeps, plus the internal-metric vector (which the
+// OtterTune-w-Con baseline's workload mapping consumes).
+type ObservationRecord struct {
+	Theta    []float64 `json:"theta"`
+	Res      float64   `json:"res"`
+	Tps      float64   `json:"tps"`
+	Lat      float64   `json:"lat"`
+	Internal []float64 `json:"internal,omitempty"`
+}
+
+// TaskRecord is one historical tuning task.
+type TaskRecord struct {
+	TaskID       string              `json:"task_id"`
+	Workload     string              `json:"workload"`
+	Hardware     string              `json:"hardware"`
+	KnobNames    []string            `json:"knob_names"`
+	MetaFeature  []float64           `json:"meta_feature"`
+	Observations []ObservationRecord `json:"observations"`
+}
+
+// History converts the stored observations to a bo.History.
+func (t TaskRecord) History() bo.History {
+	h := make(bo.History, len(t.Observations))
+	for i, o := range t.Observations {
+		h[i] = bo.Observation{Theta: o.Theta, Res: o.Res, Tps: o.Tps, Lat: o.Lat}
+	}
+	return h
+}
+
+// Repository is a collection of task records.
+type Repository struct {
+	Tasks []TaskRecord `json:"tasks"`
+}
+
+// Add appends a task record.
+func (r *Repository) Add(t TaskRecord) { r.Tasks = append(r.Tasks, t) }
+
+// Observations returns the total stored observation count.
+func (r *Repository) Observations() int {
+	n := 0
+	for _, t := range r.Tasks {
+		n += len(t.Observations)
+	}
+	return n
+}
+
+// Filter returns the tasks matching the predicate.
+func (r *Repository) Filter(pred func(TaskRecord) bool) []TaskRecord {
+	var out []TaskRecord
+	for _, t := range r.Tasks {
+		if pred(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// BaseLearners fits a base-learner per task matching the predicate (nil
+// selects all). Tasks whose knob set does not match the given space are
+// skipped: histories are only transferable within the same configuration
+// space.
+func (r *Repository) BaseLearners(space *knobs.Space, seed int64, pred func(TaskRecord) bool) ([]*meta.BaseLearner, error) {
+	var out []*meta.BaseLearner
+	for i, t := range r.Tasks {
+		if pred != nil && !pred(t) {
+			continue
+		}
+		if !sameKnobs(t.KnobNames, space) {
+			continue
+		}
+		bl, err := meta.NewBaseLearner(t.TaskID, t.Workload, t.Hardware,
+			t.MetaFeature, t.History(), space.Dim(), seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("repo: task %s: %w", t.TaskID, err)
+		}
+		out = append(out, bl)
+	}
+	return out, nil
+}
+
+func sameKnobs(names []string, space *knobs.Space) bool {
+	ks := space.Knobs()
+	if len(names) != len(ks) {
+		return false
+	}
+	for i, k := range ks {
+		if names[i] != k.Name {
+			return false
+		}
+	}
+	return true
+}
+
+// FromResult converts a finished tuning session into a task record.
+func FromResult(taskID, workloadName, hardwareName string, metaFeature []float64, space *knobs.Space, res *core.Result) TaskRecord {
+	t := TaskRecord{
+		TaskID:      taskID,
+		Workload:    workloadName,
+		Hardware:    hardwareName,
+		MetaFeature: append([]float64(nil), metaFeature...),
+	}
+	for _, k := range space.Knobs() {
+		t.KnobNames = append(t.KnobNames, k.Name)
+	}
+	for _, it := range res.Iterations {
+		t.Observations = append(t.Observations, ObservationRecord{
+			Theta:    it.Observation.Theta,
+			Res:      it.Observation.Res,
+			Tps:      it.Observation.Tps,
+			Lat:      it.Observation.Lat,
+			Internal: it.Measurement.Internal,
+		})
+	}
+	return t
+}
+
+// Save writes the repository as JSON.
+func (r *Repository) Save(path string) error {
+	data, err := json.MarshalIndent(r, "", " ")
+	if err != nil {
+		return fmt.Errorf("repo: encoding: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("repo: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a repository from JSON.
+func Load(path string) (*Repository, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("repo: reading %s: %w", path, err)
+	}
+	var r Repository
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("repo: decoding %s: %w", path, err)
+	}
+	return &r, nil
+}

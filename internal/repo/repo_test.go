@@ -1,0 +1,110 @@
+package repo
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bo"
+	"repro/internal/core"
+	"repro/internal/dbsim"
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+func sampleResult(t *testing.T, seed int64) (*core.Result, *knobs.Space) {
+	t.Helper()
+	w := workload.Twitter()
+	sim := dbsim.New(dbsim.Instance("A"), w.Profile, seed, dbsim.WithHalfRAMBufferPool())
+	space := knobs.CaseStudySpace()
+	ev := core.NewSimEvaluator(sim, space, dbsim.CPUPct)
+	cfg := core.DefaultConfig(seed)
+	cfg.Acq = bo.OptimizerConfig{RandomCandidates: 64, LocalStarts: 2, LocalSteps: 5, StepScale: 0.1}
+	res, err := core.New(cfg).Run(ev, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, space
+}
+
+func TestFromResultAndRoundTrip(t *testing.T) {
+	res, space := sampleResult(t, 1)
+	rec := FromResult("task-1", "twitter", "A", []float64{0.1, 0.2, 0.3, 0.2, 0.2}, space, res)
+	if len(rec.Observations) != 13 {
+		t.Fatalf("observations: %d", len(rec.Observations))
+	}
+	if len(rec.KnobNames) != 3 {
+		t.Fatalf("knob names: %v", rec.KnobNames)
+	}
+	if len(rec.Observations[0].Internal) == 0 {
+		t.Fatal("internal metrics not persisted")
+	}
+
+	var r Repository
+	r.Add(rec)
+	if r.Observations() != 13 {
+		t.Fatalf("total observations: %d", r.Observations())
+	}
+
+	path := filepath.Join(t.TempDir(), "repo.json")
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Tasks) != 1 || loaded.Tasks[0].TaskID != "task-1" {
+		t.Fatalf("loaded: %+v", loaded.Tasks)
+	}
+	if loaded.Observations() != 13 {
+		t.Fatal("observations lost in round trip")
+	}
+	h := loaded.Tasks[0].History()
+	if h[0].Res != rec.Observations[0].Res {
+		t.Fatal("history mismatch")
+	}
+}
+
+func TestBaseLearnersFilterAndSpaceCheck(t *testing.T) {
+	res, space := sampleResult(t, 2)
+	var r Repository
+	r.Add(FromResult("a", "twitter", "A", []float64{1, 0, 0, 0, 0}, space, res))
+	r.Add(FromResult("b", "twitter", "B", []float64{0, 1, 0, 0, 0}, space, res))
+
+	// All tasks.
+	bls, err := r.BaseLearners(space, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bls) != 2 {
+		t.Fatalf("base learners: %d", len(bls))
+	}
+	if bls[0].TaskID != "a" || bls[0].HardwareName != "A" {
+		t.Fatalf("metadata lost: %+v", bls[0])
+	}
+
+	// Varying-hardware setting: hold out instance A.
+	bls, err = r.BaseLearners(space, 1, func(t TaskRecord) bool { return t.Hardware != "A" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bls) != 1 || bls[0].TaskID != "b" {
+		t.Fatalf("filtered learners: %d", len(bls))
+	}
+
+	// Mismatched knob space is skipped, not an error.
+	other := knobs.Fig1Space()
+	bls, err = r.BaseLearners(other, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bls) != 0 {
+		t.Fatal("space mismatch should skip tasks")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

@@ -1,0 +1,171 @@
+// Package rl implements a compact DDPG (deep deterministic policy gradient)
+// agent — the learning core of the CDBTune-w-Con baseline. CDBTune maps the
+// DBMS's internal metrics (state) to knob configurations (action) with an
+// actor network and scores them with a critic, trained off a replay buffer
+// with target networks (Lillicrap et al., which the paper cites as [28]).
+package rl
+
+import (
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// Transition is one (s, a, r, s') experience.
+type Transition struct {
+	State     []float64
+	Action    []float64
+	Reward    float64
+	NextState []float64
+}
+
+// Config holds DDPG hyperparameters.
+type Config struct {
+	// Hidden is the hidden layer width of both networks.
+	Hidden int
+	// Gamma is the discount factor.
+	Gamma float64
+	// Tau is the target-network soft-update rate.
+	Tau float64
+	// ActorLR and CriticLR are Adam learning rates.
+	ActorLR, CriticLR float64
+	// BufferSize caps the replay buffer.
+	BufferSize int
+	// Batch is the minibatch size.
+	Batch int
+	// NoiseStd is the initial exploration noise; NoiseDecay multiplies it
+	// per Act call.
+	NoiseStd, NoiseDecay float64
+}
+
+// DefaultConfig returns hyperparameters sized for tens-to-hundreds of
+// tuning iterations.
+func DefaultConfig() Config {
+	return Config{
+		Hidden: 32, Gamma: 0.9, Tau: 0.01,
+		ActorLR: 1e-3, CriticLR: 1e-3,
+		BufferSize: 512, Batch: 16,
+		NoiseStd: 0.4, NoiseDecay: 0.99,
+	}
+}
+
+// DDPG is the agent.
+type DDPG struct {
+	cfg          Config
+	actor        *nn.MLP
+	actorTarget  *nn.MLP
+	critic       *nn.MLP
+	criticTarget *nn.MLP
+	actorOpt     *nn.Adam
+	criticOpt    *nn.Adam
+	buffer       []Transition
+	noise        float64
+	stateDim     int
+	actionDim    int
+	rng          *rand.Rand
+}
+
+// New builds an agent for the given state/action dimensionalities.
+func New(stateDim, actionDim int, cfg Config, rng *rand.Rand) *DDPG {
+	if cfg.Hidden <= 0 {
+		cfg = DefaultConfig()
+	}
+	d := &DDPG{
+		cfg:          cfg,
+		actor:        nn.NewMLP([]int{stateDim, cfg.Hidden, actionDim}, nn.ReLU, nn.Sigmoid, rng),
+		actorTarget:  nn.NewMLP([]int{stateDim, cfg.Hidden, actionDim}, nn.ReLU, nn.Sigmoid, rng),
+		critic:       nn.NewMLP([]int{stateDim + actionDim, cfg.Hidden, 1}, nn.ReLU, nn.Identity, rng),
+		criticTarget: nn.NewMLP([]int{stateDim + actionDim, cfg.Hidden, 1}, nn.ReLU, nn.Identity, rng),
+		actorOpt:     nn.NewAdam(cfg.ActorLR),
+		criticOpt:    nn.NewAdam(cfg.CriticLR),
+		noise:        cfg.NoiseStd,
+		stateDim:     stateDim,
+		actionDim:    actionDim,
+		rng:          rng,
+	}
+	d.actorTarget.CopyFrom(d.actor)
+	d.criticTarget.CopyFrom(d.critic)
+	return d
+}
+
+// Act returns the policy action for a state with decaying exploration
+// noise, clipped to [0,1]^m.
+func (d *DDPG) Act(state []float64) []float64 {
+	a := d.actor.Forward(state)
+	out := make([]float64, len(a))
+	for i, ai := range a {
+		v := ai + d.noise*d.rng.NormFloat64()
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		out[i] = v
+	}
+	d.noise *= d.cfg.NoiseDecay
+	return out
+}
+
+// Observe stores a transition in the replay buffer.
+func (d *DDPG) Observe(tr Transition) {
+	if len(d.buffer) >= d.cfg.BufferSize {
+		copy(d.buffer, d.buffer[1:])
+		d.buffer = d.buffer[:len(d.buffer)-1]
+	}
+	d.buffer = append(d.buffer, tr)
+}
+
+// BufferLen returns the replay buffer occupancy.
+func (d *DDPG) BufferLen() int { return len(d.buffer) }
+
+// Train runs the given number of minibatch updates (no-op until the buffer
+// holds a minibatch).
+func (d *DDPG) Train(steps int) {
+	if len(d.buffer) < d.cfg.Batch {
+		return
+	}
+	for s := 0; s < steps; s++ {
+		d.trainStep()
+	}
+}
+
+func (d *DDPG) trainStep() {
+	batch := d.cfg.Batch
+	// --- Critic update: minimize (Q(s,a) - [r + γ Q'(s', μ'(s'))])².
+	d.critic.ZeroGrad()
+	for b := 0; b < batch; b++ {
+		tr := d.buffer[d.rng.Intn(len(d.buffer))]
+		a2 := d.actorTarget.Forward(tr.NextState)
+		q2 := d.criticTarget.Forward(concat(tr.NextState, a2))[0]
+		target := tr.Reward + d.cfg.Gamma*q2
+		q := d.critic.Forward(concat(tr.State, tr.Action))[0]
+		d.critic.Backward([]float64{2 * (q - target) / float64(batch)})
+	}
+	p, g := d.critic.Params()
+	d.criticOpt.Step(p, g)
+
+	// --- Actor update: ascend Q(s, μ(s)) — backprop through the critic to
+	// the action, then through the actor.
+	d.actor.ZeroGrad()
+	for b := 0; b < batch; b++ {
+		tr := d.buffer[d.rng.Intn(len(d.buffer))]
+		a := d.actor.Forward(tr.State)
+		d.critic.ZeroGrad()
+		_ = d.critic.Forward(concat(tr.State, a))
+		dIn := d.critic.Backward([]float64{-1.0 / float64(batch)}) // maximize Q
+		d.actor.Backward(dIn[d.stateDim:])
+	}
+	p, g = d.actor.Params()
+	d.actorOpt.Step(p, g)
+
+	// --- Target networks.
+	d.actorTarget.SoftUpdate(d.actor, d.cfg.Tau)
+	d.criticTarget.SoftUpdate(d.critic, d.cfg.Tau)
+}
+
+func concat(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}

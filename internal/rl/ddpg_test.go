@@ -1,0 +1,76 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestActBoundsAndNoiseDecay(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := New(4, 3, DefaultConfig(), rng)
+	s := []float64{0.5, 0.1, 0.9, 0.3}
+	for i := 0; i < 50; i++ {
+		a := d.Act(s)
+		if len(a) != 3 {
+			t.Fatalf("action dim %d", len(a))
+		}
+		for _, ai := range a {
+			if ai < 0 || ai > 1 {
+				t.Fatalf("action out of [0,1]: %v", ai)
+			}
+		}
+	}
+	if d.noise >= DefaultConfig().NoiseStd {
+		t.Fatal("noise should decay")
+	}
+}
+
+func TestBufferCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := DefaultConfig()
+	cfg.BufferSize = 8
+	d := New(2, 1, cfg, rng)
+	for i := 0; i < 20; i++ {
+		d.Observe(Transition{State: []float64{0, 0}, Action: []float64{0.5}, Reward: 1, NextState: []float64{0, 0}})
+	}
+	if d.BufferLen() != 8 {
+		t.Fatalf("buffer len %d want 8", d.BufferLen())
+	}
+}
+
+func TestTrainNoopWhenEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := New(2, 1, DefaultConfig(), rng)
+	d.Train(5) // must not panic
+}
+
+// TestLearnsBanditOptimum trains on a contextual bandit where reward peaks
+// at action 0.8; the policy should move toward it.
+func TestLearnsBanditOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cfg := DefaultConfig()
+	cfg.NoiseDecay = 0.995
+	d := New(1, 1, cfg, rng)
+	state := []float64{0.5}
+	reward := func(a float64) float64 {
+		diff := a - 0.8
+		return 1 - 4*diff*diff
+	}
+	for i := 0; i < 400; i++ {
+		a := d.Act(state)
+		d.Observe(Transition{State: state, Action: a, Reward: reward(a[0]), NextState: state})
+		d.Train(4)
+	}
+	final := d.actor.Forward(state)[0]
+	if final < 0.55 || final > 1.0 {
+		t.Fatalf("policy did not approach optimum 0.8: got %v", final)
+	}
+}
+
+func TestZeroConfigFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := New(2, 2, Config{}, rng)
+	if d.cfg.Hidden == 0 {
+		t.Fatal("zero config should fall back to defaults")
+	}
+}

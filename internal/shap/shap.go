@@ -1,0 +1,66 @@
+// Package shap computes exact Shapley values over knob coalitions — the
+// attribution behind the paper's Figure 7 "SHAP path", which explains how
+// each recommended knob moves CPU, throughput and latency from their
+// default-configuration values to the tuned ones. With the case study's
+// three knobs the 2³ coalitions are enumerated exactly (no sampling
+// approximation is needed).
+package shap
+
+import (
+	"math/bits"
+)
+
+// ValueFunc evaluates a coalition: bit i of mask set means knob i takes its
+// tuned value, clear means it stays at the default.
+type ValueFunc func(mask uint) float64
+
+// Values returns the exact Shapley value of each of n players under v:
+//
+//	φ_i = Σ_{S ⊆ N\{i}} |S|!·(n−|S|−1)!/n! · [v(S∪{i}) − v(S)]
+//
+// All 2^n coalition values are evaluated once and memoized. n is capped at
+// 20 to keep the enumeration sane (the paper's use case is n=3).
+func Values(n int, v ValueFunc) []float64 {
+	if n < 0 || n > 20 {
+		panic("shap: player count out of range [0,20]")
+	}
+	total := uint(1) << n
+	vals := make([]float64, total)
+	for m := uint(0); m < total; m++ {
+		vals[m] = v(m)
+	}
+
+	// Precompute coalition weights |S|!(n-|S|-1)!/n!.
+	fact := make([]float64, n+1)
+	fact[0] = 1
+	for i := 1; i <= n; i++ {
+		fact[i] = fact[i-1] * float64(i)
+	}
+	weight := make([]float64, n)
+	for s := 0; s < n; s++ {
+		weight[s] = fact[s] * fact[n-s-1] / fact[n]
+	}
+
+	phi := make([]float64, n)
+	for i := 0; i < n; i++ {
+		bit := uint(1) << i
+		for m := uint(0); m < total; m++ {
+			if m&bit != 0 {
+				continue
+			}
+			s := bits.OnesCount(m)
+			phi[i] += weight[s] * (vals[m|bit] - vals[m])
+		}
+	}
+	return phi
+}
+
+// Sum returns the total of the Shapley values, which by the efficiency
+// axiom equals v(full) − v(empty).
+func Sum(phi []float64) float64 {
+	s := 0.0
+	for _, p := range phi {
+		s += p
+	}
+	return s
+}

@@ -1,0 +1,91 @@
+package shap
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdditiveGame(t *testing.T) {
+	// v(S) = Σ_{i∈S} c_i: Shapley values are exactly the c_i.
+	c := []float64{3, -1, 5}
+	v := func(mask uint) float64 {
+		s := 0.0
+		for i, ci := range c {
+			if mask&(1<<i) != 0 {
+				s += ci
+			}
+		}
+		return s
+	}
+	phi := Values(3, v)
+	for i := range c {
+		if math.Abs(phi[i]-c[i]) > 1e-12 {
+			t.Fatalf("φ[%d]=%v want %v", i, phi[i], c[i])
+		}
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	// Two interchangeable players get equal values.
+	v := func(mask uint) float64 {
+		if bits.OnesCount(mask) == 2 {
+			return 10
+		}
+		return 0
+	}
+	phi := Values(2, v)
+	if phi[0] != phi[1] || math.Abs(phi[0]-5) > 1e-12 {
+		t.Fatalf("symmetric game: %v", phi)
+	}
+}
+
+func TestDummyPlayer(t *testing.T) {
+	// Player 1 never changes the value: φ_1 = 0.
+	v := func(mask uint) float64 {
+		if mask&1 != 0 {
+			return 7
+		}
+		return 0
+	}
+	phi := Values(3, v)
+	if phi[1] != 0 || phi[2] != 0 {
+		t.Fatalf("dummy players should get zero: %v", phi)
+	}
+	if math.Abs(phi[0]-7) > 1e-12 {
+		t.Fatalf("carrier player: %v", phi)
+	}
+}
+
+// Property: efficiency — Σφ = v(full) − v(empty), for random games.
+func TestQuickEfficiency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		vals := make([]float64, 1<<n)
+		for i := range vals {
+			vals[i] = r.NormFloat64() * 10
+		}
+		v := func(mask uint) float64 { return vals[mask] }
+		phi := Values(n, v)
+		return math.Abs(Sum(phi)-(vals[len(vals)-1]-vals[0])) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	phi := Values(0, func(uint) float64 { return 5 })
+	if len(phi) != 0 {
+		t.Fatal("zero players")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n>20")
+		}
+	}()
+	Values(21, func(uint) float64 { return 0 })
+}

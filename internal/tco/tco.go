@@ -1,0 +1,100 @@
+// Package tco estimates 1-year Total-Cost-of-Ownership reductions from
+// resource savings (paper Section 7.6, Tables 8 and 9). The paper priced
+// RDS MySQL on AWS, Azure and Aliyun with the providers' online
+// calculators; we embed static per-core and per-GB annual prices derived
+// from the paper's own worked numbers: Table 8 reports an average $398
+// reduction per saved core, and Table 9's per-provider memory rows imply
+// roughly $77 (AWS), $67 (Azure) and $168 (Aliyun) per saved GB-year.
+package tco
+
+import (
+	"fmt"
+	"math"
+)
+
+// Provider holds one cloud's annual unit prices for RDS MySQL resources.
+type Provider struct {
+	// Name is the provider label.
+	Name string
+	// PerCoreYear is the 1-year TCO per vCPU in USD.
+	PerCoreYear float64
+	// PerGBYear is the 1-year TCO per GB of RAM in USD.
+	PerGBYear float64
+}
+
+// Providers returns the three clouds of the paper's analysis.
+func Providers() []Provider {
+	return []Provider{
+		{Name: "AWS", PerCoreYear: 550, PerGBYear: 77},
+		{Name: "Azure", PerCoreYear: 450, PerGBYear: 67},
+		{Name: "Aliyun", PerCoreYear: 195, PerGBYear: 168},
+	}
+}
+
+// CoresUsed converts a CPU utilization percentage on an instance into the
+// number of cores actually consumed, rounded up — the paper's "originally
+// used resource might be less than the total resource of the instance".
+func CoresUsed(cpuPct float64, totalCores int) int {
+	c := int(math.Ceil(cpuPct / 100 * float64(totalCores)))
+	if c < 0 {
+		c = 0
+	}
+	if c > totalCores {
+		c = totalCores
+	}
+	return c
+}
+
+// Reduction is a per-provider annual saving plus the average the paper's
+// Table 8 reports.
+type Reduction struct {
+	// PerProvider maps provider name to annual USD saved.
+	PerProvider map[string]float64
+	// Average is the mean across providers.
+	Average float64
+}
+
+func reduction(unit func(Provider) float64, amount float64) Reduction {
+	r := Reduction{PerProvider: make(map[string]float64)}
+	for _, p := range Providers() {
+		v := unit(p) * amount
+		r.PerProvider[p.Name] = v
+		r.Average += v
+	}
+	r.Average /= float64(len(Providers()))
+	return r
+}
+
+// CPUReduction prices a saving of coresSaved vCPUs for one year.
+func CPUReduction(coresSaved int) Reduction {
+	if coresSaved < 0 {
+		coresSaved = 0
+	}
+	return reduction(func(p Provider) float64 { return p.PerCoreYear }, float64(coresSaved))
+}
+
+// MemoryReduction prices a saving of gbSaved GB of RAM for one year.
+func MemoryReduction(gbSaved float64) Reduction {
+	if gbSaved < 0 {
+		gbSaved = 0
+	}
+	return reduction(func(p Provider) float64 { return p.PerGBYear }, gbSaved)
+}
+
+// FormatUSD renders a dollar amount with thousands separators, the way the
+// paper's tables do ("$8,749").
+func FormatUSD(v float64) string {
+	neg := v < 0
+	s := fmt.Sprintf("%.0f", math.Abs(v))
+	var out []byte
+	for i, ch := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, ch)
+	}
+	if neg {
+		return "-$" + string(out)
+	}
+	return "$" + string(out)
+}

@@ -1,0 +1,75 @@
+package tco
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCoresUsed(t *testing.T) {
+	cases := []struct {
+		pct   float64
+		total int
+		want  int
+	}{
+		{90, 48, 44}, // ceil(43.2)
+		{100, 48, 48},
+		{0, 48, 0},
+		{50, 4, 2},
+		{120, 8, 8}, // clamped
+		{-5, 8, 0},  // clamped
+	}
+	for _, c := range cases {
+		if got := CoresUsed(c.pct, c.total); got != c.want {
+			t.Errorf("CoresUsed(%v,%d)=%d want %d", c.pct, c.total, got, c.want)
+		}
+	}
+}
+
+func TestCPUReductionMatchesPaperScale(t *testing.T) {
+	// Paper Table 8: one saved core averages ~$398/year across providers.
+	r := CPUReduction(1)
+	if math.Abs(r.Average-398) > 5 {
+		t.Fatalf("per-core average %v, want ~398 (Table 8 anchor)", r.Average)
+	}
+	if len(r.PerProvider) != 3 {
+		t.Fatal("three providers expected")
+	}
+	// 22 cores (SYSBENCH on instance A) lands near the paper's $8,749.
+	r = CPUReduction(22)
+	if math.Abs(r.Average-8749) > 150 {
+		t.Fatalf("22-core average %v, want ~8749", r.Average)
+	}
+	if CPUReduction(-3).Average != 0 {
+		t.Fatal("negative savings clamp to zero")
+	}
+}
+
+func TestMemoryReductionMatchesPaperScale(t *testing.T) {
+	// Paper Table 9: SYSBENCH on E saved 12.76GB -> AWS $983, Azure $855,
+	// Aliyun $2144.
+	r := MemoryReduction(12.76)
+	anchors := map[string]float64{"AWS": 983, "Azure": 855, "Aliyun": 2144}
+	for name, want := range anchors {
+		if got := r.PerProvider[name]; math.Abs(got-want) > 30 {
+			t.Errorf("%s: %v want ~%v", name, got, want)
+		}
+	}
+	if MemoryReduction(-1).Average != 0 {
+		t.Fatal("negative savings clamp to zero")
+	}
+}
+
+func TestFormatUSD(t *testing.T) {
+	cases := map[float64]string{
+		0:       "$0",
+		45:      "$45",
+		8749:    "$8,749",
+		1234567: "$1,234,567",
+		-398:    "-$398",
+	}
+	for v, want := range cases {
+		if got := FormatUSD(v); got != want {
+			t.Errorf("FormatUSD(%v)=%q want %q", v, got, want)
+		}
+	}
+}

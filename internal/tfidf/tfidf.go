@@ -1,0 +1,126 @@
+// Package tfidf implements the SQL feature extraction of the paper's
+// workload characterization pipeline (Section 6.2): queries are reduced to
+// their reserved SQL keywords — filtering out variable names and literals so
+// the features generalize across schemas — and embedded as TF-IDF vectors
+// over that small, fixed vocabulary.
+package tfidf
+
+import (
+	"math"
+	"strings"
+)
+
+// reserved is the SQL keyword vocabulary. Each reserved word stands for a
+// type of DBMS operation, which is why the paper restricts the dictionary
+// to them ("since only the reserved words are used, the vocabulary
+// dictionary is small, and the model has better generality").
+var reserved = []string{
+	"SELECT", "FROM", "WHERE", "JOIN", "ON", "GROUP", "ORDER", "BY",
+	"LIMIT", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+	"DISTINCT", "SUM", "COUNT", "AVG", "MIN", "MAX", "BETWEEN", "AND",
+	"OR", "IN", "DESC", "ASC", "HAVING", "UNION", "LIKE", "NOT", "NULL", "AS",
+}
+
+var reservedSet = func() map[string]bool {
+	m := make(map[string]bool, len(reserved))
+	for _, w := range reserved {
+		m[w] = true
+	}
+	return m
+}()
+
+// Reserved returns the keyword vocabulary in canonical order.
+func Reserved() []string { return append([]string(nil), reserved...) }
+
+// ExtractReserved tokenizes a SQL statement and keeps only reserved
+// keywords, uppercased, in order of appearance.
+func ExtractReserved(sql string) []string {
+	var out []string
+	var tok strings.Builder
+	flush := func() {
+		if tok.Len() == 0 {
+			return
+		}
+		w := strings.ToUpper(tok.String())
+		if reservedSet[w] {
+			out = append(out, w)
+		}
+		tok.Reset()
+	}
+	for _, ch := range sql {
+		if ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z' || ch == '_' {
+			tok.WriteRune(ch)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// Vectorizer maps keyword token lists to TF-IDF vectors over the reserved
+// vocabulary.
+type Vectorizer struct {
+	vocab map[string]int
+	idf   []float64
+}
+
+// Fit learns inverse document frequencies from a corpus of token lists.
+// The vocabulary is always the full reserved-word set so vectors from
+// different corpora are comparable.
+func Fit(corpus [][]string) *Vectorizer {
+	v := &Vectorizer{vocab: make(map[string]int, len(reserved)), idf: make([]float64, len(reserved))}
+	for i, w := range reserved {
+		v.vocab[w] = i
+	}
+	df := make([]float64, len(reserved))
+	for _, doc := range corpus {
+		seen := make(map[int]bool)
+		for _, tok := range doc {
+			if i, ok := v.vocab[tok]; ok && !seen[i] {
+				df[i]++
+				seen[i] = true
+			}
+		}
+	}
+	n := float64(len(corpus))
+	for i := range v.idf {
+		// Smoothed IDF; keeps terms absent from the corpus finite.
+		v.idf[i] = math.Log((1+n)/(1+df[i])) + 1
+	}
+	return v
+}
+
+// Dim returns the vector dimensionality.
+func (v *Vectorizer) Dim() int { return len(v.idf) }
+
+// Transform embeds one token list as an L2-normalized TF-IDF vector.
+func (v *Vectorizer) Transform(tokens []string) []float64 {
+	x := make([]float64, len(v.idf))
+	if len(tokens) == 0 {
+		return x
+	}
+	for _, tok := range tokens {
+		if i, ok := v.vocab[tok]; ok {
+			x[i]++
+		}
+	}
+	norm := 0.0
+	for i := range x {
+		x[i] = x[i] / float64(len(tokens)) * v.idf[i]
+		norm += x[i] * x[i]
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range x {
+			x[i] /= norm
+		}
+	}
+	return x
+}
+
+// TransformSQL extracts reserved keywords from a SQL statement and embeds
+// them.
+func (v *Vectorizer) TransformSQL(sql string) []float64 {
+	return v.Transform(ExtractReserved(sql))
+}

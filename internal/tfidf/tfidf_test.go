@@ -1,0 +1,88 @@
+package tfidf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtractReserved(t *testing.T) {
+	got := ExtractReserved("SELECT c FROM sbtest1 WHERE id BETWEEN 5 AND 10 ORDER BY c")
+	want := []string{"SELECT", "FROM", "WHERE", "BETWEEN", "AND", "ORDER", "BY"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestExtractFiltersIdentifiersAndCase(t *testing.T) {
+	got := ExtractReserved("select selection FROM from_table where x = 'WHERE'")
+	// "selection" and "from_table" are identifiers, not keywords; the quoted
+	// WHERE still tokenizes as a word (we do not parse strings — acceptable
+	// noise the paper's pipeline shares), lowercase keywords normalize.
+	if got[0] != "SELECT" || got[1] != "FROM" || got[2] != "WHERE" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestExtractEmpty(t *testing.T) {
+	if got := ExtractReserved("12345 ???"); len(got) != 0 {
+		t.Fatalf("expected no tokens, got %v", got)
+	}
+}
+
+func TestVectorizerTransform(t *testing.T) {
+	corpus := [][]string{
+		ExtractReserved("SELECT a FROM t WHERE x = 1"),
+		ExtractReserved("INSERT INTO t VALUES (1)"),
+		ExtractReserved("SELECT b FROM u"),
+	}
+	v := Fit(corpus)
+	if v.Dim() != len(Reserved()) {
+		t.Fatalf("dim %d", v.Dim())
+	}
+	x := v.TransformSQL("SELECT a FROM t")
+	// L2 normalized.
+	norm := 0.0
+	for _, xi := range x {
+		norm += xi * xi
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Fatalf("norm %v", norm)
+	}
+	// SELECT appears in 2/3 docs, INSERT in 1/3: IDF(INSERT) > IDF(SELECT).
+	y := v.TransformSQL("INSERT INTO t VALUES (1) SELECT")
+	idxSel, idxIns := indexOf("SELECT"), indexOf("INSERT")
+	if y[idxIns] <= y[idxSel] {
+		t.Fatalf("rarer keyword should weigh more: insert=%v select=%v", y[idxIns], y[idxSel])
+	}
+	// Empty statement maps to zero vector.
+	z := v.TransformSQL("123")
+	for _, zi := range z {
+		if zi != 0 {
+			t.Fatal("empty doc should be zero vector")
+		}
+	}
+}
+
+func indexOf(word string) int {
+	for i, w := range Reserved() {
+		if w == word {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestVectorizerComparableAcrossCorpora(t *testing.T) {
+	// The vocabulary is fixed, so vectors from different fits have the same
+	// dimension and ordering.
+	v1 := Fit([][]string{{"SELECT"}})
+	v2 := Fit([][]string{{"INSERT"}, {"UPDATE"}})
+	if v1.Dim() != v2.Dim() {
+		t.Fatal("dims differ across corpora")
+	}
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/forest"
+	"repro/internal/rng"
+	"repro/internal/tfidf"
+)
+
+// CostLevels is the number of log-discretized resource-cost classes the
+// characterization model predicts (Section 6.2: labels "have a wide range
+// of values and are highly skewed", so the paper log-transforms and
+// discretizes them).
+const CostLevels = 5
+
+// Characterizer is the workload characterization pipeline of Section 6.2:
+// reserved-word TF-IDF features -> random-forest resource-cost classifier ->
+// workload meta-feature (the mean predicted class distribution over the
+// workload's queries).
+type Characterizer struct {
+	vec *tfidf.Vectorizer
+	rf  *forest.Forest
+}
+
+// NewCharacterizer trains the pipeline on the query templates of the given
+// workloads, using each template's log-discretized CostLevel as the label.
+// The training corpus replicates templates by mix weight so frequent shapes
+// dominate the IDF statistics, as a recorded production query log would.
+func NewCharacterizer(trainOn []Workload, seed int64) (*Characterizer, error) {
+	r := rng.Derive(seed, "characterizer")
+	var docs [][]string
+	var labels []int
+	for _, w := range trainOn {
+		for _, t := range w.Templates {
+			reps := 1 + int(t.Weight/2)
+			if reps > 8 {
+				reps = 8
+			}
+			for k := 0; k < reps; k++ {
+				docs = append(docs, tfidf.ExtractReserved(t.SQL))
+				labels = append(labels, t.CostLevel)
+			}
+		}
+	}
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("workload: no training templates")
+	}
+	vec := tfidf.Fit(docs)
+	x := make([][]float64, len(docs))
+	for i, d := range docs {
+		x[i] = vec.Transform(d)
+	}
+	rf, err := forest.Train(x, labels, forest.DefaultConfig(CostLevels), r)
+	if err != nil {
+		return nil, fmt.Errorf("workload: training characterizer: %w", err)
+	}
+	return &Characterizer{vec: vec, rf: rf}, nil
+}
+
+// QueryDistribution returns the predicted cost-level distribution for one
+// SQL statement.
+func (c *Characterizer) QueryDistribution(sql string) []float64 {
+	return c.rf.PredictProba(c.vec.TransformSQL(sql))
+}
+
+// MetaFeature embeds a workload: it samples nQueries statements from the
+// workload's generator and returns the average predicted cost distribution —
+// "the averaged probability distribution represents the meta-feature for
+// the input workload by characterizing the appearance frequencies of the
+// queries" (Section 6.2).
+func (c *Characterizer) MetaFeature(w Workload, nQueries int, r *rand.Rand) []float64 {
+	if nQueries <= 0 {
+		nQueries = 256
+	}
+	queries := w.Generate(nQueries, r)
+	avg := make([]float64, CostLevels)
+	for _, q := range queries {
+		p := c.QueryDistribution(q)
+		for i := range avg {
+			avg[i] += p[i]
+		}
+	}
+	for i := range avg {
+		avg[i] /= float64(len(queries))
+	}
+	return avg
+}

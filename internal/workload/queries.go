@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// sysbenchTemplates is the oltp_read_write mix: per transaction 10 point
+// selects, 4 range queries, 2 updates, 1 delete, 1 insert — the 7:2 R/W mix
+// of Table 2.
+func sysbenchTemplates() []Template {
+	return []Template{
+		{SQL: "SELECT c FROM sbtest? WHERE id = ?", Kind: PointSelect, Weight: 10, CostLevel: 0},
+		{SQL: "SELECT c FROM sbtest? WHERE id BETWEEN ? AND ?", Kind: RangeSelect, Weight: 1, CostLevel: 1},
+		{SQL: "SELECT SUM(k) FROM sbtest? WHERE id BETWEEN ? AND ?", Kind: RangeSelect, Weight: 1, CostLevel: 2},
+		{SQL: "SELECT c FROM sbtest? WHERE id BETWEEN ? AND ? ORDER BY c", Kind: RangeSelect, Weight: 1, CostLevel: 2},
+		{SQL: "SELECT DISTINCT c FROM sbtest? WHERE id BETWEEN ? AND ? ORDER BY c", Kind: RangeSelect, Weight: 1, CostLevel: 3},
+		{SQL: "UPDATE sbtest? SET k = k + 1 WHERE id = ?", Kind: Update, Weight: 1, CostLevel: 1},
+		{SQL: "UPDATE sbtest? SET c = ? WHERE id = ?", Kind: Update, Weight: 1, CostLevel: 1},
+		{SQL: "DELETE FROM sbtest? WHERE id = ?", Kind: Delete, Weight: 1, CostLevel: 1},
+		{SQL: "INSERT INTO sbtest? (id, k, c, pad) VALUES (?, ?, ?, ?)", Kind: Insert, Weight: 1, CostLevel: 1},
+	}
+}
+
+// tpccTemplates approximates the TPC-C transaction mix (new-order, payment,
+// order-status, delivery, stock-level) flattened to its dominant statements,
+// weighted to the 19:10 R/W ratio.
+func tpccTemplates() []Template {
+	return []Template{
+		{SQL: "SELECT w_tax FROM warehouse WHERE w_id = ?", Kind: PointSelect, Weight: 8, CostLevel: 0},
+		{SQL: "SELECT d_tax, d_next_o_id FROM district WHERE d_w_id = ? AND d_id = ?", Kind: PointSelect, Weight: 8, CostLevel: 0},
+		{SQL: "SELECT c_discount, c_last, c_credit FROM customer WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?", Kind: PointSelect, Weight: 7, CostLevel: 0},
+		{SQL: "SELECT i_price, i_name FROM item WHERE i_id = ?", Kind: PointSelect, Weight: 10, CostLevel: 0},
+		{SQL: "SELECT COUNT(DISTINCT s_i_id) FROM stock, order_line WHERE ol_w_id = ? AND s_quantity < ?", Kind: Join, Weight: 2, CostLevel: 4},
+		{SQL: "SELECT o_id, o_carrier_id FROM oorder WHERE o_w_id = ? AND o_d_id = ? AND o_c_id = ? ORDER BY o_id DESC", Kind: RangeSelect, Weight: 3, CostLevel: 2},
+		{SQL: "UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_w_id = ? AND d_id = ?", Kind: Update, Weight: 5, CostLevel: 1},
+		{SQL: "UPDATE stock SET s_quantity = ? WHERE s_w_id = ? AND s_i_id = ?", Kind: Update, Weight: 6, CostLevel: 1},
+		{SQL: "UPDATE warehouse SET w_ytd = w_ytd + ? WHERE w_id = ?", Kind: Update, Weight: 2, CostLevel: 1},
+		{SQL: "UPDATE customer SET c_balance = ? WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?", Kind: Update, Weight: 2, CostLevel: 1},
+		{SQL: "INSERT INTO oorder (o_id, o_d_id, o_w_id, o_c_id, o_entry_d) VALUES (?, ?, ?, ?, ?)", Kind: Insert, Weight: 2, CostLevel: 1},
+		{SQL: "INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, ol_number, ol_i_id, ol_quantity) VALUES (?, ?, ?, ?, ?, ?)", Kind: Insert, Weight: 2, CostLevel: 1},
+		{SQL: "DELETE FROM new_order WHERE no_o_id = ? AND no_d_id = ? AND no_w_id = ?", Kind: Delete, Weight: 1, CostLevel: 1},
+	}
+}
+
+// twitterTemplates is the OLTP-Bench Twitter mix; insertFrac sets the
+// INSERT share (the case-study variants raise it, Table 5).
+func twitterTemplates(insertFrac float64) []Template {
+	readW := (1 - insertFrac) * 100
+	return []Template{
+		{SQL: "SELECT * FROM tweets WHERE id = ?", Kind: PointSelect, Weight: readW * 0.40, CostLevel: 0},
+		{SQL: "SELECT * FROM tweets WHERE uid IN (SELECT f2 FROM follows WHERE f1 = ?) ORDER BY id DESC LIMIT 20", Kind: Join, Weight: readW * 0.25, CostLevel: 3},
+		{SQL: "SELECT f2 FROM followers WHERE f1 = ? LIMIT 20", Kind: RangeSelect, Weight: readW * 0.15, CostLevel: 1},
+		{SQL: "SELECT * FROM tweets WHERE uid = ? ORDER BY id DESC LIMIT 10", Kind: RangeSelect, Weight: readW * 0.15, CostLevel: 1},
+		{SQL: "SELECT uname FROM user_profiles WHERE uid = ?", Kind: PointSelect, Weight: readW * 0.05, CostLevel: 0},
+		{SQL: "INSERT INTO tweets (uid, text, createdate) VALUES (?, ?, ?)", Kind: Insert, Weight: insertFrac * 100, CostLevel: 1},
+	}
+}
+
+// hotelTemplates models the Hotel Booking production workload: heavy
+// availability searches with occasional bookings (R/W 19:1).
+func hotelTemplates() []Template {
+	return []Template{
+		{SQL: "SELECT h.id, h.name, r.rate FROM hotels h JOIN rooms r ON r.hotel_id = h.id WHERE h.city = ? AND r.date BETWEEN ? AND ? AND r.available > 0", Kind: Join, Weight: 40, CostLevel: 3},
+		{SQL: "SELECT rate, available FROM rooms WHERE hotel_id = ? AND date = ?", Kind: PointSelect, Weight: 25, CostLevel: 0},
+		{SQL: "SELECT * FROM bookings WHERE customer_id = ? ORDER BY created DESC LIMIT 10", Kind: RangeSelect, Weight: 15, CostLevel: 1},
+		{SQL: "SELECT AVG(rate) FROM rooms WHERE hotel_id = ? AND date BETWEEN ? AND ?", Kind: RangeSelect, Weight: 15, CostLevel: 2},
+		{SQL: "UPDATE rooms SET available = available - 1 WHERE hotel_id = ? AND date = ? AND available > 0", Kind: Update, Weight: 2.5, CostLevel: 1},
+		{SQL: "INSERT INTO bookings (customer_id, hotel_id, date, rate) VALUES (?, ?, ?, ?)", Kind: Insert, Weight: 2.5, CostLevel: 1},
+	}
+}
+
+// salesTemplates models the Sales production workload: overwhelmingly reads
+// with reporting aggregations (R/W 154:1).
+func salesTemplates() []Template {
+	return []Template{
+		{SQL: "SELECT * FROM orders WHERE order_id = ?", Kind: PointSelect, Weight: 60, CostLevel: 0},
+		{SQL: "SELECT o.order_id, o.total, c.name FROM orders o JOIN customers c ON o.customer_id = c.id WHERE o.region = ? AND o.created >= ?", Kind: Join, Weight: 30, CostLevel: 3},
+		{SQL: "SELECT SUM(total), COUNT(*) FROM orders WHERE region = ? AND created BETWEEN ? AND ? GROUP BY product_id", Kind: RangeSelect, Weight: 25, CostLevel: 4},
+		{SQL: "SELECT product_id, stock FROM inventory WHERE warehouse = ?", Kind: RangeSelect, Weight: 39, CostLevel: 1},
+		{SQL: "INSERT INTO orders (customer_id, product_id, total, region, created) VALUES (?, ?, ?, ?, ?)", Kind: Insert, Weight: 0.7, CostLevel: 1},
+		{SQL: "UPDATE inventory SET stock = stock - ? WHERE warehouse = ? AND product_id = ?", Kind: Update, Weight: 0.3, CostLevel: 1},
+	}
+}
+
+// Generate produces n concrete SQL statements by sampling templates
+// according to their weights and filling placeholders with sampled scalars —
+// the paper's SQL Generator, which "extracts the query template from the
+// workload and samples the scalar value and variable name before replaying".
+func (w Workload) Generate(n int, rng *rand.Rand) []string {
+	total := 0.0
+	for _, t := range w.Templates {
+		total += t.Weight
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		r := rng.Float64() * total
+		var chosen Template
+		for _, t := range w.Templates {
+			if r < t.Weight {
+				chosen = t
+				break
+			}
+			r -= t.Weight
+		}
+		if chosen.SQL == "" {
+			chosen = w.Templates[len(w.Templates)-1]
+		}
+		out = append(out, fillPlaceholders(chosen.SQL, rng))
+	}
+	return out
+}
+
+// fillPlaceholders substitutes each ? with a sampled scalar.
+func fillPlaceholders(sql string, rng *rand.Rand) string {
+	var b strings.Builder
+	for _, ch := range sql {
+		if ch == '?' {
+			b.WriteString(fmt.Sprintf("%d", rng.Intn(1_000_000)))
+		} else {
+			b.WriteRune(ch)
+		}
+	}
+	return b.String()
+}

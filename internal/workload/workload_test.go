@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTableTwoParameters(t *testing.T) {
+	// The definitions must match paper Table 2.
+	cases := []struct {
+		w       Workload
+		threads int
+		rate    float64
+		sizeGB  float64
+	}{
+		{Sysbench(10), 64, 21000, 10},
+		{TPCC(200), 56, 2000, 16.26},
+		{Twitter(), 512, 30000, 29},
+		{Hotel(), 256, 12000, 14},
+		{Sales(), 256, 18000, 10},
+	}
+	for _, c := range cases {
+		p := c.w.Profile
+		if p.Threads != c.threads {
+			t.Errorf("%s threads: %d want %d", c.w.Name, p.Threads, c.threads)
+		}
+		if p.RequestRate != c.rate {
+			t.Errorf("%s rate: %v want %v", c.w.Name, p.RequestRate, c.rate)
+		}
+		gotGB := float64(p.DataBytes) / float64(gb)
+		if math.Abs(gotGB-c.sizeGB) > 0.5 {
+			t.Errorf("%s size: %.2fG want %.2fG", c.w.Name, gotGB, c.sizeGB)
+		}
+	}
+}
+
+func TestReadWriteRatios(t *testing.T) {
+	// Template mixes should approximate the paper's R/W ratios.
+	cases := []struct {
+		w    Workload
+		want float64 // reads/(reads+writes)
+		tol  float64
+	}{
+		{Sysbench(10), 7.0 / 9.0, 0.03},
+		{TPCC(200), 19.0 / 29.0, 0.06},
+		{Twitter(), 116.0 / 117.0, 0.01},
+		{Hotel(), 19.0 / 20.0, 0.01},
+		{Sales(), 154.0 / 155.0, 0.01},
+	}
+	for _, c := range cases {
+		if got := c.w.ReadWriteRatio(); math.Abs(got-c.want) > c.tol {
+			t.Errorf("%s R/W fraction: %v want %v", c.w.Name, got, c.want)
+		}
+		// The profile must agree with the template mix.
+		if got := c.w.Profile.ReadRatio; math.Abs(got-c.want) > c.tol {
+			t.Errorf("%s profile ReadRatio: %v want %v", c.w.Name, got, c.want)
+		}
+	}
+}
+
+func TestTwitterVariantsOrdering(t *testing.T) {
+	// Variants W1..W5 increase the INSERT ratio, so read ratio decreases
+	// monotonically and the profile drifts monotonically away from the
+	// target (Table 5's similarity ordering).
+	prev := Twitter().Profile.ReadRatio
+	for i := 1; i <= 5; i++ {
+		v := TwitterVariant(i)
+		if v.Profile.ReadRatio >= prev {
+			t.Fatalf("W%d read ratio %v not below previous %v", i, v.Profile.ReadRatio, prev)
+		}
+		prev = v.Profile.ReadRatio
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown variant")
+		}
+	}()
+	TwitterVariant(9)
+}
+
+func TestTPCCSizeInterpolation(t *testing.T) {
+	// Table 7 anchor points.
+	anchors := map[int]float64{100: 7.29, 200: 16.26, 500: 35.26, 800: 56.59, 1000: 117.06}
+	for wh, sz := range anchors {
+		got := float64(TPCCSizeBytes(wh)) / float64(gb)
+		if math.Abs(got-sz) > 0.01 {
+			t.Errorf("%d warehouses: %.2fG want %.2fG", wh, got, sz)
+		}
+	}
+	// Interpolation is monotone.
+	last := int64(0)
+	for _, wh := range []int{50, 100, 150, 300, 600, 900, 1000, 2000} {
+		s := TPCCSizeBytes(wh)
+		if s <= last {
+			t.Fatalf("size not monotone at %d warehouses", wh)
+		}
+		last = s
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	w := Sysbench(10)
+	qs := w.Generate(500, r)
+	if len(qs) != 500 {
+		t.Fatalf("generated %d", len(qs))
+	}
+	selects, writes := 0, 0
+	for _, q := range qs {
+		if strings.Contains(q, "?") {
+			t.Fatalf("placeholder left unfilled: %s", q)
+		}
+		switch {
+		case strings.HasPrefix(q, "SELECT"):
+			selects++
+		case strings.HasPrefix(q, "UPDATE"), strings.HasPrefix(q, "INSERT"), strings.HasPrefix(q, "DELETE"):
+			writes++
+		}
+	}
+	frac := float64(selects) / float64(selects+writes)
+	if math.Abs(frac-7.0/9.0) > 0.06 {
+		t.Fatalf("generated mix R fraction %v, want ~%v", frac, 7.0/9.0)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Twitter().Generate(50, rand.New(rand.NewSource(9)))
+	b := Twitter().Generate(50, rand.New(rand.NewSource(9)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generation must be deterministic per seed")
+		}
+	}
+}
+
+func TestCharacterizerMetaFeature(t *testing.T) {
+	ch, err := NewCharacterizer(Five(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	// Variants differ only in their INSERT share, so a large sample is
+	// needed for the mix-frequency signal to dominate sampling noise.
+	mf := func(w Workload) []float64 { return ch.MetaFeature(w, 4000, r) }
+
+	tw := mf(Twitter())
+	sum := 0.0
+	for _, v := range tw {
+		if v < 0 || v > 1 {
+			t.Fatalf("meta-feature not a distribution: %v", tw)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("meta-feature sums to %v", sum)
+	}
+
+	// Ground truth of the case study: W1 (closest variant) is nearer to the
+	// target than W5 (farthest).
+	d1 := MetaFeatureDistance(tw, mf(TwitterVariant(1)))
+	d5 := MetaFeatureDistance(tw, mf(TwitterVariant(5)))
+	if d1 > d5 {
+		t.Fatalf("W1 should be closer than W5: d1=%v d5=%v", d1, d5)
+	}
+	// A completely different workload is farther than the closest variant.
+	dT := MetaFeatureDistance(tw, mf(TPCC(200)))
+	if dT < d1 {
+		t.Fatalf("TPC-C should be farther than W1: dT=%v d1=%v", dT, d1)
+	}
+}
+
+func TestCharacterizerErrors(t *testing.T) {
+	if _, err := NewCharacterizer(nil, 1); err == nil {
+		t.Fatal("expected error with no templates")
+	}
+}
+
+func TestMetaFeatureDistancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dim mismatch")
+		}
+	}()
+	MetaFeatureDistance([]float64{1}, []float64{1, 2})
+}
+
+func TestGenerateTransactions(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	w := Sysbench(10)
+	if w.StatementsPerTxn != 18 {
+		t.Fatalf("sysbench txn size %d", w.StatementsPerTxn)
+	}
+	groups := w.GenerateTransactions(5, r)
+	if len(groups) != 5 {
+		t.Fatalf("groups: %d", len(groups))
+	}
+	for _, g := range groups {
+		if len(g) != 18 {
+			t.Fatalf("group size %d", len(g))
+		}
+	}
+	// A zero/unset size degrades to single-statement groups.
+	var bare Workload
+	bare.Templates = sysbenchTemplates()
+	g := bare.GenerateTransactions(2, r)
+	if len(g[0]) != 1 {
+		t.Fatalf("default group size %d", len(g[0]))
+	}
+}

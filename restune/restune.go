@@ -1,0 +1,320 @@
+// Package restune is the public API of the ResTune reproduction: resource-
+// oriented DBMS knob tuning under SLA constraints, boosted by meta-learning
+// (Zhang et al., SIGMOD 2021).
+//
+// The package re-exports the library's building blocks through stable
+// aliases so downstream users never import internal paths:
+//
+//   - knob catalogues and configuration spaces (MySQLKnobs, CPUKnobs, ...),
+//   - the simulated DBMS substrate standing in for MySQL RDS (NewSimulator,
+//     Instance) together with the paper's workloads (Sysbench, TPCC,
+//     Twitter, Hotel, Sales),
+//   - the ResTune tuner (New) and every baseline from the paper's
+//     evaluation (Default, ITuned, OtterTuneWithConstraints,
+//     CDBTuneWithConstraints, GridSearch),
+//   - the data repository and workload characterization used for
+//     meta-learning (NewRepository, LoadRepository, NewCharacterizer), and
+//   - the experiment harness regenerating every table and figure
+//     (RunExperiment, ExperimentIDs).
+//
+// A minimal session:
+//
+//	w := restune.Twitter()
+//	sim := restune.NewSimulator(restune.Instance("A"), w.Profile, 1,
+//	    restune.WithHalfRAMBufferPool())
+//	ev := restune.NewEvaluator(sim, restune.CPUKnobs(), restune.CPU)
+//	tuner := restune.New(restune.DefaultConfig(1))
+//	result, err := tuner.Run(ev, 50)
+package restune
+
+import (
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/bo"
+	"repro/internal/core"
+	"repro/internal/dbsim"
+	"repro/internal/experiments"
+	"repro/internal/knobs"
+	"repro/internal/meta"
+	"repro/internal/minidb"
+	"repro/internal/replay"
+	"repro/internal/repo"
+	"repro/internal/workload"
+)
+
+// Re-exported types. Aliases keep the internal packages as the single
+// source of truth while giving external importers stable names.
+type (
+	// Space is an ordered knob set defining the search space Θ.
+	Space = knobs.Space
+	// Knob describes one tunable configuration parameter.
+	Knob = knobs.Knob
+	// Hardware describes a database instance (cores, RAM, disk).
+	Hardware = dbsim.Hardware
+	// Simulator is the MySQL-like DBMS substrate every tuner measures
+	// configurations against.
+	Simulator = dbsim.Simulator
+	// SimulatorOption configures a Simulator.
+	SimulatorOption = dbsim.Option
+	// Measurement is one replay's observed metrics.
+	Measurement = dbsim.Measurement
+	// Resource selects which utilization a session minimizes.
+	Resource = dbsim.ResourceKind
+	// Workload couples a query mix with its performance profile.
+	Workload = workload.Workload
+	// Characterizer embeds workloads as meta-feature vectors.
+	Characterizer = workload.Characterizer
+	// Observation is the (θ, res, tps, lat) four-tuple.
+	Observation = bo.Observation
+	// SLA holds the throughput/latency constraints.
+	SLA = bo.SLA
+	// Config parameterizes a ResTune session.
+	Config = core.Config
+	// Tuner is any tuning method (ResTune or a baseline).
+	Tuner = core.Tuner
+	// Evaluator is the database copy + replayer a session measures through.
+	Evaluator = core.Evaluator
+	// Result is a finished tuning session.
+	Result = core.Result
+	// Iteration is one recorded tuning step.
+	Iteration = core.Iteration
+	// Repository stores historical tuning tasks for meta-learning.
+	Repository = repo.Repository
+	// TaskRecord is one stored tuning task.
+	TaskRecord = repo.TaskRecord
+	// BaseLearner is a fitted per-task surrogate used by the meta-learner.
+	BaseLearner = meta.BaseLearner
+	// AcquisitionConfig tunes acquisition-function optimization.
+	AcquisitionConfig = bo.OptimizerConfig
+	// WeightSchema selects the ensemble weight-assignment schema.
+	WeightSchema = core.WeightSchema
+	// ExperimentParams scales a paper-experiment run.
+	ExperimentParams = experiments.Params
+	// ExperimentReport is a paper-experiment's output.
+	ExperimentReport = experiments.Report
+)
+
+// Weight schemas (Config.Schema).
+const (
+	// AdaptiveSchema is the paper's design: static then dynamic weights.
+	AdaptiveSchema = core.AdaptiveSchema
+	// StaticOnlySchema keeps meta-feature weights for the whole session.
+	StaticOnlySchema = core.StaticOnlySchema
+	// DynamicOnlySchema uses ranking-loss weights from the first iteration.
+	DynamicOnlySchema = core.DynamicOnlySchema
+)
+
+// PenaltyBO returns the penalty-method constrained-BO ablation tuner.
+func PenaltyBO(seed int64) Tuner { return baselines.NewPenaltyBO(seed) }
+
+// Resource kinds.
+const (
+	// CPU minimizes database-wide CPU utilization (percent).
+	CPU = dbsim.CPUPct
+	// IOBandwidth minimizes disk bytes/second.
+	IOBandwidth = dbsim.IOBps
+	// IOOperations minimizes disk operations/second.
+	IOOperations = dbsim.IOPS
+	// Memory minimizes total DBMS memory.
+	Memory = dbsim.MemoryBytes
+)
+
+// ---------------------------------------------------------------------------
+// Knob catalogues.
+
+// MySQLKnobs returns the full MySQL 5.7 knob catalogue.
+func MySQLKnobs() *Space { return knobs.MySQL57Catalogue() }
+
+// CPUKnobs returns the 14-knob CPU-tuning space.
+func CPUKnobs() *Space { return knobs.CPUSpace() }
+
+// MemoryKnobs returns the 6-knob memory-tuning space.
+func MemoryKnobs() *Space { return knobs.MemorySpace() }
+
+// IOKnobs returns the 20-knob IO-tuning space.
+func IOKnobs() *Space { return knobs.IOSpace() }
+
+// ---------------------------------------------------------------------------
+// Hardware and simulator.
+
+// Instance returns one of the paper's instance types A-F.
+func Instance(name string) Hardware { return dbsim.Instance(name) }
+
+// Instances returns all instance types keyed by name.
+func Instances() map[string]Hardware { return dbsim.Instances() }
+
+// NewSimulator builds the DBMS-under-tuning for a hardware/workload pair.
+func NewSimulator(hw Hardware, profile dbsim.WorkloadProfile, seed int64, opts ...SimulatorOption) *Simulator {
+	return dbsim.New(hw, profile, seed, opts...)
+}
+
+// WithHalfRAMBufferPool pins the buffer pool to half of RAM (the paper's
+// CPU/IO-experiment setting).
+func WithHalfRAMBufferPool() SimulatorOption { return dbsim.WithHalfRAMBufferPool() }
+
+// WithFixedBufferPool pins the buffer pool to an explicit size.
+func WithFixedBufferPool(bytes int64) SimulatorOption { return dbsim.WithFixedBufferPool(bytes) }
+
+// WithNoise sets the relative measurement-noise standard deviation.
+func WithNoise(std float64) SimulatorOption { return dbsim.WithNoise(std) }
+
+// NewEvaluator adapts a simulator into the Evaluator a tuning session
+// drives, minimizing the given resource over the knob space.
+func NewEvaluator(sim *Simulator, space *Space, res Resource) Evaluator {
+	return core.NewSimEvaluator(sim, space, res)
+}
+
+// ---------------------------------------------------------------------------
+// Workloads.
+
+// Sysbench returns the SYSBENCH workload at a data size in GB.
+func Sysbench(sizeGB int) Workload { return workload.Sysbench(sizeGB) }
+
+// TPCC returns the TPC-C workload at a warehouse count.
+func TPCC(warehouses int) Workload { return workload.TPCC(warehouses) }
+
+// Twitter returns the Twitter workload.
+func Twitter() Workload { return workload.Twitter() }
+
+// TwitterVariant returns the case-study variants W1..W5.
+func TwitterVariant(i int) Workload { return workload.TwitterVariant(i) }
+
+// Hotel returns the Hotel Booking production workload.
+func Hotel() Workload { return workload.Hotel() }
+
+// Sales returns the Sales production workload.
+func Sales() Workload { return workload.Sales() }
+
+// Workloads returns the paper's five evaluation workloads.
+func Workloads() []Workload { return workload.Five() }
+
+// NewCharacterizer trains the workload-characterization pipeline
+// (reserved-word TF-IDF -> random forest -> meta-feature).
+func NewCharacterizer(trainOn []Workload, seed int64) (*Characterizer, error) {
+	return workload.NewCharacterizer(trainOn, seed)
+}
+
+// MetaFeatureDistance is the Euclidean distance between meta-features —
+// the similarity measure behind the static weights.
+func MetaFeatureDistance(a, b []float64) float64 { return workload.MetaFeatureDistance(a, b) }
+
+// ---------------------------------------------------------------------------
+// Replay.
+
+// Replayer replays a captured workload window against a database copy at
+// the recorded request rate.
+type Replayer = replay.Replayer
+
+// TemplateCount is a query template with its observed frequency.
+type TemplateCount = replay.TemplateCount
+
+// ExtractTemplates reduces a SQL stream to its distinct templates (scalars
+// and sharded identifiers normalized), most frequent first.
+func ExtractTemplates(stream []string) []TemplateCount { return replay.ExtractTemplates(stream) }
+
+// NewReplayer captures a window of the workload and prepares a replayer.
+func NewReplayer(sim *Simulator, w Workload, sampleQueries int, window time.Duration, seed int64) *Replayer {
+	return replay.New(sim, w, sampleQueries, window, seed)
+}
+
+// ---------------------------------------------------------------------------
+// Tuners.
+
+// DefaultConfig returns the paper's ResTune settings.
+func DefaultConfig(seed int64) Config { return core.DefaultConfig(seed) }
+
+// New builds a ResTune tuner. With Config.Base empty it is the
+// ResTune-w/o-ML ablation; with base-learners it is full meta-boosted
+// ResTune.
+func New(cfg Config) Tuner { return core.New(cfg) }
+
+// Default returns the Default baseline (DBA configuration re-measured).
+func Default() Tuner { return baselines.DefaultOnly{} }
+
+// ITuned returns the iTuned baseline (unconstrained GP + EI).
+func ITuned(seed int64) Tuner { return baselines.NewITuned(seed) }
+
+// OtterTuneWithConstraints returns the OtterTune-w-Con baseline over a
+// historical task set.
+func OtterTuneWithConstraints(seed int64, tasks []TaskRecord) Tuner {
+	return baselines.NewOtterTuneWCon(seed, tasks)
+}
+
+// CDBTuneWithConstraints returns the CDBTune-w-Con baseline (DDPG with the
+// paper's constrained reward).
+func CDBTuneWithConstraints(seed int64) Tuner { return baselines.NewCDBTuneWCon(seed) }
+
+// GridSearch returns an exhaustive grid-search tuner.
+func GridSearch(pointsPerDim int) Tuner { return baselines.NewGridSearch(pointsPerDim) }
+
+// ---------------------------------------------------------------------------
+// Data repository and meta-learning.
+
+// NewRepository returns an empty data repository.
+func NewRepository() *Repository { return &Repository{} }
+
+// LoadRepository reads a repository from JSON.
+func LoadRepository(path string) (*Repository, error) { return repo.Load(path) }
+
+// TaskFromResult converts a finished session into a repository record.
+func TaskFromResult(taskID, workloadName, hardwareName string, metaFeature []float64, space *Space, res *Result) TaskRecord {
+	return repo.FromResult(taskID, workloadName, hardwareName, metaFeature, space, res)
+}
+
+// NewBaseLearner fits a base-learner directly from an observation history.
+func NewBaseLearner(taskID, workloadName, hardwareName string, metaFeature []float64, h []Observation, dim int, seed int64) (*BaseLearner, error) {
+	return meta.NewBaseLearner(taskID, workloadName, hardwareName, metaFeature, h, dim, seed)
+}
+
+// ---------------------------------------------------------------------------
+// Real storage engine (minidb).
+
+// EngineEvaluator measures configurations by real replays against minidb,
+// the repository's compact storage engine (B+tree, buffer pool with LRU
+// page cleaner, WAL, row locks, table cache). Unlike the simulator, its
+// measurements are wall-clock throughput, sampled latency, getrusage CPU
+// and physical IO counters.
+type EngineEvaluator = minidb.Evaluator
+
+// EngineConfig assembles the storage engine's tunables.
+type EngineConfig = minidb.Config
+
+// NewEngineEvaluator builds a real-engine evaluator: each Measure call
+// opens a fresh engine under the candidate knobs, loads the dataset and
+// replays the workload at its request rate.
+func NewEngineEvaluator(baseDir string, space *Space, res Resource, w Workload, seed int64) *EngineEvaluator {
+	return minidb.NewEvaluator(baseDir, space, res, w, seed)
+}
+
+// OpenEngine opens (or creates) a minidb instance directly.
+func OpenEngine(cfg EngineConfig) (*minidb.DB, error) { return minidb.Open(cfg) }
+
+// EngineConfigFromKnobs maps a native knob configuration onto engine
+// parameters.
+func EngineConfigFromKnobs(dir string, space *Space, native []float64) EngineConfig {
+	return minidb.ConfigFromKnobs(dir, space, native)
+}
+
+// ---------------------------------------------------------------------------
+// Paper experiments.
+
+// QuickExperimentParams returns reduced budgets that keep the paper's
+// experiment structure intact while running in minutes.
+func QuickExperimentParams() ExperimentParams { return experiments.Quick() }
+
+// FullExperimentParams returns the paper's protocol (200 iterations, 3
+// runs, full repository).
+func FullExperimentParams() ExperimentParams { return experiments.Full() }
+
+// RunExperiment regenerates one of the paper's tables or figures by id
+// ("fig1", "fig3"-"fig9", "table3"-"table9").
+func RunExperiment(id string, p ExperimentParams) (*ExperimentReport, error) {
+	return experiments.Run(id, p)
+}
+
+// ExperimentIDs lists the available experiment ids.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// ExperimentTitle returns an experiment's description.
+func ExperimentTitle(id string) string { return experiments.Title(id) }
