@@ -15,6 +15,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gp"
 	"repro/internal/knobs"
+	"repro/internal/mat"
 	"repro/internal/meta"
 	"repro/internal/minidb"
 	"repro/internal/workload"
@@ -89,6 +90,93 @@ func BenchmarkGPFit(b *testing.B) {
 	}
 }
 
+// benchKernelMatrix builds the n×n SPD kernel-plus-noise matrix a GP.Fit
+// factorizes, from a synthetic mid-session history.
+func benchKernelMatrix(n, dim int, seed int64) *mat.Dense {
+	h := syntheticHistory(n, dim, seed)
+	k := gp.NewMatern52(1, 0.5)
+	a := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, k.Eval(h[i].Theta, h[j].Theta))
+		}
+		a.Set(i, i, a.At(i, i)+0.01+1e-8)
+	}
+	return a
+}
+
+// BenchmarkCholAppend measures growing a factorization one bordered row at a
+// time across a whole session (1..n), the incremental model-update path.
+// Compare against BenchmarkCholFullRefactor, which re-factorizes from scratch
+// at every step the way the pre-incremental pipeline did.
+func BenchmarkCholAppend(b *testing.B) {
+	const n = 128
+	a := benchKernelMatrix(n, 14, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var c mat.Cholesky
+		for m := 0; m < n; m++ {
+			if err := c.Append(a.Row(m)[:m+1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCholFullRefactor measures the same session with a from-scratch
+// O(m³) factorization per step — the baseline CholAppend replaces.
+func BenchmarkCholFullRefactor(b *testing.B) {
+	const n = 128
+	a := benchKernelMatrix(n, 14, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var c mat.Cholesky
+		for m := 1; m <= n; m++ {
+			sub := mat.NewDense(m, m)
+			for r := 0; r < m; r++ {
+				copy(sub.Row(r), a.Row(r)[:m])
+			}
+			if err := c.Factor(sub); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkGPFitIncremental measures the per-iteration model update when the
+// history grows by one point and the factorization is extended in place
+// (O(n²)); BenchmarkGPFitFromScratch is the same update via a full refit.
+func BenchmarkGPFitIncremental(b *testing.B) {
+	h := syntheticHistory(100, 14, 5)
+	xs, ys := h.Thetas(), h.Values(bo.Res)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := gp.New(gp.NewMatern52(1, 0.5), 0.01)
+		if err := g.Fit(xs[:99], ys[:99]); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := g.Fit(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGPFitFromScratch is the n=100 full-refit baseline for
+// BenchmarkGPFitIncremental.
+func BenchmarkGPFitFromScratch(b *testing.B) {
+	h := syntheticHistory(100, 14, 5)
+	xs, ys := h.Thetas(), h.Values(bo.Res)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := gp.New(gp.NewMatern52(1, 0.5), 0.01)
+		if err := g.Fit(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkGPPredict measures one posterior evaluation.
 func BenchmarkGPPredict(b *testing.B) {
 	g := gp.New(gp.NewMatern52(1, 0.5), 0.01)
@@ -100,6 +188,43 @@ func BenchmarkGPPredict(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _ = g.Predict(x)
+	}
+}
+
+// BenchmarkGPPredictNoAlloc asserts the steady-state allocation profile of
+// the prediction hot path (~20k calls per tuning iteration): zero allocs/op
+// once the pooled scratch is warm.
+func BenchmarkGPPredictNoAlloc(b *testing.B) {
+	g := gp.New(gp.NewMatern52(1, 0.5), 0.01)
+	h := syntheticHistory(100, 14, 2)
+	if err := g.Fit(h.Thetas(), h.Values(bo.Res)); err != nil {
+		b.Fatal(err)
+	}
+	x := h[0].Theta
+	g.Predict(x) // warm the pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = g.Predict(x)
+	}
+}
+
+// BenchmarkOptimizeAcqParallel measures one full acquisition maximization
+// (the Recommend stage of Table 3): 512 random probes plus 5 local-search
+// starts over the constrained-EI surface of a mid-session surrogate, with
+// both phases fanned out across GOMAXPROCS workers.
+func BenchmarkOptimizeAcqParallel(b *testing.B) {
+	tri := bo.NewTriGP(14, 1)
+	if err := tri.Fit(syntheticHistory(50, 14, 3)); err != nil {
+		b.Fatal(err)
+	}
+	cons := bo.Constraints{LambdaTps: 0, LambdaLat: 0}
+	f := func(x []float64) float64 { return bo.CEI(tri, x, 0, cons) }
+	cfg := bo.DefaultOptimizerConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rand.New(rand.NewSource(int64(i)))
+		_ = bo.OptimizeAcq(f, 14, cfg, nil, r)
 	}
 }
 

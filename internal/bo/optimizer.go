@@ -2,10 +2,15 @@ package bo
 
 import (
 	"math/rand"
+
+	"repro/internal/par"
+	"repro/internal/rng"
 )
 
 // AcqFunc is an acquisition function over the normalized space [0,1]^m,
-// to be maximized.
+// to be maximized. OptimizeAcq scores candidates concurrently, so an AcqFunc
+// must be safe for concurrent calls (every surrogate in this repository is:
+// prediction paths are read-only with pooled scratch).
 type AcqFunc func(x []float64) float64
 
 // OptimizerConfig controls acquisition maximization.
@@ -31,66 +36,85 @@ func DefaultOptimizerConfig() OptimizerConfig {
 // non-nil, are extra start points (e.g. previously evaluated configurations)
 // included among the probes, which helps exploitation near known-good
 // regions.
-func OptimizeAcq(f AcqFunc, dim int, cfg OptimizerConfig, incumbents [][]float64, rng *rand.Rand) []float64 {
-	type scored struct {
-		x []float64
-		v float64
-	}
-	probes := make([]scored, 0, cfg.RandomCandidates+len(incumbents))
+//
+// Both hot phases fan out deterministically: all probe coordinates are
+// pre-drawn from the seeded stream in index order before concurrent scoring,
+// and each local-search start runs on its own sub-stream (partitioned from
+// the seeded stream in start order), with index-ordered reductions and
+// first-index tie-breaks. The recommendation is therefore bit-identical at
+// any GOMAXPROCS.
+func OptimizeAcq(f AcqFunc, dim int, cfg OptimizerConfig, incumbents [][]float64, r *rand.Rand) []float64 {
+	xs := make([][]float64, 0, cfg.RandomCandidates+len(incumbents))
 	for i := 0; i < cfg.RandomCandidates; i++ {
 		x := make([]float64, dim)
 		for d := range x {
-			x[d] = rng.Float64()
+			x[d] = r.Float64()
 		}
-		probes = append(probes, scored{x, f(x)})
+		xs = append(xs, x)
 	}
 	for _, inc := range incumbents {
-		x := append([]float64(nil), inc...)
-		probes = append(probes, scored{x, f(x)})
+		xs = append(xs, append([]float64(nil), inc...))
 	}
-	if len(probes) == 0 {
+	if len(xs) == 0 {
 		x := make([]float64, dim)
 		for d := range x {
-			x[d] = rng.Float64()
+			x[d] = r.Float64()
 		}
 		return x
 	}
+	vals := make([]float64, len(xs))
+	par.ForEach(len(xs), func(i int) { vals[i] = f(xs[i]) })
 
-	// Partial selection of the top LocalStarts probes.
+	// Partial selection of the top LocalStarts probes (first index wins
+	// ties, matching a sequential scan).
 	starts := cfg.LocalStarts
 	if starts < 1 {
 		starts = 1
 	}
-	if starts > len(probes) {
-		starts = len(probes)
+	if starts > len(xs) {
+		starts = len(xs)
 	}
 	for s := 0; s < starts; s++ {
 		bi := s
-		for j := s + 1; j < len(probes); j++ {
-			if probes[j].v > probes[bi].v {
+		for j := s + 1; j < len(xs); j++ {
+			if vals[j] > vals[bi] {
 				bi = j
 			}
 		}
-		probes[s], probes[bi] = probes[bi], probes[s]
+		xs[s], xs[bi] = xs[bi], xs[s]
+		vals[s], vals[bi] = vals[bi], vals[s]
 	}
 
-	best := probes[0]
-	for s := 0; s < starts; s++ {
-		cur := scored{append([]float64(nil), probes[s].x...), probes[s].v}
+	// Refine the selected starts concurrently, one pre-seeded stream each.
+	type scored struct {
+		x []float64
+		v float64
+	}
+	streams := rng.Partition(r, starts)
+	refined := make([]scored, starts)
+	par.ForEach(starts, func(s int) {
+		sr := streams[s]
+		cur := scored{append([]float64(nil), xs[s]...), vals[s]}
+		cand := make([]float64, dim)
 		step := cfg.StepScale
 		for it := 0; it < cfg.LocalSteps; it++ {
-			cand := make([]float64, dim)
 			for d := range cand {
-				cand[d] = clamp01(cur.x[d] + step*rng.NormFloat64())
+				cand[d] = clamp01(cur.x[d] + step*sr.NormFloat64())
 			}
 			if v := f(cand); v > cur.v {
-				cur = scored{cand, v}
+				cur.x, cand = cand, cur.x // swap buffers; old cur.x is scratch now
+				cur.v = v
 			} else {
 				step *= 0.9 // shrink on failure
 			}
 		}
-		if cur.v > best.v {
-			best = cur
+		refined[s] = cur
+	})
+
+	best := scored{xs[0], vals[0]}
+	for s := 0; s < starts; s++ {
+		if refined[s].v > best.v {
+			best = refined[s]
 		}
 	}
 	return best.x

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/bo"
+	"repro/internal/meta"
+)
+
+// sessionTrace flattens the parts of a session result that every stochastic
+// component feeds into: evaluated configurations, measured metrics, ensemble
+// weights and phases, printed at full float precision.
+func sessionTrace(res *Result) string {
+	s := fmt.Sprintf("sla=%x/%x\n", res.SLA.LambdaTps, res.SLA.LambdaLat)
+	for _, it := range res.Iterations {
+		s += fmt.Sprintf("%d %s theta=%x res=%x tps=%x lat=%x w=%x\n",
+			it.Index, it.Phase, it.Observation.Theta,
+			it.Observation.Res, it.Observation.Tps, it.Observation.Lat, it.Weights)
+	}
+	return s
+}
+
+// TestSessionDeterministicAcrossGOMAXPROCS is the regression test for the
+// deterministic fan-out contract end to end: a full ResTune session — GP
+// hyperparameter search, parallel acquisition optimization, dynamic RGPE
+// weights, dilution guard — must produce a bit-identical iteration trace at
+// GOMAXPROCS=1 and at an oversubscribed worker count, and across repeated
+// runs at the same setting.
+func TestSessionDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	run := func(procs int) string {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+
+		// Base learners are built inside the run so their surrogate fits
+		// (parallel hyperparameter search) are covered by the contract too.
+		var base []*meta.BaseLearner
+		for i, off := range []float64{0.2, 0.6} {
+			h := sampleHistory(twitterEvaluator(int64(10+i)), 12, off)
+			bl, err := meta.NewBaseLearner(fmt.Sprintf("task%d", i), "w", "A",
+				[]float64{off, 1 - off}, h, 3, int64(20+i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			base = append(base, bl)
+		}
+
+		cfg := DefaultConfig(7)
+		cfg.InitIters = 3
+		cfg.Acq = fastAcq()
+		cfg.Base = base
+		cfg.TargetMetaFeature = []float64{0.25, 0.75}
+		cfg.DynamicSamples = 40
+		cfg.DilutionGuard = true
+		res, err := New(cfg).Run(twitterEvaluator(7), 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sessionTrace(res)
+	}
+
+	serial := run(1)
+	if again := run(1); again != serial {
+		t.Fatalf("session not deterministic at GOMAXPROCS=1:\n%s\nvs\n%s", serial, again)
+	}
+	procs := runtime.NumCPU()
+	if procs < 4 {
+		procs = 4 // oversubscribe single-core hosts so goroutines interleave
+	}
+	if parallel := run(procs); parallel != serial {
+		t.Fatalf("session trace differs between GOMAXPROCS=1 and %d:\n%s\nvs\n%s",
+			procs, serial, parallel)
+	}
+}
+
+// sampleHistory evaluates a small deterministic grid shifted by off, giving
+// each base learner a distinct but reproducible observation track.
+func sampleHistory(ev *SimEvaluator, n int, off float64) bo.History {
+	space := ev.Space()
+	var h bo.History
+	for i := 0; i < n; i++ {
+		theta := make([]float64, space.Dim())
+		for d := range theta {
+			theta[d] = clampUnit(off + float64(i)/float64(n) + 0.07*float64(d))
+		}
+		theta = space.Quantize(theta)
+		m := ev.Measure(space.Denormalize(theta))
+		h = append(h, observe(theta, m, ev))
+	}
+	return h
+}
+
+func clampUnit(v float64) float64 {
+	for v > 1 {
+		v -= 1
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}

@@ -3,6 +3,8 @@ package gp
 import (
 	"math"
 	"math/rand"
+
+	"repro/internal/par"
 )
 
 // FitConfig controls marginal-likelihood hyperparameter search.
@@ -33,55 +35,69 @@ func DefaultFitConfig() FitConfig {
 // space, keeping the incumbent hyperparameters as one of the candidates.
 // The GP must already hold data (Fit must have been called). It returns the
 // best log marginal likelihood found.
+//
+// Candidates are pre-drawn from the seeded stream in index order, evaluated
+// concurrently on clones sharing the training data, and reduced in index
+// order (a later candidate must strictly beat the running best), so the
+// result is bit-identical to the sequential search at any GOMAXPROCS.
 func FitHyperparams(g *GP, cfg FitConfig, rng *rand.Rand) float64 {
 	if g.N() == 0 {
 		return math.Inf(-1)
+	}
+	logU := func(lo, hi float64) float64 {
+		return math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo)))
 	}
 	type cand struct {
 		params []float64
 		noise  float64
 	}
-	best := cand{params: g.kernel.Params(), noise: g.NoiseVariance}
-	bestLML := g.LogMarginalLikelihood()
-	if math.IsInf(bestLML, -1) {
-		// incumbent failed to factor; force replacement
-		bestLML = math.Inf(-1)
-	}
-
-	logU := func(lo, hi float64) float64 {
-		return math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo)))
-	}
-
 	nParams := len(g.kernel.Params())
-	for c := 0; c < cfg.Candidates; c++ {
+	cands := make([]cand, cfg.Candidates)
+	for c := range cands {
 		p := make([]float64, nParams)
 		p[0] = math.Log(logU(cfg.VarianceMin, cfg.VarianceMax))
 		for i := 1; i < nParams; i++ {
 			p[i] = math.Log(logU(cfg.LengthScaleMin, cfg.LengthScaleMax))
 		}
-		noise := logU(cfg.NoiseMin, cfg.NoiseMax)
-
-		g.kernel.SetParams(p)
-		g.NoiseVariance = noise
-		if err := g.refactor(); err != nil {
-			continue
-		}
-		lml := g.LogMarginalLikelihood()
-		if lml > bestLML {
-			bestLML = lml
-			best = cand{params: p, noise: noise}
-		}
+		cands[c] = cand{params: p, noise: logU(cfg.NoiseMin, cfg.NoiseMax)}
 	}
 
-	g.kernel.SetParams(best.params)
-	g.NoiseVariance = best.noise
-	if err := g.refactor(); err != nil {
-		// Should not happen: best either was the incumbent (which factored at
-		// Fit time) or factored during the search. Fall back to a safe prior.
-		g.kernel.SetParams(defaultParams(nParams))
-		g.NoiseVariance = 0.1
-		_ = g.refactor()
+	lml := make([]float64, len(cands))
+	clones := make([]*GP, len(cands))
+	par.ForEach(len(cands), func(i int) {
+		cg := g.cloneForSearch()
+		cg.kernel.SetParams(cands[i].params)
+		cg.NoiseVariance = cands[i].noise
+		if err := cg.refactor(); err != nil {
+			lml[i] = math.Inf(-1)
+			return
+		}
+		lml[i] = cg.LogMarginalLikelihood()
+		clones[i] = cg
+	})
+
+	// Index-ordered reduction against the incumbent (−Inf if it never
+	// factored, forcing replacement).
+	bestLML := g.LogMarginalLikelihood()
+	bestIdx := -1
+	for i, v := range lml {
+		if clones[i] != nil && v > bestLML {
+			bestLML, bestIdx = v, i
+		}
 	}
+	if bestIdx >= 0 {
+		g.adopt(clones[bestIdx])
+		return bestLML
+	}
+	if g.chol != nil {
+		// Incumbent hyperparameters won; the factorization is already theirs.
+		return bestLML
+	}
+	// Neither the incumbent nor any candidate factored: fall back to a safe
+	// prior.
+	g.kernel.SetParams(defaultParams(nParams))
+	g.NoiseVariance = 0.1
+	_ = g.refactor()
 	return g.LogMarginalLikelihood()
 }
 

@@ -4,12 +4,18 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/mat"
 )
 
 // GP is an exact Gaussian-process regressor with a constant (empirical) mean
 // and homoscedastic Gaussian observation noise.
+//
+// Concurrency: Predict (and LogMarginalLikelihood) may be called from many
+// goroutines at once — scratch space comes from an internal pool — but Fit,
+// FitHyperparams and LOO mutate the model and must not run concurrently with
+// anything else on the same GP.
 type GP struct {
 	kernel Kernel
 	// NoiseVariance is the observation noise variance added to the kernel
@@ -23,6 +29,25 @@ type GP struct {
 	chol  *mat.Cholesky
 	alpha []float64  // (K + σ²I)⁻¹ (y - mean)
 	kinv  *mat.Dense // lazily computed inverse for LOO
+
+	// kmat is the kernel-matrix scratch reused across refactors, so the
+	// repeated factorizations of hyperparameter search allocate nothing
+	// after the first candidate.
+	kmat *mat.Dense
+	// factorParams/factorNoise record the hyperparameters the current
+	// factorization was built with; Fit takes the O(n²) incremental path
+	// only when they still match the kernel.
+	factorParams []float64
+	factorNoise  float64
+
+	// scratch pools per-Predict buffers so the acquisition path (which
+	// calls Predict tens of thousands of times per tuning iteration, from
+	// many goroutines) runs allocation-free in steady state.
+	scratch sync.Pool
+}
+
+type predictBuf struct {
+	ks, v []float64
 }
 
 // New returns an unfitted GP with the given kernel and noise variance.
@@ -44,6 +69,14 @@ func (g *GP) Y() []float64 { return g.y }
 
 // Fit conditions the GP on observations (x, y). It copies neither slice, so
 // callers must not mutate them afterwards.
+//
+// When x extends the previously fitted inputs by exactly one point and the
+// hyperparameters are unchanged since the last factorization, Fit appends a
+// single row to the Cholesky factor in O(n²) instead of refactoring in
+// O(n³). The appended factor is bit-identical to a full refactor (see
+// mat.Cholesky.Append), so the fast path is invisible to callers. Targets
+// may change wholesale between fits (e.g. re-standardized histories): they
+// only enter the O(n²) weight solve, not the factorization.
 func (g *GP) Fit(x [][]float64, y []float64) error {
 	if len(x) != len(y) {
 		return fmt.Errorf("gp: %d inputs but %d targets", len(x), len(y))
@@ -51,16 +84,85 @@ func (g *GP) Fit(x [][]float64, y []float64) error {
 	if len(x) == 0 {
 		return errors.New("gp: no observations")
 	}
+	incremental := g.chol != nil && len(x) == len(g.x)+1 &&
+		g.factorMatchesKernel() && extendsPrefix(x, g.x)
 	g.x, g.y = x, y
 	g.meanY = mean(y)
+	if incremental {
+		if err := g.appendPoint(); err == nil {
+			return nil
+		}
+		// Numerically borderline border: fall back to the full refactor,
+		// whose jittered diagonal recomputation decides for real.
+	}
 	return g.refactor()
 }
 
+// factorMatchesKernel reports whether the current factorization was built
+// with the kernel's present hyperparameters.
+func (g *GP) factorMatchesKernel() bool {
+	if g.factorParams == nil || g.NoiseVariance != g.factorNoise {
+		return false
+	}
+	p := g.kernel.Params()
+	if len(p) != len(g.factorParams) {
+		return false
+	}
+	for i := range p {
+		if p[i] != g.factorParams[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// extendsPrefix reports whether x begins with exactly the rows of old
+// (pointer-identical rows short-circuit the value comparison; histories
+// share observation storage across iterations, so this is the common case).
+func extendsPrefix(x, old [][]float64) bool {
+	for i, o := range old {
+		xi := x[i]
+		if len(xi) != len(o) {
+			return false
+		}
+		if len(o) > 0 && &xi[0] == &o[0] {
+			continue
+		}
+		for d := range o {
+			if xi[d] != o[d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// appendPoint extends the factorization by the last training point in O(n²).
+func (g *GP) appendPoint() error {
+	n := len(g.x)
+	xn := g.x[n-1]
+	row := make([]float64, n)
+	for i := 0; i < n-1; i++ {
+		row[i] = g.kernel.Eval(xn, g.x[i])
+	}
+	row[n-1] = g.kernel.Eval(xn, xn) + g.NoiseVariance + 1e-8 // jitter as in refactor
+	if err := g.chol.Append(row); err != nil {
+		return err
+	}
+	g.solveAlpha()
+	return nil
+}
+
 // refactor rebuilds the Cholesky factorization for the current data and
-// hyperparameters.
+// hyperparameters, reusing the kernel-matrix and factor storage.
 func (g *GP) refactor() error {
 	n := len(g.x)
-	k := mat.NewDense(n, n)
+	if g.kmat == nil {
+		g.kmat = mat.NewDense(n, n)
+	} else if r, _ := g.kmat.Dims(); r != n {
+		g.kmat = mat.NewDense(n, n)
+	}
+	k := g.kmat
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
 			v := g.kernel.Eval(g.x[i], g.x[j])
@@ -69,35 +171,61 @@ func (g *GP) refactor() error {
 		}
 		k.Set(i, i, k.At(i, i)+g.NoiseVariance+1e-8) // jitter for stability
 	}
-	chol, err := mat.NewCholesky(k)
-	if err != nil {
+	if g.chol == nil {
+		g.chol = &mat.Cholesky{}
+	}
+	if err := g.chol.Factor(k); err != nil {
+		g.chol = nil
+		g.factorParams = nil
 		return fmt.Errorf("gp: factorization failed: %w", err)
 	}
-	g.chol = chol
-	resid := make([]float64, n)
-	for i, yi := range g.y {
-		resid[i] = yi - g.meanY
-	}
-	g.alpha = chol.SolveVec(resid)
-	g.kinv = nil
+	g.factorParams = append(g.factorParams[:0], g.kernel.Params()...)
+	g.factorNoise = g.NoiseVariance
+	g.solveAlpha()
 	return nil
+}
+
+// solveAlpha recomputes the weight vector α = (K + σ²I)⁻¹ (y − mean) for the
+// current factorization, reusing the α buffer.
+func (g *GP) solveAlpha() {
+	n := len(g.y)
+	if cap(g.alpha) < n {
+		g.alpha = make([]float64, n)
+	}
+	g.alpha = g.alpha[:n]
+	for i, yi := range g.y {
+		g.alpha[i] = yi - g.meanY
+	}
+	g.chol.SolveVecTo(g.alpha, g.alpha)
+	g.kinv = nil
 }
 
 // Predict returns the posterior mean and variance at x. The variance
 // includes the observation-noise term, matching what a replay measurement
-// would exhibit. An unfitted GP returns the prior.
+// would exhibit. An unfitted GP returns the prior. Predict is safe for
+// concurrent use and allocation-free in steady state.
 func (g *GP) Predict(x []float64) (mu, variance float64) {
 	prior := g.kernel.Eval(x, x) + g.NoiseVariance
 	if g.chol == nil {
 		return 0, prior
 	}
-	ks := make([]float64, len(g.x))
+	n := len(g.x)
+	pb, _ := g.scratch.Get().(*predictBuf)
+	if pb == nil {
+		pb = &predictBuf{}
+	}
+	if cap(pb.ks) < n {
+		pb.ks = make([]float64, n)
+		pb.v = make([]float64, n)
+	}
+	ks, v := pb.ks[:n], pb.v[:n]
 	for i, xi := range g.x {
 		ks[i] = g.kernel.Eval(x, xi)
 	}
 	mu = g.meanY + mat.Dot(ks, g.alpha)
-	v := g.chol.SolveLowerVec(ks)
+	g.chol.SolveLowerVecTo(v, ks)
 	variance = prior - mat.Dot(v, v)
+	g.scratch.Put(pb)
 	if variance < 1e-12 {
 		variance = 1e-12
 	}
@@ -141,6 +269,33 @@ func (g *GP) LOO() (mu, variance []float64) {
 		}
 	}
 	return mu, variance
+}
+
+// cloneForSearch returns a GP sharing the (read-only) training data with an
+// independent kernel and factorization state, for concurrent hyperparameter
+// candidate evaluation.
+func (g *GP) cloneForSearch() *GP {
+	return &GP{
+		kernel:        g.kernel.Clone(),
+		NoiseVariance: g.NoiseVariance,
+		x:             g.x,
+		y:             g.y,
+		meanY:         g.meanY,
+	}
+}
+
+// adopt installs the hyperparameters and factorization of a search clone
+// (which shares g's training data) without refactoring. The kernel object's
+// identity is preserved so external references stay coherent.
+func (g *GP) adopt(c *GP) {
+	g.kernel.SetParams(c.kernel.Params())
+	g.NoiseVariance = c.NoiseVariance
+	g.chol = c.chol
+	g.alpha = c.alpha
+	g.kinv = nil
+	g.kmat = c.kmat
+	g.factorParams = append(g.factorParams[:0], c.factorParams...)
+	g.factorNoise = c.factorNoise
 }
 
 func mean(y []float64) float64 {

@@ -115,86 +115,181 @@ func Dot(a, b []float64) float64 {
 }
 
 // Cholesky holds the lower-triangular factor L of an SPD matrix A = L Lᵀ.
+// L is stored packed row-major (row i holds its i+1 entries at offset
+// i(i+1)/2), so appending one row/column to A extends the factor with an
+// amortized slice append instead of a full matrix reallocation — the basis
+// of the O(n²) incremental update used by the GP layer.
 type Cholesky struct {
 	n int
-	l *Dense
+	d []float64 // packed lower-triangular rows
+}
+
+// row returns packed row i (entries L[i][0..i]).
+func (c *Cholesky) row(i int) []float64 {
+	o := i * (i + 1) / 2
+	return c.d[o : o+i+1]
 }
 
 // NewCholesky factors the symmetric positive-definite matrix a.
 // It returns an error if a is not (numerically) positive definite.
 func NewCholesky(a *Dense) (*Cholesky, error) {
-	if a.rows != a.cols {
-		return nil, fmt.Errorf("mat: cholesky of non-square %dx%d matrix", a.rows, a.cols)
+	c := &Cholesky{}
+	if err := c.Factor(a); err != nil {
+		return nil, err
 	}
-	n := a.rows
-	l := NewDense(n, n)
-	for j := 0; j < n; j++ {
-		d := a.At(j, j)
-		lrowj := l.Row(j)
-		for k := 0; k < j; k++ {
-			d -= lrowj[k] * lrowj[k]
-		}
-		if d <= 0 || math.IsNaN(d) {
-			return nil, fmt.Errorf("mat: matrix not positive definite at pivot %d (d=%g)", j, d)
-		}
-		ljj := math.Sqrt(d)
-		l.Set(j, j, ljj)
-		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
-			lrowi := l.Row(i)
-			for k := 0; k < j; k++ {
-				s -= lrowi[k] * lrowj[k]
-			}
-			l.Set(i, j, s/ljj)
-		}
-	}
-	return &Cholesky{n: n, l: l}, nil
+	return c, nil
 }
 
-// L returns the lower-triangular factor (shared storage; do not modify).
-func (c *Cholesky) L() *Dense { return c.l }
+// Factor (re)factors c for the SPD matrix a, reusing the packed storage when
+// it has capacity — repeated refactors at the same size allocate nothing.
+// On error the factor is left empty.
+func (c *Cholesky) Factor(a *Dense) error {
+	if a.rows != a.cols {
+		return fmt.Errorf("mat: cholesky of non-square %dx%d matrix", a.rows, a.cols)
+	}
+	n := a.rows
+	size := n * (n + 1) / 2
+	if cap(c.d) < size {
+		c.d = make([]float64, size)
+	} else {
+		c.d = c.d[:size]
+	}
+	c.n = n
+	for j := 0; j < n; j++ {
+		rowj := c.row(j)
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= rowj[k] * rowj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			c.n, c.d = 0, c.d[:0]
+			return fmt.Errorf("mat: matrix not positive definite at pivot %d (d=%g)", j, d)
+		}
+		ljj := math.Sqrt(d)
+		rowj[j] = ljj
+		for i := j + 1; i < n; i++ {
+			rowi := c.row(i)
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= rowi[k] * rowj[k]
+			}
+			rowi[j] = s / ljj
+		}
+	}
+	return nil
+}
+
+// Append extends the factorization of the n×n matrix A to the bordered
+// (n+1)×(n+1) matrix [[A, a], [aᵀ, α]] in O(n²): row holds the n
+// cross-entries a followed by the new diagonal α (noise/jitter included).
+// The new factor row is the forward solve L y = a with diagonal
+// √(α − yᵀy) — element for element the same arithmetic, in the same order,
+// as a full refactor would perform, so an appended factor is bit-identical
+// to a from-scratch one. If the bordered matrix is not numerically positive
+// definite, Append returns an error and leaves the factor unchanged.
+func (c *Cholesky) Append(row []float64) error {
+	if len(row) != c.n+1 {
+		return fmt.Errorf("mat: append row length %d != %d", len(row), c.n+1)
+	}
+	n := c.n
+	o := len(c.d)
+	c.d = append(c.d, row...)
+	y := c.d[o : o+n+1]
+	d := y[n]
+	for i := 0; i < n; i++ {
+		s := y[i]
+		ri := c.row(i)
+		for k := 0; k < i; k++ {
+			s -= ri[k] * y[k]
+		}
+		y[i] = s / ri[i]
+		d -= y[i] * y[i]
+	}
+	if d <= 0 || math.IsNaN(d) {
+		c.d = c.d[:o]
+		return fmt.Errorf("mat: appended matrix not positive definite (d=%g)", d)
+	}
+	y[n] = math.Sqrt(d)
+	c.n = n + 1
+	return nil
+}
+
+// N returns the factored dimension.
+func (c *Cholesky) N() int { return c.n }
+
+// L returns the lower-triangular factor as a dense matrix (freshly
+// allocated; mutating it does not affect the factorization).
+func (c *Cholesky) L() *Dense {
+	l := NewDense(c.n, c.n)
+	for i := 0; i < c.n; i++ {
+		copy(l.Row(i)[:i+1], c.row(i))
+	}
+	return l
+}
 
 // SolveVec solves A x = b using the factorization.
 func (c *Cholesky) SolveVec(b []float64) []float64 {
-	y := c.SolveLowerVec(b)
-	return c.SolveUpperVec(y)
+	x := make([]float64, c.n)
+	c.SolveVecTo(x, b)
+	return x
+}
+
+// SolveVecTo solves A x = b into dst without allocating. dst may alias b.
+func (c *Cholesky) SolveVecTo(dst, b []float64) {
+	c.SolveLowerVecTo(dst, b)
+	c.solveUpperInPlace(dst)
 }
 
 // SolveLowerVec solves L y = b by forward substitution.
 func (c *Cholesky) SolveLowerVec(b []float64) []float64 {
-	if len(b) != c.n {
+	y := make([]float64, c.n)
+	c.SolveLowerVecTo(y, b)
+	return y
+}
+
+// SolveLowerVecTo solves L y = b into dst without allocating. dst may alias
+// b (entry i is consumed before it is overwritten).
+func (c *Cholesky) SolveLowerVecTo(dst, b []float64) {
+	if len(b) != c.n || len(dst) != c.n {
 		panic("mat: solve dimension mismatch")
 	}
-	y := make([]float64, c.n)
 	for i := 0; i < c.n; i++ {
 		s := b[i]
-		row := c.l.Row(i)
+		row := c.row(i)
 		for k := 0; k < i; k++ {
-			s -= row[k] * y[k]
+			s -= row[k] * dst[k]
 		}
-		y[i] = s / row[i]
+		dst[i] = s / row[i]
 	}
-	return y
 }
 
 // SolveUpperVec solves Lᵀ x = y by back substitution.
 func (c *Cholesky) SolveUpperVec(y []float64) []float64 {
 	x := make([]float64, c.n)
-	for i := c.n - 1; i >= 0; i-- {
-		s := y[i]
-		for k := i + 1; k < c.n; k++ {
-			s -= c.l.At(k, i) * x[k]
-		}
-		x[i] = s / c.l.At(i, i)
-	}
+	copy(x, y)
+	c.solveUpperInPlace(x)
 	return x
+}
+
+// solveUpperInPlace solves Lᵀ x = x by back substitution in place.
+func (c *Cholesky) solveUpperInPlace(x []float64) {
+	if len(x) != c.n {
+		panic("mat: solve dimension mismatch")
+	}
+	for i := c.n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < c.n; k++ {
+			s -= c.d[k*(k+1)/2+i] * x[k]
+		}
+		x[i] = s / c.d[i*(i+1)/2+i]
+	}
 }
 
 // LogDet returns log|A| = 2 * sum(log L_ii).
 func (c *Cholesky) LogDet() float64 {
 	s := 0.0
 	for i := 0; i < c.n; i++ {
-		s += math.Log(c.l.At(i, i))
+		s += math.Log(c.d[i*(i+1)/2+i])
 	}
 	return 2 * s
 }

@@ -1,0 +1,108 @@
+package meta
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"testing/quick"
+)
+
+// bruteRankingLoss is the original O(n²) pairwise definition of Eq. 9, kept
+// as the reference the merge-sort implementation must reproduce exactly.
+func bruteRankingLoss(pred, truth []float64) int {
+	n := len(pred)
+	loss := 0
+	for j := 0; j < n; j++ {
+		for k := 0; k < n; k++ {
+			if (pred[j] <= pred[k]) != (truth[j] <= truth[k]) {
+				loss++
+			}
+		}
+	}
+	return loss
+}
+
+// Property: the O(n log n) inversion-count loss equals the O(n²) pairwise
+// scan on random inputs with deliberately injected ties on both sides.
+func TestQuickRankingLossMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(40)
+		pred := make([]float64, n)
+		truth := make([]float64, n)
+		for i := range pred {
+			// Draw from small integer grids so ties are common.
+			pred[i] = float64(r.Intn(6))
+			truth[i] = float64(r.Intn(6))
+		}
+		if RankingLoss(pred, truth) != bruteRankingLoss(pred, truth) {
+			return false
+		}
+		// Continuous (tie-free) draws too.
+		for i := range pred {
+			pred[i] = r.NormFloat64()
+			truth[i] = r.NormFloat64()
+		}
+		return RankingLoss(pred, truth) == bruteRankingLoss(pred, truth)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankEvaluatorReuseAndClone(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	truth := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+	e := NewRankEvaluator(truth)
+	c := e.Clone()
+	for rep := 0; rep < 50; rep++ {
+		pred := make([]float64, len(truth))
+		for i := range pred {
+			pred[i] = float64(r.Intn(5))
+		}
+		want := bruteRankingLoss(pred, truth)
+		if got := e.Loss(pred); got != want {
+			t.Fatalf("rep %d: evaluator loss %d want %d", rep, got, want)
+		}
+		if got := c.Loss(pred); got != want {
+			t.Fatalf("rep %d: cloned evaluator loss %d want %d", rep, got, want)
+		}
+	}
+}
+
+func TestRankEvaluatorDegenerate(t *testing.T) {
+	if got := NewRankEvaluator(nil).Loss(nil); got != 0 {
+		t.Fatalf("empty loss %d", got)
+	}
+	if got := NewRankEvaluator([]float64{7}).Loss([]float64{1}); got != 0 {
+		t.Fatalf("singleton loss %d", got)
+	}
+	// All-tied truth vs strictly ordered pred: every unordered pair is tied
+	// on exactly one side -> n(n-1)/2 misranked ordered pairs.
+	if got := RankingLoss([]float64{1, 2, 3, 4}, []float64{5, 5, 5, 5}); got != 6 {
+		t.Fatalf("tied-truth loss %d want 6", got)
+	}
+}
+
+// TestDynamicWeightsDeterministicAcrossGOMAXPROCS checks the meta-level
+// fan-out contract: identical weights at any parallelism for a fixed seed.
+func TestDynamicWeightsDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	targetHist := synthHistory(12, 0.3, 10, 5, 1)
+	similar := mustLearner(t, "similar", nil, synthHistory(25, 0.3, 500, 300, 2), 2)
+	dissimilar := mustLearner(t, "dissimilar", nil, synthHistory(25, 0.9, 10, 5, 3), 3)
+	target := mustLearner(t, "target", nil, targetHist, 4)
+
+	run := func(procs int) []float64 {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		r := rand.New(rand.NewSource(42))
+		return DynamicWeightsOpts([]*BaseLearner{similar, dissimilar}, target,
+			DynamicOptions{Samples: 100, DilutionGuard: true}, r)
+	}
+	a, b := run(1), run(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("weights differ across GOMAXPROCS: %v vs %v", a, b)
+		}
+	}
+}

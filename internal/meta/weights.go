@@ -6,6 +6,8 @@ import (
 	"sort"
 
 	"repro/internal/bo"
+	"repro/internal/par"
+	"repro/internal/rng"
 )
 
 // EpanechnikovBandwidth is the default bandwidth ρ of the static-weight
@@ -58,21 +60,6 @@ func distance(a, b []float64) float64 {
 	return math.Sqrt(s)
 }
 
-// RankingLoss counts misranked pairs (Eq. 9) between predictions and ground
-// truths: Σ_j Σ_k 1(pred_j ≤ pred_k) XOR 1(true_j ≤ true_k).
-func RankingLoss(pred, truth []float64) int {
-	n := len(pred)
-	loss := 0
-	for j := 0; j < n; j++ {
-		for k := 0; k < n; k++ {
-			if (pred[j] <= pred[k]) != (truth[j] <= truth[k]) {
-				loss++
-			}
-		}
-	}
-	return loss
-}
-
 // DynamicOptions tunes the dynamic weight assignment.
 type DynamicOptions struct {
 	// Samples is the posterior sample count (100 by default).
@@ -100,6 +87,13 @@ func DynamicWeights(base []*BaseLearner, target *BaseLearner, samples int, r *ra
 // leave-one-out posterior. The loss sums over all three metrics
 // (res, tps, lat), evaluating both the objective and constraint surfaces.
 //
+// The two hot phases — per-learner posterior computation and per-learner
+// loss sampling — fan out across learners. Loss sampling draws from one
+// pre-seeded sub-stream per learner (partitioned from r in learner order),
+// and the truth-side ranking structure is built once per metric, so each
+// sampled loss costs O(n log n) and the result is bit-identical at any
+// GOMAXPROCS.
+//
 // The returned slice has len(base)+1 entries, target last, summing to 1.
 func DynamicWeightsOpts(base []*BaseLearner, target *BaseLearner, opts DynamicOptions, r *rand.Rand) []float64 {
 	nL := len(base) + 1
@@ -116,12 +110,34 @@ func DynamicWeightsOpts(base []*BaseLearner, target *BaseLearner, opts DynamicOp
 		samples = 100
 	}
 
+	// Ground-truth orderings use the raw target observations (ranking is
+	// scale-invariant, the key to hardware transfer). The sort order and
+	// tie structure are hoisted out of the sampling loop.
+	evals := make([]*RankEvaluator, len(bo.Metrics))
+	for mi, m := range bo.Metrics {
+		evals[mi] = NewRankEvaluator(h.Values(m))
+	}
+
 	// Pre-compute posterior means/stds of every learner at the target's
-	// observed points, per metric. For the target learner use LOO.
+	// observed points, per metric, concurrently (pure reads of read-only
+	// surrogates — except the target's lazily cached LOO inverse, which
+	// only its own worker touches). For the target learner use LOO.
 	type post struct{ mu, sd []float64 }
-	posts := make([][]post, nL) // [learner][metric]
-	for i, b := range base {
+	posts := make([][]post, nL)
+	par.ForEach(nL, func(i int) {
 		posts[i] = make([]post, len(bo.Metrics))
+		if i == nL-1 {
+			for mi, m := range bo.Metrics {
+				looMu, looVar := target.Surrogate.GP(m).LOO()
+				sd := make([]float64, nt)
+				for j := range sd {
+					sd[j] = math.Sqrt(looVar[j])
+				}
+				posts[i][mi] = post{looMu, sd}
+			}
+			return
+		}
+		b := base[i]
 		for mi, m := range bo.Metrics {
 			mu := make([]float64, nt)
 			sd := make([]float64, nt)
@@ -131,49 +147,42 @@ func DynamicWeightsOpts(base []*BaseLearner, target *BaseLearner, opts DynamicOp
 			}
 			posts[i][mi] = post{mu, sd}
 		}
-	}
-	posts[nL-1] = make([]post, len(bo.Metrics))
-	for mi, m := range bo.Metrics {
-		looMu, looVar := target.Surrogate.GP(m).LOO()
-		sd := make([]float64, nt)
-		for j := range sd {
-			sd[j] = math.Sqrt(looVar[j])
-		}
-		posts[nL-1][mi] = post{looMu, sd}
-	}
+	})
 
-	// Ground-truth orderings use the raw target observations (ranking is
-	// scale-invariant, the key to hardware transfer).
-	truth := make([][]float64, len(bo.Metrics))
-	for mi, m := range bo.Metrics {
-		truth[mi] = h.Values(m)
-	}
-
-	// Sample every learner's loss distribution.
+	// Sample every learner's loss distribution on its own stream.
+	streams := rng.Partition(r, nL)
 	lossMatrix := make([][]int, nL)
-	pred := make([]float64, nt)
-	for i := 0; i < nL; i++ {
-		lossMatrix[i] = make([]int, samples)
+	par.ForEach(nL, func(i int) {
+		lr := streams[i]
+		ev := make([]*RankEvaluator, len(evals))
+		for mi := range evals {
+			ev[mi] = evals[mi].Clone()
+		}
+		pred := make([]float64, nt)
+		losses := make([]int, samples)
 		for s := 0; s < samples; s++ {
 			loss := 0
 			for mi := range bo.Metrics {
 				p := posts[i][mi]
 				for j := 0; j < nt; j++ {
-					pred[j] = p.mu[j] + p.sd[j]*r.NormFloat64()
+					pred[j] = p.mu[j] + p.sd[j]*lr.NormFloat64()
 				}
-				loss += RankingLoss(pred, truth[mi])
+				loss += ev[mi].Loss(pred)
 			}
-			lossMatrix[i][s] = loss
+			losses[s] = loss
 		}
-	}
+		lossMatrix[i] = losses
+	})
 
 	// Weight-dilution guard: drop historical learners whose median loss is
-	// worse than the target's 95th percentile loss.
+	// worse than the target's 95th percentile loss. The target's p95 is
+	// computed once, and one scratch buffer serves every percentile call.
 	excluded := make([]bool, nL)
 	if opts.DilutionGuard {
-		targetP95 := percentileInt(lossMatrix[nL-1], 0.95)
+		scratch := make([]int, samples)
+		targetP95 := percentileIntInto(scratch, lossMatrix[nL-1], 0.95)
 		for i := 0; i < nL-1; i++ {
-			if percentileInt(lossMatrix[i], 0.5) > targetP95 {
+			if percentileIntInto(scratch, lossMatrix[i], 0.5) > targetP95 {
 				excluded[i] = true
 			}
 		}
@@ -208,7 +217,14 @@ func DynamicWeightsOpts(base []*BaseLearner, target *BaseLearner, opts DynamicOp
 
 // percentileInt returns the q-quantile of values (copied, not mutated).
 func percentileInt(values []int, q float64) int {
-	s := append([]int(nil), values...)
+	return percentileIntInto(make([]int, len(values)), values, q)
+}
+
+// percentileIntInto is percentileInt with a caller-provided scratch buffer
+// (len(scratch) >= len(values)); values is not mutated.
+func percentileIntInto(scratch, values []int, q float64) int {
+	s := scratch[:len(values)]
+	copy(s, values)
 	sort.Ints(s)
 	idx := int(q * float64(len(s)-1))
 	return s[idx]
@@ -223,15 +239,19 @@ func MeanRankingLossPct(base []*BaseLearner, h bo.History) []float64 {
 	if nt < 2 {
 		return out
 	}
+	evals := make([]*RankEvaluator, len(bo.Metrics))
+	for mi, m := range bo.Metrics {
+		evals[mi] = NewRankEvaluator(h.Values(m))
+	}
 	totalPairs := float64(3 * nt * nt) // three metrics, n² ordered pairs each
+	pred := make([]float64, nt)
 	for i, b := range base {
 		loss := 0
-		for _, m := range bo.Metrics {
-			pred := make([]float64, nt)
+		for mi, m := range bo.Metrics {
 			for j, o := range h {
 				pred[j], _ = b.Predict(m, o.Theta)
 			}
-			loss += RankingLoss(pred, h.Values(m))
+			loss += evals[mi].Loss(pred)
 		}
 		out[i] = float64(loss) / totalPairs * 100
 	}

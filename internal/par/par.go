@@ -1,0 +1,80 @@
+// Package par provides the deterministic fan-out primitive used by the
+// GP/BO/meta hot loops: a bounded worker pool that evaluates independent
+// work items concurrently while guaranteeing bit-identical results at any
+// GOMAXPROCS.
+//
+// The determinism contract has three parts, all the caller's responsibility:
+//
+//  1. Pre-drawn randomness — every random draw an item needs is taken from
+//     the seeded stream (or partitioned into per-item sub-streams, see
+//     rng.Partition) before the fan-out, in item-index order, so scheduling
+//     cannot perturb stream consumption.
+//  2. Index-isolated work — fn(i) may only read shared state and write
+//     state owned by item i (typically results[i]); items never communicate.
+//  3. Index-ordered reduction — any argmax/merge over the results happens
+//     after ForEach returns, iterating in index order with a deterministic
+//     tie-break.
+//
+// Under that contract a parallel run is indistinguishable from the serial
+// loop `for i := 0; i < n; i++ { fn(i) }`, which is exactly what ForEach
+// degrades to at GOMAXPROCS=1.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach invokes fn(i) exactly once for every i in [0, n), spread across up
+// to GOMAXPROCS goroutines. It returns once every item has completed. Items
+// are claimed from an atomic counter, so scheduling order is arbitrary — see
+// the package comment for the contract that makes results deterministic
+// anyway. A panic in any fn is re-raised on the calling goroutine after the
+// remaining workers drain.
+func ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     int64
+		wg       sync.WaitGroup
+		panicked sync.Once
+		panicVal any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.Do(func() { panicVal = r })
+					// Park the counter at the end so peers stop claiming work.
+					atomic.StoreInt64(&next, int64(n))
+				}
+			}()
+			for {
+				i := atomic.AddInt64(&next, 1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}

@@ -1,0 +1,58 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		counts := make([]int64, n)
+		ForEach(n, func(i int) { atomic.AddInt64(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d executed %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachDeterministicReduction(t *testing.T) {
+	// The same index-isolated computation must reduce identically at
+	// GOMAXPROCS=1 and a deliberately oversubscribed setting.
+	compute := func(procs int) float64 {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		const n = 500
+		out := make([]float64, n)
+		ForEach(n, func(i int) {
+			v := float64(i)
+			for k := 0; k < 50; k++ {
+				v = v*1.0000001 + float64(k)*1e-9
+			}
+			out[i] = v
+		})
+		s := 0.0
+		for _, v := range out { // index-ordered reduction
+			s += v
+		}
+		return s
+	}
+	if a, b := compute(1), compute(8); a != b {
+		t.Fatalf("reduction differs across GOMAXPROCS: %v vs %v", a, b)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("expected propagated panic, got %v", r)
+		}
+	}()
+	ForEach(64, func(i int) {
+		if i == 13 {
+			panic("boom")
+		}
+	})
+}

@@ -18,3 +18,16 @@ func Derive(seed int64, label string) *rand.Rand {
 	h.Write([]byte(label))
 	return rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
 }
+
+// Partition pre-draws n independent sub-streams from r, consuming exactly n
+// Int63 values of r in index order. Handing each parallel work item its own
+// stream (instead of sharing r across items) is what keeps fan-out results
+// bit-identical at any GOMAXPROCS: stream i's draws depend only on i, never
+// on how the scheduler interleaved the other items.
+func Partition(r *rand.Rand, n int) []*rand.Rand {
+	out := make([]*rand.Rand, n)
+	for i := range out {
+		out[i] = rand.New(rand.NewSource(r.Int63()))
+	}
+	return out
+}
