@@ -8,6 +8,8 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/bo"
@@ -355,5 +357,108 @@ func BenchmarkEngineRangeScan(b *testing.B) {
 		if _, err := ex.Exec(stmt); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCommitGroup measures fsync-per-commit writes under 8-way commit
+// pressure: with group commit, concurrent committers share one fsync, so
+// per-op cost drops well below a lone fsync's latency.
+func BenchmarkCommitGroup(b *testing.B) {
+	cfg := minidb.DefaultTestConfig(b.TempDir())
+	cfg.WAL.Policy = minidb.FlushEachCommit
+	db, err := minidb.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.CreateTable("t"); err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, 96)
+	var key atomic.Int64
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			k := key.Add(1)
+			if err := db.Put("t", k%4096, val); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBufferPoolSharded measures parallel point reads against a pool
+// far smaller than the working set (all miss/eviction traffic), comparing a
+// single-instance pool against an 8-way sharded one.
+func BenchmarkBufferPoolSharded(b *testing.B) {
+	for _, instances := range []int{1, 8} {
+		b.Run(fmt.Sprintf("instances=%d", instances), func(b *testing.B) {
+			cfg := minidb.DefaultTestConfig(b.TempDir())
+			cfg.BufferPoolBytes = 64 * minidb.PageSize
+			cfg.BufferPoolInstances = instances
+			db, err := minidb.Open(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			ex := minidb.NewExecutor(db, 20000)
+			if err := ex.Load("sbtest", 20000); err != nil {
+				b.Fatal(err)
+			}
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				r := rand.New(rand.NewSource(1))
+				for pb.Next() {
+					if _, _, err := db.Get("sbtest", int64(r.Intn(20000))); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkReplayWorkers measures aggregate sysbench replay throughput at 1
+// and 8 workers — the evaluator's multi-worker measurement path. Workers
+// share one plan cache via Executor.Clone.
+func BenchmarkReplayWorkers(b *testing.B) {
+	w := workload.Sysbench(10)
+	stream := w.Generate(20000, rand.New(rand.NewSource(7)))
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := minidb.DefaultTestConfig(b.TempDir())
+			db, err := minidb.Open(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			ex := minidb.NewExecutor(db, 2000)
+			if err := ex.Load("sbtest", 2000); err != nil {
+				b.Fatal(err)
+			}
+			for _, stmt := range w.Generate(64, rand.New(rand.NewSource(1))) {
+				ex.Exec(stmt)
+			}
+			b.ResetTimer()
+			var idx atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < workers; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					exw := ex.Clone()
+					for {
+						i := idx.Add(1) - 1
+						if i >= int64(b.N) {
+							return
+						}
+						exw.Exec(stream[int(i)%len(stream)])
+					}
+				}()
+			}
+			wg.Wait()
+		})
 	}
 }

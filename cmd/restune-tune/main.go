@@ -59,9 +59,7 @@ func run(workloadName, instance, resource, knobSet, method string, iters int, se
 	if engine {
 		// Real engine: scale the workload to desk size and restrict to the
 		// knobs minidb implements.
-		space = restune.MySQLKnobs().Subset(
-			"innodb_buffer_pool_size", "innodb_flush_log_at_trx_commit",
-			"innodb_thread_concurrency", "innodb_lru_scan_depth", "table_open_cache")
+		space = restune.RealEngineKnobs()
 		dir, err := os.MkdirTemp("", "restune-engine")
 		if err != nil {
 			return err

@@ -112,3 +112,23 @@ func CaseStudySpace() *Space {
 func Fig1Space() *Space {
 	return MySQL57Catalogue().Subset("innodb_sync_spin_loops", "table_open_cache")
 }
+
+// RealEngineSpace returns the subset of the catalogue that the live minidb
+// engine actually models (see minidb.ConfigFromKnobs): every knob here
+// measurably shifts the engine's resource/TPS response, so this is the
+// space real-engine tuning runs should use.
+func RealEngineSpace() *Space {
+	return MySQL57Catalogue().Subset(
+		"innodb_buffer_pool_size",
+		"innodb_buffer_pool_instances",
+		"innodb_old_blocks_pct",
+		"innodb_lru_scan_depth",
+		"innodb_io_capacity",
+		"innodb_flush_log_at_trx_commit",
+		"innodb_log_buffer_size",
+		"innodb_spin_wait_delay",
+		"innodb_sync_spin_loops",
+		"innodb_thread_concurrency",
+		"table_open_cache",
+	)
+}

@@ -7,10 +7,25 @@ import (
 )
 
 // BTree is a B+tree over buffer-pool pages: int64 keys, bounded []byte
-// values, leaf-level links for range scans. Structure modifications take a
-// coarse tree latch (row-level concurrency is the lock manager's job);
-// deletes remove leaf entries without rebalancing, which is sufficient for
-// the OLTP mixes replayed against it.
+// values. Concurrency follows a two-level latch scheme:
+//
+//   - The tree latch (t.mu) is held *shared* by every read and by writes
+//     that stay in place, and *exclusive* only for structure modifications
+//     (splits, root growth). While any shared holder is descending, no page
+//     can change type, move, or have its key range altered — so descents
+//     need no lock coupling across levels.
+//   - Each page frame carries a read-write latch guarding its bytes: node
+//     readers hold it shared, in-place leaf writers hold it exclusive. This
+//     is what lets point reads of one leaf run concurrently with updates to
+//     another under the same shared tree latch.
+//
+// A writer first tries the fast path (shared tree latch + exclusive leaf
+// latch); only when the leaf would overflow does it escalate to the
+// exclusive tree latch and run the recursive split insert. Deletes never
+// rebalance, so they always take the fast path. Page latches are always
+// released before Unpin — the pool takes page latches while holding an
+// instance mutex (FlushAll), so the reverse order would deadlock (see
+// DESIGN.md, latch ordering).
 type BTree struct {
 	mu   sync.RWMutex
 	pool *BufferPool
@@ -33,7 +48,9 @@ func newBTree(pool *BufferPool, pager *pager) (*BTree, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.latch.Lock()
 	writeLeaf(&p.data, nil)
+	p.latch.Unlock()
 	pool.Unpin(p, true)
 	return t, nil
 }
@@ -72,6 +89,27 @@ func readLeaf(data *[PageSize]byte) []leafEntry {
 		entries = append(entries, leafEntry{key, val})
 	}
 	return entries
+}
+
+// leafFind searches a leaf in place, copying out only the matching value —
+// the point-read path allocates one value instead of the whole page's worth.
+func leafFind(data *[PageSize]byte, key int64) ([]byte, bool) {
+	n := int(binary.LittleEndian.Uint16(data[1:3]))
+	off := headerSize
+	for i := 0; i < n; i++ {
+		k := int64(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+		vlen := int(binary.LittleEndian.Uint16(data[off:]))
+		off += 2
+		if k == key {
+			return append([]byte(nil), data[off:off+vlen]...), true
+		}
+		if k > key {
+			return nil, false
+		}
+		off += vlen
+	}
+	return nil, false
 }
 
 func leafSize(entries []leafEntry) int {
@@ -116,6 +154,25 @@ func readInternal(data *[PageSize]byte) internalNode {
 	return node
 }
 
+// internalChild picks the descent child for key without materializing the
+// node.
+func internalChild(data *[PageSize]byte, key int64) PageID {
+	n := int(binary.LittleEndian.Uint16(data[1:3]))
+	off := headerSize
+	child := PageID(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	for i := 0; i < n; i++ {
+		k := int64(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+		if key < k {
+			return child
+		}
+		child = PageID(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+	}
+	return child
+}
+
 func internalSize(n internalNode) int { return headerSize + 4 + 12*len(n.keys) }
 
 func writeInternal(data *[PageSize]byte, node internalNode) {
@@ -144,22 +201,17 @@ func (t *BTree) Get(key int64) ([]byte, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
+		p.latch.RLock()
 		if p.data[0] == nodeLeaf {
-			entries := readLeaf(&p.data)
+			val, ok := leafFind(&p.data, key)
+			p.latch.RUnlock()
 			t.pool.Unpin(p, false)
-			for _, e := range entries {
-				if e.key == key {
-					return e.val, true, nil
-				}
-				if e.key > key {
-					break
-				}
-			}
-			return nil, false, nil
+			return val, ok, nil
 		}
-		node := readInternal(&p.data)
+		next := internalChild(&p.data, key)
+		p.latch.RUnlock()
 		t.pool.Unpin(p, false)
-		id = node.children[childIndex(node.keys, key)]
+		id = next
 	}
 }
 
@@ -178,10 +230,16 @@ type splitResult struct {
 	newChild PageID
 }
 
-// Put inserts or updates a key.
+// Put inserts or updates a key. The fast path runs under the shared tree
+// latch with an exclusive latch on the target leaf only; a leaf overflow
+// escalates to the exclusive tree latch for the split.
 func (t *BTree) Put(key int64, val []byte) error {
 	if len(val) > MaxValueLen {
 		return fmt.Errorf("minidb: value length %d exceeds %d", len(val), MaxValueLen)
+	}
+	done, err := t.putInPlace(key, val)
+	if done || err != nil {
+		return err
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -198,15 +256,70 @@ func (t *BTree) Put(key int64, val []byte) error {
 	if err != nil {
 		return err
 	}
+	p.latch.Lock()
 	writeInternal(&p.data, internalNode{
 		keys:     []int64{split.sepKey},
 		children: []PageID{t.root, split.newChild},
 	})
+	p.latch.Unlock()
 	t.pool.Unpin(p, true)
 	t.root = newRoot
 	return nil
 }
 
+// putInPlace attempts the in-place leaf update under the shared tree latch.
+// It reports done=false (without modifying anything) when the leaf would
+// overflow and the caller must escalate to a split.
+func (t *BTree) putInPlace(key int64, val []byte) (done bool, err error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id := t.root
+	for {
+		p, err := t.pool.Fetch(id)
+		if err != nil {
+			return false, err
+		}
+		p.latch.RLock()
+		if p.data[0] != nodeLeaf {
+			next := internalChild(&p.data, key)
+			p.latch.RUnlock()
+			t.pool.Unpin(p, false)
+			id = next
+			continue
+		}
+		p.latch.RUnlock()
+		// Re-latch exclusive. The page cannot change type or key range in
+		// between: both would require the exclusive tree latch, blocked by
+		// our shared hold. Another in-place writer may slip in, which is
+		// fine — the size check below sees the latest contents.
+		p.latch.Lock()
+		entries := readLeaf(&p.data)
+		idx := 0
+		for idx < len(entries) && entries[idx].key < key {
+			idx++
+		}
+		if idx < len(entries) && entries[idx].key == key {
+			entries[idx].val = append([]byte(nil), val...)
+		} else {
+			entries = append(entries, leafEntry{})
+			copy(entries[idx+1:], entries[idx:])
+			entries[idx] = leafEntry{key, append([]byte(nil), val...)}
+		}
+		if leafSize(entries) > PageSize {
+			p.latch.Unlock()
+			t.pool.Unpin(p, false)
+			return false, nil
+		}
+		writeLeaf(&p.data, entries)
+		p.latch.Unlock()
+		t.pool.Unpin(p, true)
+		return true, nil
+	}
+}
+
+// insert runs under the exclusive tree latch. Other tree operations are
+// excluded, but checkpoints (FlushAll) may still read pinned pages under
+// their shared latches, so page writes take the exclusive page latch.
 func (t *BTree) insert(id PageID, key int64, val []byte) (*splitResult, error) {
 	p, err := t.pool.Fetch(id)
 	if err != nil {
@@ -226,21 +339,27 @@ func (t *BTree) insert(id PageID, key int64, val []byte) (*splitResult, error) {
 			entries[idx] = leafEntry{key, append([]byte(nil), val...)}
 		}
 		if leafSize(entries) <= PageSize {
+			p.latch.Lock()
 			writeLeaf(&p.data, entries)
+			p.latch.Unlock()
 			t.pool.Unpin(p, true)
 			return nil, nil
 		}
 		// Split the leaf.
 		mid := len(entries) / 2
 		left, right := entries[:mid], entries[mid:]
+		p.latch.Lock()
 		writeLeaf(&p.data, left)
+		p.latch.Unlock()
 		t.pool.Unpin(p, true)
 		rightID := t.pool.pager.allocate()
 		rp, err := t.pool.Fetch(rightID)
 		if err != nil {
 			return nil, err
 		}
+		rp.latch.Lock()
 		writeLeaf(&rp.data, right)
+		rp.latch.Unlock()
 		t.pool.Unpin(rp, true)
 		return &splitResult{sepKey: right[0].key, newChild: rightID}, nil
 	}
@@ -268,7 +387,9 @@ func (t *BTree) insert(id PageID, key int64, val []byte) (*splitResult, error) {
 	node.children[ci+1] = split.newChild
 
 	if internalSize(node) <= PageSize {
+		p.latch.Lock()
 		writeInternal(&p.data, node)
+		p.latch.Unlock()
 		t.pool.Unpin(p, true)
 		return nil, nil
 	}
@@ -280,44 +401,57 @@ func (t *BTree) insert(id PageID, key int64, val []byte) (*splitResult, error) {
 		keys:     append([]int64(nil), node.keys[mid+1:]...),
 		children: append([]PageID(nil), node.children[mid+1:]...),
 	}
+	p.latch.Lock()
 	writeInternal(&p.data, leftNode)
+	p.latch.Unlock()
 	t.pool.Unpin(p, true)
 	rightID := t.pool.pager.allocate()
 	rp, err := t.pool.Fetch(rightID)
 	if err != nil {
 		return nil, err
 	}
+	rp.latch.Lock()
 	writeInternal(&rp.data, rightNode)
+	rp.latch.Unlock()
 	t.pool.Unpin(rp, true)
 	return &splitResult{sepKey: sep, newChild: rightID}, nil
 }
 
-// Delete removes a key, reporting whether it existed.
+// Delete removes a key, reporting whether it existed. Deletes only ever
+// shrink a leaf in place (no rebalancing), so the fast path is the only
+// path: shared tree latch, exclusive latch on the target leaf.
 func (t *BTree) Delete(key int64) (bool, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	id := t.root
 	for {
 		p, err := t.pool.Fetch(id)
 		if err != nil {
 			return false, err
 		}
-		if p.data[0] == nodeLeaf {
-			entries := readLeaf(&p.data)
-			for i, e := range entries {
-				if e.key == key {
-					entries = append(entries[:i], entries[i+1:]...)
-					writeLeaf(&p.data, entries)
-					t.pool.Unpin(p, true)
-					return true, nil
-				}
-			}
+		p.latch.RLock()
+		if p.data[0] != nodeLeaf {
+			next := internalChild(&p.data, key)
+			p.latch.RUnlock()
 			t.pool.Unpin(p, false)
-			return false, nil
+			id = next
+			continue
 		}
-		node := readInternal(&p.data)
+		p.latch.RUnlock()
+		p.latch.Lock()
+		entries := readLeaf(&p.data)
+		for i, e := range entries {
+			if e.key == key {
+				entries = append(entries[:i], entries[i+1:]...)
+				writeLeaf(&p.data, entries)
+				p.latch.Unlock()
+				t.pool.Unpin(p, true)
+				return true, nil
+			}
+		}
+		p.latch.Unlock()
 		t.pool.Unpin(p, false)
-		id = node.children[childIndex(node.keys, key)]
+		return false, nil
 	}
 }
 
@@ -334,8 +468,10 @@ func (t *BTree) scan(id PageID, lo, hi int64, fn func(int64, []byte) bool) (bool
 	if err != nil {
 		return false, err
 	}
+	p.latch.RLock()
 	if p.data[0] == nodeLeaf {
 		entries := readLeaf(&p.data)
+		p.latch.RUnlock()
 		t.pool.Unpin(p, false)
 		for _, e := range entries {
 			if e.key < lo {
@@ -351,6 +487,7 @@ func (t *BTree) scan(id PageID, lo, hi int64, fn func(int64, []byte) bool) (bool
 		return true, nil
 	}
 	node := readInternal(&p.data)
+	p.latch.RUnlock()
 	t.pool.Unpin(p, false)
 	for ci := childIndex(node.keys, lo); ci < len(node.children); ci++ {
 		more, err := t.scan(node.children[ci], lo, hi, fn)

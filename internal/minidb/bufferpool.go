@@ -7,13 +7,28 @@ import (
 	"time"
 )
 
-// BufferPool caches pages in memory with an InnoDB-style LRU split into a
-// young (hot) and old (probation) sublist: newly read pages enter at the
-// old-sublist head and are promoted to young on re-access, so one-off scans
-// cannot evict the hot set. A background page cleaner flushes dirty pages
-// from the LRU tail, scanning up to lruScanDepth pages per pass and issuing
-// at most ioCapacity writes per second.
+// BufferPool caches pages in memory, split into N independent instances the
+// way innodb_buffer_pool_instances splits InnoDB's pool: each page id hashes
+// to exactly one instance, and each instance has its own mutex, its own
+// InnoDB-style LRU (a young/hot sublist and an old/probation sublist: newly
+// read pages enter at the old-sublist head and are promoted to young on
+// re-access, so one-off scans cannot evict the hot set), and its own share
+// of the page-cleaner budget. Concurrent workers touching different pages
+// therefore contend on different mutexes; a single shared background
+// cleaner round-robins the instances.
 type BufferPool struct {
+	pager     *pager
+	instances []*poolInstance
+
+	lruScanDepth int
+	ioCapacity   int
+
+	cleanerStop chan struct{}
+	cleanerDone chan struct{}
+}
+
+// poolInstance is one independently latched slice of the pool.
+type poolInstance struct {
 	mu       sync.Mutex
 	pager    *pager
 	frames   map[PageID]*page
@@ -24,26 +39,24 @@ type BufferPool struct {
 	oldHead    *page
 	oldPct     int // innodb_old_blocks_pct
 
-	lruScanDepth int
-	ioCapacity   int
-
 	hits, misses, flushes, evictions atomic.Uint64
-
-	cleanerStop chan struct{}
-	cleanerDone chan struct{}
 }
 
 // BufferPoolConfig sizes and tunes the pool.
 type BufferPoolConfig struct {
-	// Frames is the pool capacity in pages (innodb_buffer_pool_size /
-	// PageSize).
+	// Frames is the total pool capacity in pages (innodb_buffer_pool_size /
+	// PageSize), split evenly across instances.
 	Frames int
+	// Instances is the number of independent pool instances
+	// (innodb_buffer_pool_instances); values < 1 mean one instance.
+	Instances int
 	// OldBlocksPct is the old-sublist share (innodb_old_blocks_pct).
 	OldBlocksPct int
-	// LRUScanDepth is the cleaner's per-pass scan depth
+	// LRUScanDepth is the cleaner's per-pass scan depth per instance
 	// (innodb_lru_scan_depth).
 	LRUScanDepth int
-	// IOCapacity caps cleaner writes per second (innodb_io_capacity).
+	// IOCapacity caps cleaner writes per second across the whole pool
+	// (innodb_io_capacity).
 	IOCapacity int
 	// CleanerInterval is the cleaner wake-up period (zero disables the
 	// background cleaner; flushing then happens only at eviction and
@@ -60,6 +73,18 @@ func newBufferPool(pg *pager, cfg BufferPoolConfig) *BufferPool {
 	if cfg.Frames > 1<<20 {
 		cfg.Frames = 1 << 20
 	}
+	if cfg.Instances < 1 {
+		cfg.Instances = 1
+	}
+	if cfg.Instances > 64 {
+		cfg.Instances = 64
+	}
+	// Every instance needs a workable minimum; shrink the instance count
+	// rather than inflate a tiny pool (InnoDB similarly forces one instance
+	// below 1GB).
+	for cfg.Instances > 1 && cfg.Frames/cfg.Instances < 8 {
+		cfg.Instances--
+	}
 	if cfg.OldBlocksPct <= 0 || cfg.OldBlocksPct >= 100 {
 		cfg.OldBlocksPct = 37
 	}
@@ -71,11 +96,18 @@ func newBufferPool(pg *pager, cfg BufferPoolConfig) *BufferPool {
 	}
 	bp := &BufferPool{
 		pager:        pg,
-		frames:       make(map[PageID]*page, cfg.Frames),
-		capacity:     cfg.Frames,
-		oldPct:       cfg.OldBlocksPct,
+		instances:    make([]*poolInstance, cfg.Instances),
 		lruScanDepth: cfg.LRUScanDepth,
 		ioCapacity:   cfg.IOCapacity,
+	}
+	per := cfg.Frames / cfg.Instances
+	for i := range bp.instances {
+		bp.instances[i] = &poolInstance{
+			pager:    pg,
+			frames:   make(map[PageID]*page, per),
+			capacity: per,
+			oldPct:   cfg.OldBlocksPct,
+		}
 	}
 	if cfg.CleanerInterval > 0 {
 		bp.cleanerStop = make(chan struct{})
@@ -85,8 +117,26 @@ func newBufferPool(pg *pager, cfg BufferPoolConfig) *BufferPool {
 	return bp
 }
 
+// instance maps a page id onto its owning pool instance. A multiplicative
+// hash keeps sequentially allocated B-tree pages from striding into a single
+// instance.
+func (b *BufferPool) instance(id PageID) *poolInstance {
+	if len(b.instances) == 1 {
+		return b.instances[0]
+	}
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return b.instances[h%uint64(len(b.instances))]
+}
+
+// Instances reports the configured instance count.
+func (b *BufferPool) Instances() int { return len(b.instances) }
+
 // Fetch pins a page, reading it from disk on a miss.
 func (b *BufferPool) Fetch(id PageID) (*page, error) {
+	return b.instance(id).fetch(id)
+}
+
+func (b *poolInstance) fetch(id PageID) (*page, error) {
 	b.mu.Lock()
 	if p, ok := b.frames[id]; ok {
 		b.hits.Add(1)
@@ -107,7 +157,7 @@ func (b *BufferPool) Fetch(id PageID) (*page, error) {
 }
 
 // admit loads a page into a (possibly evicted) frame. Caller holds b.mu.
-func (b *BufferPool) admit(id PageID) (*page, error) {
+func (b *poolInstance) admit(id PageID) (*page, error) {
 	for len(b.frames) >= b.capacity {
 		if err := b.evictOne(); err != nil {
 			return nil, err
@@ -124,7 +174,7 @@ func (b *BufferPool) admit(id PageID) (*page, error) {
 
 // evictOne removes the least recently used unpinned page, flushing it if
 // dirty. Caller holds b.mu.
-func (b *BufferPool) evictOne() error {
+func (b *poolInstance) evictOne() error {
 	for p := b.tail; p != nil; p = p.prev {
 		if p.pins > 0 {
 			continue
@@ -141,21 +191,22 @@ func (b *BufferPool) evictOne() error {
 		b.evictions.Add(1)
 		return nil
 	}
-	return fmt.Errorf("minidb: buffer pool exhausted (%d pages, all pinned)", len(b.frames))
+	return fmt.Errorf("minidb: buffer pool instance exhausted (%d pages, all pinned)", len(b.frames))
 }
 
 // Unpin releases a pinned page, marking it dirty if modified.
 func (b *BufferPool) Unpin(p *page, dirty bool) {
-	b.mu.Lock()
+	inst := b.instance(p.id)
+	inst.mu.Lock()
 	p.pins--
 	if dirty {
 		p.dirty = true
 	}
-	b.mu.Unlock()
+	inst.mu.Unlock()
 }
 
 // touch implements the young/old promotion policy. Caller holds b.mu.
-func (b *BufferPool) touch(p *page) {
+func (b *poolInstance) touch(p *page) {
 	if p.young {
 		// Move to head of young list.
 		b.unlink(p)
@@ -169,7 +220,7 @@ func (b *BufferPool) touch(p *page) {
 }
 
 // insertYoung places p at the global head. Caller holds b.mu.
-func (b *BufferPool) insertYoung(p *page) {
+func (b *poolInstance) insertYoung(p *page) {
 	p.prev = nil
 	p.next = b.head
 	if b.head != nil {
@@ -184,7 +235,7 @@ func (b *BufferPool) insertYoung(p *page) {
 
 // insertOld places p at the old-sublist head (roughly oldPct from the
 // tail). Caller holds b.mu.
-func (b *BufferPool) insertOld(p *page) {
+func (b *poolInstance) insertOld(p *page) {
 	p.young = false
 	if b.oldHead == nil || b.frames[b.oldHead.id] == nil {
 		b.relocateOldHead()
@@ -218,7 +269,7 @@ func (b *BufferPool) insertOld(p *page) {
 
 // relocateOldHead walks from the tail to position the old boundary at
 // oldPct of the list. Caller holds b.mu.
-func (b *BufferPool) relocateOldHead() {
+func (b *poolInstance) relocateOldHead() {
 	target := len(b.frames) * b.oldPct / 100
 	p := b.tail
 	for i := 1; i < target && p != nil; i++ {
@@ -228,7 +279,7 @@ func (b *BufferPool) relocateOldHead() {
 }
 
 // unlink removes p from the LRU list. Caller holds b.mu.
-func (b *BufferPool) unlink(p *page) {
+func (b *poolInstance) unlink(p *page) {
 	if b.oldHead == p {
 		b.oldHead = p.next
 	}
@@ -264,9 +315,30 @@ func (b *BufferPool) cleanerLoop(interval time.Duration) {
 	}
 }
 
-// CleanPass scans up to scanDepth pages from the LRU tail and flushes up to
-// writeBudget dirty ones. It returns the number flushed.
+// CleanPass scans up to scanDepth pages from each instance's LRU tail and
+// flushes dirty ones, dividing writeBudget across the instances (every
+// instance gets at least one write, mirroring InnoDB's per-instance cleaner
+// slots). It returns the number flushed.
 func (b *BufferPool) CleanPass(scanDepth, writeBudget int) int {
+	per := writeBudget / len(b.instances)
+	if per < 1 {
+		per = 1
+	}
+	flushed := 0
+	for _, inst := range b.instances {
+		if flushed >= writeBudget {
+			break
+		}
+		budget := per
+		if rest := writeBudget - flushed; budget > rest {
+			budget = rest
+		}
+		flushed += inst.cleanPass(scanDepth, budget)
+	}
+	return flushed
+}
+
+func (b *poolInstance) cleanPass(scanDepth, writeBudget int) int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	flushed := 0
@@ -285,13 +357,31 @@ func (b *BufferPool) CleanPass(scanDepth, writeBudget int) int {
 	return flushed
 }
 
-// FlushAll writes every dirty page (checkpoint).
+// FlushAll writes every dirty page (checkpoint). Pinned pages are written
+// under their shared page latch so an in-flight leaf write cannot tear the
+// checkpoint image.
 func (b *BufferPool) FlushAll() error {
+	for _, inst := range b.instances {
+		if err := inst.flushAll(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *poolInstance) flushAll() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for _, p := range b.frames {
 		if p.dirty {
-			if err := b.pager.write(p.id, &p.data); err != nil {
+			if p.pins > 0 {
+				p.latch.RLock()
+			}
+			err := b.pager.write(p.id, &p.data)
+			if p.pins > 0 {
+				p.latch.RUnlock()
+			}
+			if err != nil {
 				return err
 			}
 			p.dirty = false
@@ -310,9 +400,15 @@ func (b *BufferPool) Close() error {
 	return b.FlushAll()
 }
 
-// Stats reports pool counters.
+// Stats reports pool counters aggregated across instances.
 func (b *BufferPool) Stats() (hits, misses, flushes, evictions uint64) {
-	return b.hits.Load(), b.misses.Load(), b.flushes.Load(), b.evictions.Load()
+	for _, inst := range b.instances {
+		hits += inst.hits.Load()
+		misses += inst.misses.Load()
+		flushes += inst.flushes.Load()
+		evictions += inst.evictions.Load()
+	}
+	return hits, misses, flushes, evictions
 }
 
 // HitRatio returns hits / (hits + misses), or 1 with no traffic.
@@ -324,9 +420,13 @@ func (b *BufferPool) HitRatio() float64 {
 	return float64(h) / float64(h+m)
 }
 
-// Len returns the resident page count.
+// Len returns the resident page count across instances.
 func (b *BufferPool) Len() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.frames)
+	n := 0
+	for _, inst := range b.instances {
+		inst.mu.Lock()
+		n += len(inst.frames)
+		inst.mu.Unlock()
+	}
+	return n
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"sync"
@@ -20,6 +21,9 @@ type Config struct {
 	Dir string
 	// BufferPoolBytes sizes the buffer pool (innodb_buffer_pool_size).
 	BufferPoolBytes int64
+	// BufferPoolInstances splits the pool into independently latched
+	// instances (innodb_buffer_pool_instances; values < 1 mean one).
+	BufferPoolInstances int
 	// OldBlocksPct is the LRU old-sublist share (innodb_old_blocks_pct).
 	OldBlocksPct int
 	// LRUScanDepth is the page cleaner scan depth (innodb_lru_scan_depth).
@@ -43,15 +47,16 @@ type Config struct {
 // DefaultTestConfig returns a small configuration suitable for tests.
 func DefaultTestConfig(dir string) Config {
 	return Config{
-		Dir:             dir,
-		BufferPoolBytes: 256 * PageSize,
-		OldBlocksPct:    37,
-		LRUScanDepth:    64,
-		IOCapacity:      2000,
-		WAL:             WALConfig{BufferBytes: 1 << 16, Policy: FlushEachCommit},
-		SyncSpinLoops:   30,
-		SpinWaitDelay:   6,
-		TableOpenCache:  64,
+		Dir:                 dir,
+		BufferPoolBytes:     256 * PageSize,
+		BufferPoolInstances: 4,
+		OldBlocksPct:        37,
+		LRUScanDepth:        64,
+		IOCapacity:          2000,
+		WAL:                 WALConfig{BufferBytes: 1 << 16, Policy: FlushEachCommit},
+		SyncSpinLoops:       30,
+		SpinWaitDelay:       6,
+		TableOpenCache:      64,
 	}
 }
 
@@ -68,6 +73,9 @@ func ConfigFromKnobs(dir string, space *knobs.Space, native []float64) Config {
 	}
 	if v, ok := get("innodb_buffer_pool_size"); ok {
 		cfg.BufferPoolBytes = int64(v)
+	}
+	if v, ok := get("innodb_buffer_pool_instances"); ok {
+		cfg.BufferPoolInstances = int(v)
 	}
 	if v, ok := get("innodb_old_blocks_pct"); ok {
 		cfg.OldBlocksPct = int(v)
@@ -105,7 +113,20 @@ type catalogEntry struct {
 	ID   uint32 `json:"id"`
 }
 
-// DB is the engine instance.
+// tableHandle is a cached open table. lastUsed is a logical-clock tick
+// updated with an atomic store so cache hits never take the exclusive
+// catalog lock.
+type tableHandle struct {
+	tree     *BTree
+	id       uint32
+	lastUsed atomic.Int64
+}
+
+// DB is the engine instance. The catalog lock (db.mu) is a read-write
+// mutex held shared on the statement hot path (table-cache hits) and
+// exclusive only for DDL, table opens/evictions, and root-pointer
+// persistence; statement data access is serialized by the per-table B-tree
+// latches and the row-lock manager instead (see DESIGN.md).
 type DB struct {
 	cfg   Config
 	pager *pager
@@ -114,11 +135,13 @@ type DB struct {
 	locks *LockManager
 	admit chan struct{}
 
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	catalog map[string]catalogEntry
-	open    map[string]*BTree // table cache (bounded by TableOpenCache)
-	openLRU []string
+	open    map[string]*tableHandle // table cache (bounded by TableOpenCache)
 	nextID  uint32
+
+	clock   atomic.Int64  // logical clock for table-cache LRU
+	nextTxn atomic.Uint32 // WAL transaction ids
 
 	tableOpens  atomic.Uint64
 	tableHits   atomic.Uint64
@@ -139,6 +162,7 @@ func Open(cfg Config) (*DB, error) {
 	frames := int(cfg.BufferPoolBytes / PageSize)
 	pool := newBufferPool(pg, BufferPoolConfig{
 		Frames:          frames,
+		Instances:       cfg.BufferPoolInstances,
 		OldBlocksPct:    cfg.OldBlocksPct,
 		LRUScanDepth:    cfg.LRUScanDepth,
 		IOCapacity:      cfg.IOCapacity,
@@ -150,12 +174,17 @@ func Open(cfg Config) (*DB, error) {
 		pool:    pool,
 		locks:   NewLockManager(cfg.SpinWaitDelay, cfg.SyncSpinLoops),
 		catalog: make(map[string]catalogEntry),
-		open:    make(map[string]*BTree),
+		open:    make(map[string]*tableHandle),
 	}
 	if cfg.ThreadConcurrency > 0 {
 		db.admit = make(chan struct{}, cfg.ThreadConcurrency)
 	}
 	if err := db.loadCatalog(); err != nil {
+		pool.Close()
+		pg.close()
+		return nil, err
+	}
+	if err := db.advanceAllocator(); err != nil {
 		pool.Close()
 		pg.close()
 		return nil, err
@@ -247,6 +276,52 @@ func (db *DB) recover(walPath string) error {
 	return removeIfExists(walPath)
 }
 
+// advanceAllocator walks every table from its persisted root and advances
+// the page allocator past the highest page id any reachable node
+// references. After a crash the data file alone undercounts allocation:
+// pages allocated before the crash but never flushed lie beyond EOF, yet a
+// flushed parent may still point at them — re-issuing such an id would
+// fuse two live nodes onto one page and corrupt the recovered tree.
+func (db *DB) advanceAllocator() error {
+	if len(db.catalog) == 0 {
+		return nil
+	}
+	maxSeen := PageID(0)
+	for _, ce := range db.catalog {
+		if err := db.maxPageInTree(ce.Root, &maxSeen); err != nil {
+			return err
+		}
+	}
+	if next := uint32(maxSeen) + 1; next > db.pager.pages.Load() {
+		db.pager.pages.Store(next)
+	}
+	return nil
+}
+
+func (db *DB) maxPageInTree(id PageID, maxSeen *PageID) error {
+	if id > *maxSeen {
+		*maxSeen = id
+	}
+	p, err := db.pool.Fetch(id)
+	if err != nil {
+		return err
+	}
+	if p.data[0] == nodeLeaf {
+		// Unflushed pages read back zeroed, i.e. as empty leaves: the id
+		// itself is still counted above.
+		db.pool.Unpin(p, false)
+		return nil
+	}
+	node := readInternal(&p.data)
+	db.pool.Unpin(p, false)
+	for _, c := range node.children {
+		if err := db.maxPageInTree(c, maxSeen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // removeIfExists deletes a file, treating absence as success.
 func removeIfExists(path string) error {
 	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
@@ -267,51 +342,61 @@ func (db *DB) CreateTable(name string) error {
 		return err
 	}
 	db.catalog[name] = catalogEntry{Root: t.Root(), ID: db.nextID}
+	h := &tableHandle{tree: t, id: db.nextID}
+	h.lastUsed.Store(db.clock.Add(1))
 	db.nextID++
-	db.open[name] = t
-	db.openLRU = append(db.openLRU, name)
+	db.open[name] = h
 	db.evictTablesLocked()
 	return db.saveCatalog()
 }
 
-// table returns the cached handle, opening it on a miss. Opening is not
-// free: the root page is fetched and checksummed (the dictionary work
-// table_open_cache exists to avoid).
+// table returns the cached handle, opening it on a miss. A cache hit takes
+// only the shared catalog lock plus an atomic clock tick — the common case
+// for replay, where every statement resolves a table.
 func (db *DB) table(name string) (*BTree, uint32, error) {
+	db.mu.RLock()
+	if h, ok := db.open[name]; ok {
+		h.lastUsed.Store(db.clock.Add(1))
+		db.mu.RUnlock()
+		db.tableHits.Add(1)
+		return h.tree, h.id, nil
+	}
+	db.mu.RUnlock()
+	return db.openTable(name)
+}
+
+// openTable is the miss path. Opening is not free: the root page is fetched
+// and checksummed (the dictionary work table_open_cache exists to avoid).
+func (db *DB) openTable(name string) (*BTree, uint32, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	ce, ok := db.catalog[name]
 	if !ok {
 		return nil, 0, fmt.Errorf("minidb: no such table %s", name)
 	}
-	if t, ok := db.open[name]; ok {
+	if h, ok := db.open[name]; ok {
+		// Lost the open race: another statement cached it meanwhile.
 		db.tableHits.Add(1)
-		db.touchTableLocked(name)
-		return t, ce.ID, nil
+		h.lastUsed.Store(db.clock.Add(1))
+		return h.tree, h.id, nil
 	}
 	db.tableOpens.Add(1)
 	t := openBTree(db.pool, ce.Root)
-	// Open cost: validate the root page.
+	// Open cost: validate the root page. The shared page latch guards
+	// against a concurrent in-place write through a stale handle.
 	p, err := db.pool.Fetch(ce.Root)
 	if err != nil {
 		return nil, 0, err
 	}
+	p.latch.RLock()
 	_ = crc32.ChecksumIEEE(p.data[:])
+	p.latch.RUnlock()
 	db.pool.Unpin(p, false)
-	db.open[name] = t
-	db.openLRU = append(db.openLRU, name)
+	h := &tableHandle{tree: t, id: ce.ID}
+	h.lastUsed.Store(db.clock.Add(1))
+	db.open[name] = h
 	db.evictTablesLocked()
 	return t, ce.ID, nil
-}
-
-func (db *DB) touchTableLocked(name string) {
-	for i, n := range db.openLRU {
-		if n == name {
-			db.openLRU = append(db.openLRU[:i], db.openLRU[i+1:]...)
-			db.openLRU = append(db.openLRU, name)
-			return
-		}
-	}
 }
 
 func (db *DB) evictTablesLocked() {
@@ -319,16 +404,20 @@ func (db *DB) evictTablesLocked() {
 	if limit < 1 {
 		limit = 1
 	}
-	for len(db.openLRU) > limit {
-		victim := db.openLRU[0]
-		db.openLRU = db.openLRU[1:]
-		// Persist the (possibly grown) root before dropping the handle.
-		if t, ok := db.open[victim]; ok {
-			ce := db.catalog[victim]
-			ce.Root = t.Root()
-			db.catalog[victim] = ce
-			delete(db.open, victim)
+	for len(db.open) > limit {
+		victim := ""
+		oldest := int64(math.MaxInt64)
+		for n, h := range db.open {
+			if lu := h.lastUsed.Load(); lu < oldest {
+				oldest, victim = lu, n
+			}
 		}
+		// Persist the (possibly grown) root before dropping the handle.
+		h := db.open[victim]
+		ce := db.catalog[victim]
+		ce.Root = h.tree.Root()
+		db.catalog[victim] = ce
+		delete(db.open, victim)
 	}
 }
 
@@ -352,7 +441,8 @@ func (db *DB) Get(tableName string, key int64) ([]byte, bool, error) {
 	return t.Get(key)
 }
 
-// Put writes one row under the row lock, logged and committed.
+// Put writes one row under the row lock, logged and committed as its own
+// transaction.
 func (db *DB) Put(tableName string, key int64, val []byte) error {
 	defer db.enter()()
 	db.statementsN.Add(1)
@@ -363,7 +453,8 @@ func (db *DB) Put(tableName string, key int64, val []byte) error {
 	lockID := rowLockID(id, key)
 	db.locks.Acquire(lockID)
 	defer db.locks.Release(lockID)
-	if err := db.wal.Append(recPut, id, key, val); err != nil {
+	txn := db.nextTxn.Add(1)
+	if err := db.wal.Append(recPut, txn, id, key, val); err != nil {
 		return err
 	}
 	if err := t.Put(key, val); err != nil {
@@ -371,7 +462,7 @@ func (db *DB) Put(tableName string, key int64, val []byte) error {
 	}
 	db.syncRoot(tableName, t)
 	db.commits.Add(1)
-	return db.wal.Commit(id)
+	return db.wal.Commit(txn)
 }
 
 // Delete removes one row.
@@ -385,7 +476,8 @@ func (db *DB) Delete(tableName string, key int64) (bool, error) {
 	lockID := rowLockID(id, key)
 	db.locks.Acquire(lockID)
 	defer db.locks.Release(lockID)
-	if err := db.wal.Append(recDelete, id, key, nil); err != nil {
+	txn := db.nextTxn.Add(1)
+	if err := db.wal.Append(recDelete, txn, id, key, nil); err != nil {
 		return false, err
 	}
 	ok, err := t.Delete(key)
@@ -393,7 +485,7 @@ func (db *DB) Delete(tableName string, key int64) (bool, error) {
 		return false, err
 	}
 	db.commits.Add(1)
-	return ok, db.wal.Commit(id)
+	return ok, db.wal.Commit(txn)
 }
 
 // Scan visits [lo, hi] in key order.
@@ -408,12 +500,21 @@ func (db *DB) Scan(tableName string, lo, hi int64, fn func(key int64, val []byte
 }
 
 // syncRoot records root growth in the catalog (persisted lazily; recovery
-// replays the WAL against the last persisted root).
+// replays the WAL against the last persisted root). The common case — the
+// root did not move — is checked under the shared lock so the per-statement
+// write path stays off the exclusive catalog lock.
 func (db *DB) syncRoot(name string, t *BTree) {
+	root := t.Root()
+	db.mu.RLock()
+	same := db.catalog[name].Root == root
+	db.mu.RUnlock()
+	if same {
+		return
+	}
 	db.mu.Lock()
 	ce := db.catalog[name]
-	if ce.Root != t.Root() {
-		ce.Root = t.Root()
+	if ce.Root != root {
+		ce.Root = root
 		db.catalog[name] = ce
 		_ = db.saveCatalog()
 	}
@@ -430,6 +531,11 @@ func (db *DB) Close() error {
 		return err
 	}
 	db.mu.Lock()
+	for name, h := range db.open {
+		ce := db.catalog[name]
+		ce.Root = h.tree.Root()
+		db.catalog[name] = ce
+	}
 	err := db.saveCatalog()
 	db.mu.Unlock()
 	if err != nil {
@@ -450,6 +556,7 @@ type Stats struct {
 	PageFlushes, Evictions    uint64
 	PhysicalReads, PhysWrites uint64
 	WALWrites, WALSyncs       uint64
+	WALGroupCommits           uint64
 	LockWaits, SpinRounds     uint64
 	TableOpens, TableHits     uint64
 	Commits, Statements       uint64
@@ -466,7 +573,8 @@ func (db *DB) Stats() Stats {
 		BufferHits: h, BufferMisses: m, PageFlushes: f, Evictions: e,
 		PhysicalReads: pr, PhysWrites: pw,
 		WALWrites: ww, WALSyncs: ws,
-		LockWaits: lw, SpinRounds: sr,
+		WALGroupCommits: db.wal.GroupedCommits(),
+		LockWaits:       lw, SpinRounds: sr,
 		TableOpens: db.tableOpens.Load(), TableHits: db.tableHits.Load(),
 		Commits: db.commits.Load(), Statements: db.statementsN.Load(),
 		ResidentPages: db.pool.Len(),

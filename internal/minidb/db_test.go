@@ -251,6 +251,7 @@ func TestConfigFromKnobs(t *testing.T) {
 	space := knobs.MySQL57Catalogue()
 	native := space.Defaults()
 	native[space.Index("innodb_buffer_pool_size")] = 1 << 24
+	native[space.Index("innodb_buffer_pool_instances")] = 3
 	native[space.Index("innodb_thread_concurrency")] = 7
 	native[space.Index("innodb_flush_log_at_trx_commit")] = 2
 	native[space.Index("table_open_cache")] = 11
@@ -259,6 +260,18 @@ func TestConfigFromKnobs(t *testing.T) {
 		cfg.WAL.Policy != WriteEachCommit || cfg.TableOpenCache != 11 {
 		t.Fatalf("knob mapping wrong: %+v", cfg)
 	}
+	if cfg.BufferPoolInstances != 3 {
+		t.Fatalf("buffer pool instances not mapped: %+v", cfg)
+	}
+	// The knob is live end to end: the opened pool is actually split.
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.pool.Instances() != 3 {
+		t.Fatalf("pool instances %d, want 3", db.pool.Instances())
+	}
+	db.Close()
 	// A space without engine knobs keeps defaults.
 	sub := space.Subset("innodb_purge_threads")
 	cfg = ConfigFromKnobs(t.TempDir(), sub, []float64{4})

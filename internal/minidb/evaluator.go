@@ -110,7 +110,13 @@ func (e *Evaluator) measure(dir string, native []float64) (dbsim.Measurement, er
 	r := rng.Derive(e.Seed+int64(e.runs), "minidb-eval")
 	warmup := e.Workload.Generate(64, r)
 	for _, stmt := range warmup {
-		ex.Exec(stmt) // creates tables referenced by the workload
+		// Creates tables referenced by the workload and warms the plan
+		// cache. A warmup failure (e.g. CREATE TABLE) would otherwise
+		// resurface mid-replay as a confusing "no such table" — abort with
+		// the original error instead.
+		if _, err := ex.Exec(stmt); err != nil {
+			return dbsim.Measurement{}, fmt.Errorf("minidb: warmup %q: %w", stmt, err)
+		}
 	}
 	for name := range ex.created {
 		if err := ex.Load(name, rows); err != nil {
@@ -162,20 +168,25 @@ func (e *Evaluator) measure(dir string, native []float64) (dbsim.Measurement, er
 			}
 			return
 		}
+		// Accumulator pacer: tokens earned are computed from measured
+		// elapsed time, with the fractional remainder carried forward, so
+		// the delivered count tracks rate×duration regardless of how the
+		// tick quantizes the interval.
 		interval := time.Duration(float64(time.Second) / rate)
-		t := time.NewTicker(maxDur(interval, 50*time.Microsecond))
+		t := time.NewTicker(maxDur(interval, 200*time.Microsecond))
 		defer t.Stop()
-		per := int(float64(maxDur(interval, 50*time.Microsecond)) / float64(interval))
-		if per < 1 {
-			per = 1
-		}
+		tb := tokenBucket{rate: rate}
+		last := time.Now()
 		i := 0
 		for {
 			select {
 			case <-stop:
 				return
 			case <-t.C:
-				for k := 0; k < per && i < len(stream); k++ {
+				now := time.Now()
+				n := tb.take(now.Sub(last))
+				last = now
+				for k := 0; k < n && i < len(stream); k++ {
 					select {
 					case tokens <- stream[i]:
 						i++
@@ -200,12 +211,10 @@ func (e *Evaluator) measure(dir string, native []float64) (dbsim.Measurement, er
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			// Each worker gets its own executor with a snapshot of the
-			// table registry (the map is not safe for sharing).
-			exw := NewExecutor(db, rows)
-			for name := range ex.created {
-				exw.created[name] = true
-			}
+			// Each worker clones the warmed executor: private copy of the
+			// table registry (the map is not safe for sharing), shared
+			// plan cache already populated by warmup.
+			exw := ex.Clone()
 			for group := range tokens {
 				t0 := time.Now()
 				if e.TxnMode {
@@ -277,6 +286,27 @@ func maxDur(a, b time.Duration) time.Duration {
 		return a
 	}
 	return b
+}
+
+// tokenBucket converts elapsed wall-clock into a whole number of request
+// tokens at a configured rate, banking the fractional remainder between
+// calls. The previous pacer rounded tokens-per-tick down to an integer,
+// silently under-delivering the offered load whenever the per-request
+// interval did not divide the tick evenly (worst at high request rates).
+type tokenBucket struct {
+	rate float64 // tokens per second
+	acc  float64 // fractional carry
+}
+
+// take returns the tokens earned over elapsed, carrying the remainder.
+func (tb *tokenBucket) take(elapsed time.Duration) int {
+	if elapsed <= 0 {
+		return 0
+	}
+	tb.acc += tb.rate * elapsed.Seconds()
+	n := int(tb.acc)
+	tb.acc -= float64(n)
+	return n
 }
 
 // NewEvaluator builds a real-engine evaluator with sensible demo settings.

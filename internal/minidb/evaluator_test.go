@@ -13,12 +13,7 @@ import (
 
 // realSpace is the engine-relevant knob subset used for real-engine tests.
 func realSpace() *knobs.Space {
-	return knobs.MySQL57Catalogue().Subset(
-		"innodb_buffer_pool_size",
-		"innodb_flush_log_at_trx_commit",
-		"innodb_thread_concurrency",
-		"table_open_cache",
-	)
+	return knobs.RealEngineSpace()
 }
 
 func smallEvaluator(t *testing.T, kind dbsim.ResourceKind) *Evaluator {

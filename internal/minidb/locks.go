@@ -101,8 +101,47 @@ func (lm *LockManager) Acquire(id uint64) {
 		select {
 		case <-ch:
 		case <-time.After(50 * time.Millisecond):
-			// Timed backoff guards against missed wake-ups.
+			// Timed backoff guards against missed wake-ups. Deregister
+			// before looping: a stale channel left in the waiter list would
+			// swallow a future Release's wake-up, stalling a real waiter for
+			// a full backoff period.
+			lm.abandonWaiter(id, ch)
 		}
+	}
+}
+
+// abandonWaiter removes ch from the waiter list after its owner stopped
+// listening. If ch is no longer listed, Release already popped and closed
+// it — the wake-up belongs to the abandoning goroutine, which will not use
+// it, so it is handed to the next waiter instead of being dropped.
+func (lm *LockManager) abandonWaiter(id uint64, ch chan struct{}) {
+	s := lm.shard(id)
+	s.mu.Lock()
+	if l := s.locks[id]; l != nil {
+		for i, w := range l.waiters {
+			if w == ch {
+				l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+				s.mu.Unlock()
+				return
+			}
+		}
+	}
+	s.mu.Unlock()
+	lm.wakeOne(id)
+}
+
+// wakeOne passes a wake-up to the next waiter if the lock is free.
+func (lm *LockManager) wakeOne(id uint64) {
+	s := lm.shard(id)
+	s.mu.Lock()
+	var wake chan struct{}
+	if l := s.locks[id]; l != nil && !l.held && len(l.waiters) > 0 {
+		wake = l.waiters[0]
+		l.waiters = l.waiters[1:]
+	}
+	s.mu.Unlock()
+	if wake != nil {
+		close(wake)
 	}
 }
 

@@ -306,12 +306,12 @@ func TestWALReplayCommittedOnly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Append(recPut, 1, 10, []byte("a"))
+	w.Append(recPut, 1, 1, 10, []byte("a"))
 	w.Commit(1)
-	w.Append(recPut, 1, 20, []byte("b"))
-	w.Append(recDelete, 1, 10, nil)
-	w.Commit(1)
-	w.Append(recPut, 1, 30, []byte("uncommitted"))
+	w.Append(recPut, 2, 1, 20, []byte("b"))
+	w.Append(recDelete, 2, 1, 10, nil)
+	w.Commit(2)
+	w.Append(recPut, 3, 1, 30, []byte("uncommitted"))
 	// Flush the uncommitted tail to disk, then "crash" without commit.
 	w.mu.Lock()
 	w.writeLocked()
@@ -337,7 +337,7 @@ func TestWALTornRecord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Append(recPut, 1, 1, []byte("x"))
+	w.Append(recPut, 1, 1, 1, []byte("x"))
 	w.Commit(1)
 	w.Close()
 	// Append garbage (a torn write).
@@ -365,8 +365,8 @@ func TestWALPolicies(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := 0; i < 10; i++ {
-			w.Append(recPut, 1, int64(i), []byte("v"))
-			w.Commit(1)
+			w.Append(recPut, uint32(i+1), 1, int64(i), []byte("v"))
+			w.Commit(uint32(i + 1))
 		}
 		writes, syncs := w.Stats()
 		switch policy {

@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the fixed on-disk page size.
@@ -36,7 +37,13 @@ const invalidPage PageID = 0xFFFFFFFF
 
 // page is an in-memory frame.
 type page struct {
-	id    PageID
+	id PageID
+	// latch orders access to data between concurrent B-tree operations:
+	// readers of a node hold it shared, in-place leaf writers hold it
+	// exclusive. Structural modifications run under the tree's exclusive
+	// latch instead (see DESIGN.md, latch ordering). dirty/pins/young and
+	// the list links stay under the owning pool instance's mutex.
+	latch sync.RWMutex
 	data  [PageSize]byte
 	dirty bool
 	pins  int
@@ -46,13 +53,15 @@ type page struct {
 	prev, next *page
 }
 
-// pager performs page-granular file I/O and allocation.
+// pager performs page-granular file I/O and allocation. It is lock-free:
+// ReadAt/WriteAt are positioned I/O, allocation and the physical I/O
+// counters are atomics, so concurrent buffer-pool instances never serialize
+// here.
 type pager struct {
-	mu    sync.Mutex
 	file  *os.File
-	pages PageID // allocated count
+	pages atomic.Uint32 // allocated count
 	// Reads and Writes count physical page I/O operations.
-	reads, writes uint64
+	reads, writes atomic.Uint64
 }
 
 func newPager(path string) (*pager, error) {
@@ -65,25 +74,21 @@ func newPager(path string) (*pager, error) {
 		f.Close()
 		return nil, err
 	}
-	return &pager{file: f, pages: PageID(st.Size() / PageSize)}, nil
+	p := &pager{file: f}
+	p.pages.Store(uint32(st.Size() / PageSize))
+	return p, nil
 }
 
 // allocate extends the file by one page.
 func (p *pager) allocate() PageID {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	id := p.pages
-	p.pages++
-	return id
+	return PageID(p.pages.Add(1) - 1)
 }
 
 // read loads a page from disk. The frame is zeroed first so pages past the
 // current end of file (allocated but never flushed) come back empty rather
 // than retaining the frame's previous occupant.
 func (p *pager) read(id PageID, buf *[PageSize]byte) error {
-	p.mu.Lock()
-	p.reads++
-	p.mu.Unlock()
+	p.reads.Add(1)
 	for i := range buf {
 		buf[i] = 0
 	}
@@ -98,9 +103,7 @@ func (p *pager) read(id PageID, buf *[PageSize]byte) error {
 
 // write persists a page to disk.
 func (p *pager) write(id PageID, buf *[PageSize]byte) error {
-	p.mu.Lock()
-	p.writes++
-	p.mu.Unlock()
+	p.writes.Add(1)
 	_, err := p.file.WriteAt(buf[:], int64(id)*PageSize)
 	return err
 }
@@ -109,7 +112,5 @@ func (p *pager) close() error { return p.file.Close() }
 
 // counters returns physical read/write totals.
 func (p *pager) counters() (reads, writes uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.reads, p.writes
+	return p.reads.Load(), p.writes.Load()
 }

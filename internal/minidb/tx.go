@@ -29,17 +29,16 @@ type beforeImage struct {
 // Row locks are held until Commit or Rollback — strict two-phase locking.
 type Tx struct {
 	db     *DB
+	txn    uint32 // WAL transaction id: groups this tx's records at recovery
 	locks  map[uint64]bool
 	undo   []beforeImage
 	logged bool // any WAL records appended
 	done   bool
-	// lastTable tracks the WAL table id for the commit record.
-	lastTable uint32
 }
 
 // Begin starts a transaction.
 func (db *DB) Begin() *Tx {
-	return &Tx{db: db, locks: make(map[uint64]bool)}
+	return &Tx{db: db, txn: db.nextTxn.Add(1), locks: make(map[uint64]bool)}
 }
 
 // lock takes (or re-uses) a row lock with the transaction lock timeout.
@@ -95,7 +94,7 @@ func (tx *Tx) Put(table string, key int64, val []byte) error {
 		return err
 	}
 	tx.undo = append(tx.undo, beforeImage{table, key, existed, prev})
-	if err := tx.db.wal.Append(recPut, id, key, val); err != nil {
+	if err := tx.db.wal.Append(recPut, tx.txn, id, key, val); err != nil {
 		return err
 	}
 	if err := t.Put(key, val); err != nil {
@@ -103,7 +102,6 @@ func (tx *Tx) Put(table string, key int64, val []byte) error {
 	}
 	tx.db.syncRoot(table, t)
 	tx.logged = true
-	tx.lastTable = id
 	return nil
 }
 
@@ -127,14 +125,13 @@ func (tx *Tx) Delete(table string, key int64) (bool, error) {
 		return false, nil
 	}
 	tx.undo = append(tx.undo, beforeImage{table, key, true, prev})
-	if err := tx.db.wal.Append(recDelete, id, key, nil); err != nil {
+	if err := tx.db.wal.Append(recDelete, tx.txn, id, key, nil); err != nil {
 		return false, err
 	}
 	if _, err := t.Delete(key); err != nil {
 		return false, err
 	}
 	tx.logged = true
-	tx.lastTable = id
 	return true, nil
 }
 
@@ -164,7 +161,7 @@ func (tx *Tx) Commit() error {
 	if !tx.logged {
 		return nil // read-only transaction
 	}
-	return tx.db.wal.Commit(tx.lastTable)
+	return tx.db.wal.Commit(tx.txn)
 }
 
 // Rollback restores every before-image (newest first) and releases locks.
@@ -244,6 +241,9 @@ func (lm *LockManager) AcquireTimeout(id uint64, timeout time.Duration) bool {
 		select {
 		case <-ch:
 		case <-time.After(time.Until(deadline)):
+			// Deregister the abandoned channel so it cannot swallow a
+			// later Release's wake-up meant for a live waiter.
+			lm.abandonWaiter(id, ch)
 			return lm.tryAcquire(id)
 		}
 	}

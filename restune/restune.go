@@ -129,6 +129,10 @@ func MySQLKnobs() *Space { return knobs.MySQL57Catalogue() }
 // CPUKnobs returns the 14-knob CPU-tuning space.
 func CPUKnobs() *Space { return knobs.CPUSpace() }
 
+// RealEngineKnobs returns the subset of the catalogue the live minidb
+// engine models — the space real-engine tuning runs should use.
+func RealEngineKnobs() *Space { return knobs.RealEngineSpace() }
+
 // MemoryKnobs returns the 6-knob memory-tuning space.
 func MemoryKnobs() *Space { return knobs.MemorySpace() }
 
