@@ -1,0 +1,177 @@
+package bo
+
+import (
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// The tests below drive the closed-form acquisition through fixedSurrogate
+// (bo_test.go): a fixed Gaussian posterior per metric, exactly the
+// independence structure the closed-form CEI assumes.
+
+func propertySeed(t *testing.T) int64 {
+	seed := int64(1)
+	if s := os.Getenv("RESTUNE_CEI_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("RESTUNE_CEI_SEED=%q: %v", s, err)
+		}
+		seed = v
+	}
+	return seed
+}
+
+// TestCEIMatchesMonteCarlo checks the closed-form Constrained Expected
+// Improvement (paper Eq. 5) against a Monte-Carlo estimate over the same
+// Gaussian posteriors. Under independent posteriors the expectation
+//
+//	E[ 1{tps ≥ λ_tps} · 1{lat ≤ λ_lat} · max(0, best − res) ]
+//
+// factorizes into Pr[tps ok] · Pr[lat ok] · EI, which is what CEI computes —
+// so a joint-sample estimate must converge to it. The comparison is bounded
+// by five empirical standard errors plus a small epsilon, and the whole test
+// is a pure function of RESTUNE_CEI_SEED (default 1), so it cannot flake.
+func TestCEIMatchesMonteCarlo(t *testing.T) {
+	seed := propertySeed(t)
+	r := rng.Derive(seed, "cei-property")
+	t.Logf("seed %d (override with RESTUNE_CEI_SEED)", seed)
+
+	samples := 200_000
+	trials := 24
+	if testing.Short() {
+		samples = 50_000
+		trials = 8
+	}
+
+	for trial := 0; trial < trials; trial++ {
+		s := fixedSurrogate{
+			mu: [3]float64{
+				Res: r.Float64()*4 - 2,
+				Tps: r.Float64()*2000 + 100,
+				Lat: r.Float64()*50 + 1,
+			},
+			v: [3]float64{
+				Res: math.Exp(r.Float64()*6 - 4), // spans ~[0.02, 7] std
+				Tps: math.Exp(r.Float64()*10 - 2),
+				Lat: math.Exp(r.Float64()*6 - 3),
+			},
+		}
+		c := Constraints{
+			// Thresholds near the means so both feasible and infeasible
+			// regions carry probability mass.
+			LambdaTps: s.mu[Tps] + (r.Float64()*4-2)*math.Sqrt(s.v[Tps]),
+			LambdaLat: s.mu[Lat] + (r.Float64()*4-2)*math.Sqrt(s.v[Lat]),
+		}
+		best := s.mu[Res] + (r.Float64()*4-2)*math.Sqrt(s.v[Res])
+		if trial%6 == 5 {
+			best = math.NaN() // bootstrap: no feasible incumbent yet
+		}
+
+		closed := CEI(s, nil, best, c)
+
+		sigmaRes := math.Sqrt(s.v[Res])
+		sigmaTps := math.Sqrt(s.v[Tps])
+		sigmaLat := math.Sqrt(s.v[Lat])
+		var sum, sumSq float64
+		for i := 0; i < samples; i++ {
+			tps := s.mu[Tps] + sigmaTps*r.NormFloat64()
+			lat := s.mu[Lat] + sigmaLat*r.NormFloat64()
+			var v float64
+			if tps >= c.LambdaTps && lat <= c.LambdaLat {
+				if math.IsNaN(best) {
+					v = 1 // probability-of-feasibility bootstrap
+				} else {
+					res := s.mu[Res] + sigmaRes*r.NormFloat64()
+					v = math.Max(0, best-res)
+				}
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mc := sum / float64(samples)
+		variance := sumSq/float64(samples) - mc*mc
+		stderr := math.Sqrt(math.Max(variance, 0) / float64(samples))
+
+		tol := 5*stderr + 1e-9 + 1e-6*math.Abs(closed)
+		if diff := math.Abs(closed - mc); diff > tol {
+			t.Errorf("trial %d: closed-form CEI %g vs Monte-Carlo %g (diff %g > tol %g)\nposterior: mu=%v var=%v constraints=%+v best=%g",
+				trial, closed, mc, diff, tol, s.mu, s.v, c, best)
+		}
+	}
+}
+
+// TestEIMatchesMonteCarlo pins the EI term alone (paper Eq. 2), including
+// the degenerate sigma=0 branch.
+func TestEIMatchesMonteCarlo(t *testing.T) {
+	seed := propertySeed(t)
+	r := rng.Derive(seed, "ei-property")
+
+	samples := 200_000
+	if testing.Short() {
+		samples = 50_000
+	}
+	for trial := 0; trial < 12; trial++ {
+		mu := r.Float64()*10 - 5
+		sigma := math.Exp(r.Float64()*6 - 3)
+		best := mu + (r.Float64()*6-3)*sigma
+
+		closed := EI(mu, sigma, best)
+		var sum, sumSq float64
+		for i := 0; i < samples; i++ {
+			v := math.Max(0, best-(mu+sigma*r.NormFloat64()))
+			sum += v
+			sumSq += v * v
+		}
+		mc := sum / float64(samples)
+		variance := sumSq/float64(samples) - mc*mc
+		stderr := math.Sqrt(math.Max(variance, 0) / float64(samples))
+		if diff := math.Abs(closed - mc); diff > 5*stderr+1e-9 {
+			t.Errorf("trial %d: EI(%g,%g,%g)=%g vs MC %g (diff %g)", trial, mu, sigma, best, closed, mc, diff)
+		}
+	}
+
+	// sigma=0: EI degenerates to max(0, best-mu) exactly.
+	if got := EI(2, 0, 5); got != 3 {
+		t.Errorf("EI(2,0,5) = %g, want 3", got)
+	}
+	if got := EI(5, 0, 2); got != 0 {
+		t.Errorf("EI(5,0,2) = %g, want 0", got)
+	}
+}
+
+// TestCEIProperties pins qualitative invariants of the acquisition: it is
+// nonnegative, bounded by EI, monotone in the feasibility threshold, and
+// equals the probability of feasibility during bootstrap.
+func TestCEIProperties(t *testing.T) {
+	seed := propertySeed(t)
+	r := rng.Derive(seed, "cei-invariants")
+	for trial := 0; trial < 200; trial++ {
+		s := fixedSurrogate{
+			mu: [3]float64{Res: r.NormFloat64(), Tps: 500 + 100*r.NormFloat64(), Lat: 10 + 2*r.NormFloat64()},
+			v:  [3]float64{Res: math.Exp(r.NormFloat64()), Tps: math.Exp(4 + r.NormFloat64()), Lat: math.Exp(r.NormFloat64())},
+		}
+		c := Constraints{LambdaTps: 500 + 150*r.NormFloat64(), LambdaLat: 10 + 3*r.NormFloat64()}
+		best := s.mu[Res] + r.NormFloat64()
+
+		cei := CEI(s, nil, best, c)
+		ei := EI(s.mu[Res], math.Sqrt(s.v[Res]), best)
+		if cei < 0 || math.IsNaN(cei) {
+			t.Fatalf("CEI = %g, want nonnegative", cei)
+		}
+		if cei > ei+1e-12 {
+			t.Fatalf("CEI %g exceeds its EI factor %g", cei, ei)
+		}
+		// A strictly laxer TPS constraint can only raise the acquisition.
+		laxer := Constraints{LambdaTps: c.LambdaTps - 50, LambdaLat: c.LambdaLat}
+		if CEI(s, nil, best, laxer) < cei-1e-12 {
+			t.Fatalf("laxer constraint lowered CEI: %g -> %g", cei, CEI(s, nil, best, laxer))
+		}
+		if p, boot := ProbFeasible(s, nil, c), CEI(s, nil, math.NaN(), c); math.Abs(p-boot) > 1e-15 {
+			t.Fatalf("bootstrap CEI %g != ProbFeasible %g", boot, p)
+		}
+	}
+}

@@ -30,6 +30,17 @@ type BTree struct {
 	mu   sync.RWMutex
 	pool *BufferPool
 	root PageID
+	// smo collects the pages written by the in-flight structural
+	// modification (split, root growth). They stay pinned — and therefore
+	// unevictable and invisible to the cleaner — until onStructural has
+	// logged their images, so no post-split page can reach disk before the
+	// redo describing the whole split is in the log. Guarded by the
+	// exclusive tree latch.
+	smo []*page
+	// onStructural, when set, logs physical page images (and the possibly
+	// changed root) for a completed structural modification. The DB wires
+	// it to WAL page-image records.
+	onStructural func(pages []*page, root PageID) error
 }
 
 const (
@@ -38,7 +49,15 @@ const (
 	// MaxValueLen bounds stored values.
 	MaxValueLen = 256
 	headerSize  = 3 // type byte + uint16 count
+	// maxDepth bounds tree descents. A valid tree at this fanout never
+	// exceeds single digits; the guard turns cycles in corrupt trees
+	// (crafted WAL bytes, torn pages) into errors instead of hangs.
+	maxDepth = 64
 )
+
+// errCorrupt is returned when a descent meets a structurally impossible
+// tree (a cycle, or deeper than any valid tree can be).
+var errCorrupt = fmt.Errorf("minidb: corrupt tree (descent exceeded %d levels)", maxDepth)
 
 // newBTree creates an empty tree with a fresh leaf root.
 func newBTree(pool *BufferPool, pager *pager) (*BTree, error) {
@@ -74,15 +93,24 @@ type leafEntry struct {
 	val []byte
 }
 
+// readLeaf decodes a leaf. Decoding is bounds-checked — a garbage page
+// (torn write, crafted WAL image) yields the entries that fit, never a
+// panic; on a valid page the checks are no-ops.
 func readLeaf(data *[PageSize]byte) []leafEntry {
 	n := int(binary.LittleEndian.Uint16(data[1:3]))
 	entries := make([]leafEntry, 0, n)
 	off := headerSize
 	for i := 0; i < n; i++ {
+		if off+10 > PageSize {
+			break
+		}
 		key := int64(binary.LittleEndian.Uint64(data[off:]))
 		off += 8
 		vlen := int(binary.LittleEndian.Uint16(data[off:]))
 		off += 2
+		if off+vlen > PageSize {
+			break
+		}
 		val := make([]byte, vlen)
 		copy(val, data[off:off+vlen])
 		off += vlen
@@ -97,10 +125,16 @@ func leafFind(data *[PageSize]byte, key int64) ([]byte, bool) {
 	n := int(binary.LittleEndian.Uint16(data[1:3]))
 	off := headerSize
 	for i := 0; i < n; i++ {
+		if off+10 > PageSize {
+			return nil, false
+		}
 		k := int64(binary.LittleEndian.Uint64(data[off:]))
 		off += 8
 		vlen := int(binary.LittleEndian.Uint16(data[off:]))
 		off += 2
+		if off+vlen > PageSize {
+			return nil, false
+		}
 		if k == key {
 			return append([]byte(nil), data[off:off+vlen]...), true
 		}
@@ -139,8 +173,15 @@ type internalNode struct {
 	children []PageID // n+1 children; child[i] holds keys < keys[i]
 }
 
+// maxInternalKeys is the separator count that fits a page; a larger stored
+// count is corruption and is clamped rather than walked off the page.
+const maxInternalKeys = (PageSize - headerSize - 4) / 12
+
 func readInternal(data *[PageSize]byte) internalNode {
 	n := int(binary.LittleEndian.Uint16(data[1:3]))
+	if n > maxInternalKeys {
+		n = maxInternalKeys
+	}
 	node := internalNode{keys: make([]int64, n), children: make([]PageID, n+1)}
 	off := headerSize
 	node.children[0] = PageID(binary.LittleEndian.Uint32(data[off:]))
@@ -158,6 +199,9 @@ func readInternal(data *[PageSize]byte) internalNode {
 // node.
 func internalChild(data *[PageSize]byte, key int64) PageID {
 	n := int(binary.LittleEndian.Uint16(data[1:3]))
+	if n > maxInternalKeys {
+		n = maxInternalKeys
+	}
 	off := headerSize
 	child := PageID(binary.LittleEndian.Uint32(data[off:]))
 	off += 4
@@ -196,7 +240,10 @@ func (t *BTree) Get(key int64) ([]byte, bool, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	id := t.root
-	for {
+	for depth := 0; ; depth++ {
+		if depth >= maxDepth {
+			return nil, false, errCorrupt
+		}
 		p, err := t.pool.Fetch(id)
 		if err != nil {
 			return nil, false, err
@@ -243,28 +290,44 @@ func (t *BTree) Put(key int64, val []byte) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	split, err := t.insert(t.root, key, val)
+	defer t.releaseSMO()
+	split, err := t.insert(t.root, key, val, 0)
 	if err != nil {
 		return err
 	}
-	if split == nil {
-		return nil
+	if split != nil {
+		// Root split: grow the tree.
+		newRoot := t.pool.pager.allocate()
+		p, err := t.pool.Fetch(newRoot)
+		if err != nil {
+			return err
+		}
+		p.latch.Lock()
+		writeInternal(&p.data, internalNode{
+			keys:     []int64{split.sepKey},
+			children: []PageID{t.root, split.newChild},
+		})
+		p.latch.Unlock()
+		t.smo = append(t.smo, p)
+		t.root = newRoot
 	}
-	// Root split: grow the tree.
-	newRoot := t.pool.pager.allocate()
-	p, err := t.pool.Fetch(newRoot)
-	if err != nil {
-		return err
+	if t.onStructural != nil && len(t.smo) > 0 {
+		// Log the whole split (every written page, plus the root) before
+		// releaseSMO unpins the pages and makes them flushable.
+		if err := t.onStructural(t.smo, t.root); err != nil {
+			return err
+		}
 	}
-	p.latch.Lock()
-	writeInternal(&p.data, internalNode{
-		keys:     []int64{split.sepKey},
-		children: []PageID{t.root, split.newChild},
-	})
-	p.latch.Unlock()
-	t.pool.Unpin(p, true)
-	t.root = newRoot
 	return nil
+}
+
+// releaseSMO unpins the pages the structural modification wrote, marking
+// them dirty. Caller holds the exclusive tree latch.
+func (t *BTree) releaseSMO() {
+	for _, p := range t.smo {
+		t.pool.Unpin(p, true)
+	}
+	t.smo = t.smo[:0]
 }
 
 // putInPlace attempts the in-place leaf update under the shared tree latch.
@@ -274,7 +337,10 @@ func (t *BTree) putInPlace(key int64, val []byte) (done bool, err error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	id := t.root
-	for {
+	for depth := 0; ; depth++ {
+		if depth >= maxDepth {
+			return false, errCorrupt
+		}
 		p, err := t.pool.Fetch(id)
 		if err != nil {
 			return false, err
@@ -320,7 +386,13 @@ func (t *BTree) putInPlace(key int64, val []byte) (done bool, err error) {
 // insert runs under the exclusive tree latch. Other tree operations are
 // excluded, but checkpoints (FlushAll) may still read pinned pages under
 // their shared latches, so page writes take the exclusive page latch.
-func (t *BTree) insert(id PageID, key int64, val []byte) (*splitResult, error) {
+// Every page it writes is appended to t.smo still pinned (Put unpins them
+// after the structural hook has logged their images); read-only descents
+// unpin immediately.
+func (t *BTree) insert(id PageID, key int64, val []byte, depth int) (*splitResult, error) {
+	if depth >= maxDepth {
+		return nil, errCorrupt
+	}
 	p, err := t.pool.Fetch(id)
 	if err != nil {
 		return nil, err
@@ -351,7 +423,7 @@ func (t *BTree) insert(id PageID, key int64, val []byte) (*splitResult, error) {
 		p.latch.Lock()
 		writeLeaf(&p.data, left)
 		p.latch.Unlock()
-		t.pool.Unpin(p, true)
+		t.smo = append(t.smo, p)
 		rightID := t.pool.pager.allocate()
 		rp, err := t.pool.Fetch(rightID)
 		if err != nil {
@@ -360,7 +432,7 @@ func (t *BTree) insert(id PageID, key int64, val []byte) (*splitResult, error) {
 		rp.latch.Lock()
 		writeLeaf(&rp.data, right)
 		rp.latch.Unlock()
-		t.pool.Unpin(rp, true)
+		t.smo = append(t.smo, rp)
 		return &splitResult{sepKey: right[0].key, newChild: rightID}, nil
 	}
 
@@ -368,7 +440,7 @@ func (t *BTree) insert(id PageID, key int64, val []byte) (*splitResult, error) {
 	ci := childIndex(node.keys, key)
 	child := node.children[ci]
 	t.pool.Unpin(p, false)
-	split, err := t.insert(child, key, val)
+	split, err := t.insert(child, key, val, depth+1)
 	if err != nil || split == nil {
 		return nil, err
 	}
@@ -390,7 +462,7 @@ func (t *BTree) insert(id PageID, key int64, val []byte) (*splitResult, error) {
 		p.latch.Lock()
 		writeInternal(&p.data, node)
 		p.latch.Unlock()
-		t.pool.Unpin(p, true)
+		t.smo = append(t.smo, p)
 		return nil, nil
 	}
 	// Split the internal node.
@@ -404,7 +476,7 @@ func (t *BTree) insert(id PageID, key int64, val []byte) (*splitResult, error) {
 	p.latch.Lock()
 	writeInternal(&p.data, leftNode)
 	p.latch.Unlock()
-	t.pool.Unpin(p, true)
+	t.smo = append(t.smo, p)
 	rightID := t.pool.pager.allocate()
 	rp, err := t.pool.Fetch(rightID)
 	if err != nil {
@@ -413,7 +485,7 @@ func (t *BTree) insert(id PageID, key int64, val []byte) (*splitResult, error) {
 	rp.latch.Lock()
 	writeInternal(&rp.data, rightNode)
 	rp.latch.Unlock()
-	t.pool.Unpin(rp, true)
+	t.smo = append(t.smo, rp)
 	return &splitResult{sepKey: sep, newChild: rightID}, nil
 }
 
@@ -424,7 +496,10 @@ func (t *BTree) Delete(key int64) (bool, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	id := t.root
-	for {
+	for depth := 0; ; depth++ {
+		if depth >= maxDepth {
+			return false, errCorrupt
+		}
 		p, err := t.pool.Fetch(id)
 		if err != nil {
 			return false, err
@@ -459,11 +534,14 @@ func (t *BTree) Delete(key int64) (bool, error) {
 func (t *BTree) Scan(lo, hi int64, fn func(key int64, val []byte) bool) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	_, err := t.scan(t.root, lo, hi, fn)
+	_, err := t.scan(t.root, lo, hi, fn, 0)
 	return err
 }
 
-func (t *BTree) scan(id PageID, lo, hi int64, fn func(int64, []byte) bool) (bool, error) {
+func (t *BTree) scan(id PageID, lo, hi int64, fn func(int64, []byte) bool, depth int) (bool, error) {
+	if depth >= maxDepth {
+		return false, errCorrupt
+	}
 	p, err := t.pool.Fetch(id)
 	if err != nil {
 		return false, err
@@ -490,7 +568,7 @@ func (t *BTree) scan(id PageID, lo, hi int64, fn func(int64, []byte) bool) (bool
 	p.latch.RUnlock()
 	t.pool.Unpin(p, false)
 	for ci := childIndex(node.keys, lo); ci < len(node.children); ci++ {
-		more, err := t.scan(node.children[ci], lo, hi, fn)
+		more, err := t.scan(node.children[ci], lo, hi, fn, depth+1)
 		if err != nil || !more {
 			return false, err
 		}

@@ -33,6 +33,11 @@ type poolInstance struct {
 	pager    *pager
 	frames   map[PageID]*page
 	capacity int
+	// ioErr is the first flush failure seen by a path with no caller to
+	// report to (the background cleaner). It is sticky: every later fetch
+	// or checkpoint on this instance surfaces it instead of letting a
+	// dropped write masquerade as a clean pool.
+	ioErr error
 	// LRU list: head = most recently used young page; oldHead marks the
 	// boundary where the old sublist begins.
 	head, tail *page
@@ -138,6 +143,11 @@ func (b *BufferPool) Fetch(id PageID) (*page, error) {
 
 func (b *poolInstance) fetch(id PageID) (*page, error) {
 	b.mu.Lock()
+	if b.ioErr != nil {
+		err := b.ioErr
+		b.mu.Unlock()
+		return nil, err
+	}
 	if p, ok := b.frames[id]; ok {
 		b.hits.Add(1)
 		p.pins++
@@ -347,6 +357,9 @@ func (b *poolInstance) cleanPass(scanDepth, writeBudget int) int {
 		scanned++
 		if p.dirty && p.pins == 0 {
 			if err := b.pager.write(p.id, &p.data); err != nil {
+				if b.ioErr == nil {
+					b.ioErr = err
+				}
 				return flushed
 			}
 			p.dirty = false
@@ -372,6 +385,9 @@ func (b *BufferPool) FlushAll() error {
 func (b *poolInstance) flushAll() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.ioErr != nil {
+		return b.ioErr
+	}
 	for _, p := range b.frames {
 		if p.dirty {
 			if p.pins > 0 {

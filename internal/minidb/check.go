@@ -1,0 +1,146 @@
+package minidb
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// CheckConsistency validates the structural invariants of every table's
+// B+tree, the ones the crash harness asserts after each simulated crash and
+// recovery:
+//
+//   - every node has a valid type and an entry count that fits its page;
+//   - keys are strictly increasing across the whole tree in scan order;
+//   - internal separators bound their subtrees (child i holds keys in
+//     [parent's lower bound, keys[i]), child i+1 in [keys[i], upper));
+//   - all leaves sit at the same depth;
+//   - no page is reachable twice, within or across tables — the allocator
+//     never double-issued a live page;
+//   - every reachable page id lies below the allocator's high-water mark.
+//
+// It reads pages through the buffer pool, so it can run on an open engine
+// between operations (it takes each tree's shared latch).
+func (db *DB) CheckConsistency() error {
+	type namedRoot struct {
+		name string
+		root PageID
+		tree *BTree
+	}
+	db.mu.RLock()
+	tables := make([]namedRoot, 0, len(db.catalog))
+	for name, ce := range db.catalog {
+		nr := namedRoot{name: name, root: ce.Root}
+		if h, ok := db.open[name]; ok {
+			// The cached handle's root is newer than the catalog's lazy copy.
+			nr.root = h.tree.Root()
+			nr.tree = h.tree
+		}
+		tables = append(tables, nr)
+	}
+	db.mu.RUnlock()
+
+	visited := make(map[PageID]string)
+	for _, nr := range tables {
+		if nr.tree != nil {
+			nr.tree.mu.RLock()
+		}
+		err := db.checkTree(nr.name, nr.root, visited)
+		if nr.tree != nil {
+			nr.tree.mu.RUnlock()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkTree walks one table, enforcing key order, separator bounds, uniform
+// leaf depth and single-reachability.
+func (db *DB) checkTree(name string, root PageID, visited map[PageID]string) error {
+	leafDepth := -1
+	var lastKey int64
+	haveKey := false
+	var walk func(id PageID, lo, hi *int64, depth int) error
+	walk = func(id PageID, lo, hi *int64, depth int) error {
+		if depth >= maxDepth {
+			return fmt.Errorf("minidb: check %s: depth exceeds %d at page %d", name, maxDepth, id)
+		}
+		if uint32(id) >= db.pager.pages.Load() {
+			return fmt.Errorf("minidb: check %s: page %d beyond allocator high-water %d", name, id, db.pager.pages.Load())
+		}
+		if owner, dup := visited[id]; dup {
+			return fmt.Errorf("minidb: check %s: page %d reachable twice (also via %s) — double-issued allocation", name, id, owner)
+		}
+		visited[id] = name
+		p, err := db.pool.Fetch(id)
+		if err != nil {
+			return err
+		}
+		// Decode under the shared page latch, then release before any
+		// recursion so the walk never holds more than one latch or pin.
+		p.latch.RLock()
+		kind := p.data[0]
+		count := int(binary.LittleEndian.Uint16(p.data[1:3]))
+		var entries []leafEntry
+		var node internalNode
+		switch kind {
+		case nodeLeaf:
+			entries = readLeaf(&p.data)
+		case nodeInternal:
+			node = readInternal(&p.data)
+		}
+		p.latch.RUnlock()
+		db.pool.Unpin(p, false)
+
+		switch kind {
+		case nodeLeaf:
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				return fmt.Errorf("minidb: check %s: leaf %d at depth %d, expected %d", name, id, depth, leafDepth)
+			}
+			if len(entries) != count {
+				return fmt.Errorf("minidb: check %s: leaf %d claims %d entries, %d fit the page", name, id, count, len(entries))
+			}
+			for _, e := range entries {
+				if haveKey && e.key <= lastKey {
+					return fmt.Errorf("minidb: check %s: key %d out of order after %d (leaf %d)", name, e.key, lastKey, id)
+				}
+				if lo != nil && e.key < *lo {
+					return fmt.Errorf("minidb: check %s: key %d below separator bound %d (leaf %d)", name, e.key, *lo, id)
+				}
+				if hi != nil && e.key >= *hi {
+					return fmt.Errorf("minidb: check %s: key %d at or above separator bound %d (leaf %d)", name, e.key, *hi, id)
+				}
+				lastKey, haveKey = e.key, true
+			}
+			return nil
+		case nodeInternal:
+			if count == 0 || count > maxInternalKeys {
+				return fmt.Errorf("minidb: check %s: internal %d has impossible separator count %d", name, id, count)
+			}
+			for i := 1; i < len(node.keys); i++ {
+				if node.keys[i] <= node.keys[i-1] {
+					return fmt.Errorf("minidb: check %s: separators out of order in page %d", name, id)
+				}
+			}
+			for i, child := range node.children {
+				clo, chi := lo, hi
+				if i > 0 {
+					clo = &node.keys[i-1]
+				}
+				if i < len(node.keys) {
+					chi = &node.keys[i]
+				}
+				if err := walk(child, clo, chi, depth+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("minidb: check %s: page %d has invalid node type %d", name, id, kind)
+		}
+	}
+	return walk(root, nil, nil, 0)
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/knobs"
+	"repro/internal/vfs"
 )
 
 // Config assembles the engine's tunables — each field mirrors the MySQL
@@ -19,6 +20,13 @@ import (
 type Config struct {
 	// Dir is the database directory (data file, WAL, catalog).
 	Dir string
+	// FS is the filesystem backend; nil means the real one (vfs.OS). The
+	// crash harness passes a vfs.FaultFS here.
+	FS vfs.FS
+	// DisableDoublewrite turns off the torn-page doublewrite buffer
+	// (innodb_doublewrite=OFF): faster flushes, no protection against a
+	// page write torn mid-sector.
+	DisableDoublewrite bool
 	// BufferPoolBytes sizes the buffer pool (innodb_buffer_pool_size).
 	BufferPoolBytes int64
 	// BufferPoolInstances splits the pool into independently latched
@@ -125,10 +133,11 @@ type tableHandle struct {
 // DB is the engine instance. The catalog lock (db.mu) is a read-write
 // mutex held shared on the statement hot path (table-cache hits) and
 // exclusive only for DDL, table opens/evictions, and root-pointer
-// persistence; statement data access is serialized by the per-table B-tree
+// bookkeeping; statement data access is serialized by the per-table B-tree
 // latches and the row-lock manager instead (see DESIGN.md).
 type DB struct {
 	cfg   Config
+	fs    vfs.FS
 	pager *pager
 	pool  *BufferPool
 	wal   *WAL
@@ -149,13 +158,22 @@ type DB struct {
 	statementsN atomic.Uint64
 }
 
-// Open creates or reopens a database in cfg.Dir, running WAL recovery for
-// transactions committed after the last checkpoint.
+// Open creates or reopens a database in cfg.Dir, running crash recovery:
+// doublewrite restore, physical page-image redo, logical redo of committed
+// transactions, undo of uncommitted ones, then a checkpoint that empties
+// the log.
 func Open(cfg Config) (*DB, error) {
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = vfs.OS()
+	}
+	if err := fsys.MkdirAll(cfg.Dir); err != nil {
 		return nil, err
 	}
-	pg, err := newPager(filepath.Join(cfg.Dir, "data.mdb"))
+	pg, err := newPager(fsys,
+		filepath.Join(cfg.Dir, "data.mdb"),
+		filepath.Join(cfg.Dir, "dblwr.mdb"),
+		!cfg.DisableDoublewrite)
 	if err != nil {
 		return nil, err
 	}
@@ -170,6 +188,7 @@ func Open(cfg Config) (*DB, error) {
 	})
 	db := &DB{
 		cfg:     cfg,
+		fs:      fsys,
 		pager:   pg,
 		pool:    pool,
 		locks:   NewLockManager(cfg.SpinWaitDelay, cfg.SyncSpinLoops),
@@ -179,27 +198,53 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.ThreadConcurrency > 0 {
 		db.admit = make(chan struct{}, cfg.ThreadConcurrency)
 	}
-	if err := db.loadCatalog(); err != nil {
-		pool.Close()
+	fail := func(err error) (*DB, error) {
+		if pool.cleanerStop != nil {
+			close(pool.cleanerStop)
+			<-pool.cleanerDone
+		}
 		pg.close()
 		return nil, err
 	}
-	if err := db.advanceAllocator(); err != nil {
-		pool.Close()
-		pg.close()
-		return nil, err
+	if err := db.loadCatalog(); err != nil {
+		return fail(err)
 	}
 	walPath := filepath.Join(cfg.Dir, "wal.log")
-	if err := db.recover(walPath); err != nil {
-		pool.Close()
-		pg.close()
-		return nil, err
+	walBytes, err := fsys.ReadFile(walPath)
+	if err != nil && !os.IsNotExist(err) {
+		return fail(err)
 	}
-	db.wal, err = openWAL(walPath, cfg.WAL)
+	parse := parseWAL(walBytes)
+	db.wal, err = openWAL(fsys, walPath, cfg.WAL)
 	if err != nil {
-		pool.Close()
-		pg.close()
-		return nil, err
+		return fail(err)
+	}
+	// The write-ahead rule: no page reaches disk before the log records
+	// describing it. Every pager write syncs the log first.
+	pg.barrier = db.wal.Sync
+	// Recovery appends its own records (split images); their transaction
+	// ids must not collide with ids already in the log if we crash again
+	// mid-recovery.
+	db.nextTxn.Store(parse.maxTxn)
+	if len(walBytes) > 0 {
+		if int64(len(walBytes)) > parse.validLen {
+			// Torn tail: cut it before appending behind it.
+			if err := db.wal.TruncateTo(parse.validLen); err != nil {
+				db.wal.Close()
+				return fail(err)
+			}
+		}
+		if err := db.recover(parse); err != nil {
+			db.wal.Close()
+			return fail(fmt.Errorf("minidb: recovery: %w", err))
+		}
+		if err := db.checkpoint(); err != nil {
+			db.wal.Close()
+			return fail(fmt.Errorf("minidb: recovery checkpoint: %w", err))
+		}
+	} else if err := db.advanceAllocator(); err != nil {
+		db.wal.Close()
+		return fail(err)
 	}
 	return db, nil
 }
@@ -207,7 +252,7 @@ func Open(cfg Config) (*DB, error) {
 func (db *DB) catalogPath() string { return filepath.Join(db.cfg.Dir, "catalog.json") }
 
 func (db *DB) loadCatalog() error {
-	data, err := os.ReadFile(db.catalogPath())
+	data, err := db.fs.ReadFile(db.catalogPath())
 	if os.IsNotExist(err) {
 		return nil
 	}
@@ -225,70 +270,191 @@ func (db *DB) loadCatalog() error {
 	return nil
 }
 
+// saveCatalog persists the catalog atomically: write + fsync a temp file,
+// then rename over the live one, so a crash leaves either the old or the
+// new catalog — never a truncated mix.
 func (db *DB) saveCatalog() error {
 	data, err := json.Marshal(db.catalog)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(db.catalogPath(), data, 0o644)
-}
-
-// recover applies committed WAL entries, checkpoints, and truncates the log.
-func (db *DB) recover(walPath string) error {
-	entries, err := ReplayWAL(walPath)
+	tmp := db.catalogPath() + ".tmp"
+	f, err := db.fs.OpenFile(tmp)
 	if err != nil {
 		return err
 	}
-	if len(entries) == 0 {
-		return removeIfExists(walPath)
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return err
 	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return db.fs.Rename(tmp, db.catalogPath())
+}
+
+// hookTree wires a tree's structural hook: a completed split logs every
+// page it wrote plus the resulting root as one logged transaction. The
+// commit marker is what recovery keys atomicity on — a torn tail that cuts
+// the set drops all of it, matching the on-disk state (the pages were
+// pinned until the set was logged, so none of them can have been flushed).
+func (db *DB) hookTree(t *BTree, table uint32) {
+	t.onStructural = func(pages []*page, root PageID) error {
+		txn := db.nextTxn.Add(1)
+		for _, p := range pages {
+			if err := db.wal.AppendPageImage(txn, p.id, &p.data); err != nil {
+				return err
+			}
+		}
+		if err := db.wal.AppendRoot(txn, table, root); err != nil {
+			return err
+		}
+		return db.wal.AppendCommit(txn)
+	}
+}
+
+// recover replays a parsed log over the on-disk state:
+//
+//  1. Physical redo — committed page images are restored byte-for-byte in
+//     commit order and root records move table roots. This rebuilds
+//     structural modifications that logical replay cannot (keys moved by a
+//     split predate the log's logical records).
+//  2. Logical redo — committed put/delete records replay in commit order
+//     through ordinary B-trees rooted at the restored roots. Idempotent
+//     over whatever subset of pages happened to be flushed.
+//  3. Undo — records of transactions with no durable commit marker are
+//     rolled back newest-first using their logged before-images, erasing
+//     eagerly-applied writes that reached disk via evicted dirty pages.
+//
+// Trees used during recovery carry the structural hook, so splits replay
+// causes are themselves logged — a crash during recovery recovers.
+func (db *DB) recover(p walParse) error {
 	byID := make(map[uint32]string)
 	for name, e := range db.catalog {
 		byID[e.ID] = name
 	}
-	for _, e := range entries {
-		name, ok := byID[e.Table]
-		if !ok {
+	for _, e := range p.committed {
+		switch e.Kind {
+		case recPageImage:
+			id := PageID(e.Key)
+			if next := uint32(id) + 1; next > db.pager.pages.Load() {
+				db.pager.pages.Store(next)
+			}
+			pg, err := db.pool.Fetch(id)
+			if err != nil {
+				return err
+			}
+			pg.latch.Lock()
+			copy(pg.data[:], e.Val)
+			pg.latch.Unlock()
+			db.pool.Unpin(pg, true)
+		case recRoot:
+			if name, ok := byID[e.Table]; ok {
+				ce := db.catalog[name]
+				ce.Root = PageID(e.Key)
+				db.catalog[name] = ce
+			}
+		}
+	}
+	if err := db.advanceAllocator(); err != nil {
+		return err
+	}
+	trees := make(map[uint32]*BTree)
+	tree := func(table uint32) *BTree {
+		if t, ok := trees[table]; ok {
+			return t
+		}
+		t := openBTree(db.pool, db.catalog[byID[table]].Root)
+		db.hookTree(t, table)
+		trees[table] = t
+		return t
+	}
+	for _, e := range p.committed {
+		if _, ok := byID[e.Table]; !ok {
 			continue // table dropped
 		}
-		t := openBTree(db.pool, db.catalog[name].Root)
 		switch e.Kind {
 		case recPut:
-			if err := t.Put(e.Key, e.Val); err != nil {
+			if err := tree(e.Table).Put(e.Key, e.Val); err != nil {
 				return err
 			}
 		case recDelete:
-			if _, err := t.Delete(e.Key); err != nil {
+			if _, err := tree(e.Table).Delete(e.Key); err != nil {
 				return err
 			}
 		}
-		// Root may have grown during recovery.
-		ce := db.catalog[name]
-		ce.Root = t.Root()
-		db.catalog[name] = ce
 	}
+	for i := len(p.uncommitted) - 1; i >= 0; i-- {
+		e := p.uncommitted[i]
+		if _, ok := byID[e.Table]; !ok {
+			continue
+		}
+		t := tree(e.Table)
+		if e.PrevExisted {
+			if err := t.Put(e.Key, e.Prev); err != nil {
+				return err
+			}
+		} else if _, err := t.Delete(e.Key); err != nil {
+			return err
+		}
+	}
+	// Roots may have grown during replay.
+	for table, t := range trees {
+		ce := db.catalog[byID[table]]
+		ce.Root = t.Root()
+		db.catalog[byID[table]] = ce
+	}
+	return nil
+}
+
+// checkpoint makes every change durable in the data file and empties the
+// log: flush all pages (each flush syncs the log first via the barrier),
+// fsync the data file, persist the catalog, truncate the log. Callers must
+// be quiescent — an in-flight transaction's eager writes would checkpoint
+// without the undo records that could erase them.
+func (db *DB) checkpoint() error {
 	if err := db.pool.FlushAll(); err != nil {
 		return err
 	}
-	if err := db.saveCatalog(); err != nil {
+	if err := db.pager.sync(); err != nil {
 		return err
 	}
-	return removeIfExists(walPath)
+	db.mu.Lock()
+	for name, h := range db.open {
+		ce := db.catalog[name]
+		ce.Root = h.tree.Root()
+		db.catalog[name] = ce
+	}
+	err := db.saveCatalog()
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return db.wal.Reset()
 }
 
-// advanceAllocator walks every table from its persisted root and advances
-// the page allocator past the highest page id any reachable node
-// references. After a crash the data file alone undercounts allocation:
-// pages allocated before the crash but never flushed lie beyond EOF, yet a
-// flushed parent may still point at them — re-issuing such an id would
-// fuse two live nodes onto one page and corrupt the recovered tree.
+// advanceAllocator walks every table from its root and advances the page
+// allocator past the highest page id any reachable node references. After
+// a crash the data file alone undercounts allocation: pages allocated
+// before the crash but never flushed lie beyond EOF, yet a flushed parent
+// may still point at them — re-issuing such an id would fuse two live
+// nodes onto one page and corrupt the recovered tree.
 func (db *DB) advanceAllocator() error {
 	if len(db.catalog) == 0 {
 		return nil
 	}
 	maxSeen := PageID(0)
+	visited := make(map[PageID]bool)
 	for _, ce := range db.catalog {
-		if err := db.maxPageInTree(ce.Root, &maxSeen); err != nil {
+		if err := db.maxPageInTree(ce.Root, &maxSeen, visited, 0); err != nil {
 			return err
 		}
 	}
@@ -298,10 +464,16 @@ func (db *DB) advanceAllocator() error {
 	return nil
 }
 
-func (db *DB) maxPageInTree(id PageID, maxSeen *PageID) error {
+func (db *DB) maxPageInTree(id PageID, maxSeen *PageID, visited map[PageID]bool, depth int) error {
 	if id > *maxSeen {
 		*maxSeen = id
 	}
+	// A corrupt page can reference itself or an ancestor; the walk only
+	// needs each page once, so cycles are skipped rather than followed.
+	if visited[id] || depth >= maxDepth {
+		return nil
+	}
+	visited[id] = true
 	p, err := db.pool.Fetch(id)
 	if err != nil {
 		return err
@@ -315,17 +487,9 @@ func (db *DB) maxPageInTree(id PageID, maxSeen *PageID) error {
 	node := readInternal(&p.data)
 	db.pool.Unpin(p, false)
 	for _, c := range node.children {
-		if err := db.maxPageInTree(c, maxSeen); err != nil {
+		if err := db.maxPageInTree(c, maxSeen, visited, depth+1); err != nil {
 			return err
 		}
-	}
-	return nil
-}
-
-// removeIfExists deletes a file, treating absence as success.
-func removeIfExists(path string) error {
-	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
-		return err
 	}
 	return nil
 }
@@ -341,6 +505,7 @@ func (db *DB) CreateTable(name string) error {
 	if err != nil {
 		return err
 	}
+	db.hookTree(t, db.nextID)
 	db.catalog[name] = catalogEntry{Root: t.Root(), ID: db.nextID}
 	h := &tableHandle{tree: t, id: db.nextID}
 	h.lastUsed.Store(db.clock.Add(1))
@@ -382,6 +547,7 @@ func (db *DB) openTable(name string) (*BTree, uint32, error) {
 	}
 	db.tableOpens.Add(1)
 	t := openBTree(db.pool, ce.Root)
+	db.hookTree(t, ce.ID)
 	// Open cost: validate the root page. The shared page latch guards
 	// against a concurrent in-place write through a stale handle.
 	p, err := db.pool.Fetch(ce.Root)
@@ -412,7 +578,7 @@ func (db *DB) evictTablesLocked() {
 				oldest, victim = lu, n
 			}
 		}
-		// Persist the (possibly grown) root before dropping the handle.
+		// Record the (possibly grown) root before dropping the handle.
 		h := db.open[victim]
 		ce := db.catalog[victim]
 		ce.Root = h.tree.Root()
@@ -442,7 +608,9 @@ func (db *DB) Get(tableName string, key int64) ([]byte, bool, error) {
 }
 
 // Put writes one row under the row lock, logged and committed as its own
-// transaction.
+// transaction. The row's previous value rides along as the WAL record's
+// before-image so recovery can undo the write if the commit record never
+// becomes durable.
 func (db *DB) Put(tableName string, key int64, val []byte) error {
 	defer db.enter()()
 	db.statementsN.Add(1)
@@ -453,8 +621,12 @@ func (db *DB) Put(tableName string, key int64, val []byte) error {
 	lockID := rowLockID(id, key)
 	db.locks.Acquire(lockID)
 	defer db.locks.Release(lockID)
+	prev, existed, err := t.Get(key)
+	if err != nil {
+		return err
+	}
 	txn := db.nextTxn.Add(1)
-	if err := db.wal.Append(recPut, txn, id, key, val); err != nil {
+	if err := db.wal.AppendUndo(recPut, txn, id, key, val, existed, prev); err != nil {
 		return err
 	}
 	if err := t.Put(key, val); err != nil {
@@ -476,8 +648,12 @@ func (db *DB) Delete(tableName string, key int64) (bool, error) {
 	lockID := rowLockID(id, key)
 	db.locks.Acquire(lockID)
 	defer db.locks.Release(lockID)
+	prev, existed, err := t.Get(key)
+	if err != nil {
+		return false, err
+	}
 	txn := db.nextTxn.Add(1)
-	if err := db.wal.Append(recDelete, txn, id, key, nil); err != nil {
+	if err := db.wal.AppendUndo(recDelete, txn, id, key, nil, existed, prev); err != nil {
 		return false, err
 	}
 	ok, err := t.Delete(key)
@@ -499,9 +675,10 @@ func (db *DB) Scan(tableName string, lo, hi int64, fn func(key int64, val []byte
 	return t.Scan(lo, hi, fn)
 }
 
-// syncRoot records root growth in the catalog (persisted lazily; recovery
-// replays the WAL against the last persisted root). The common case — the
-// root did not move — is checked under the shared lock so the per-statement
+// syncRoot records root growth in the in-memory catalog. Durability does
+// not depend on it: the split that moved the root logged a root record in
+// the WAL, and checkpoints persist the catalog. The common case — the root
+// did not move — is checked under the shared lock so the per-statement
 // write path stays off the exclusive catalog lock.
 func (db *DB) syncRoot(name string, t *BTree) {
 	root := t.Root()
@@ -516,7 +693,6 @@ func (db *DB) syncRoot(name string, t *BTree) {
 	if ce.Root != root {
 		ce.Root = root
 		db.catalog[name] = ce
-		_ = db.saveCatalog()
 	}
 	db.mu.Unlock()
 }
@@ -525,10 +701,12 @@ func rowLockID(table uint32, key int64) uint64 {
 	return uint64(table)<<40 ^ uint64(key)
 }
 
-// Close checkpoints and shuts down.
+// Close checkpoints and shuts down. Every step's error is reported (the
+// first wins), but shutdown always proceeds through closing the files.
 func (db *DB) Close() error {
-	if err := db.pool.Close(); err != nil {
-		return err
+	err := db.pool.Close() // stops the cleaner, flushes every dirty page
+	if err == nil {
+		err = db.pager.sync()
 	}
 	db.mu.Lock()
 	for name, h := range db.open {
@@ -536,17 +714,21 @@ func (db *DB) Close() error {
 		ce.Root = h.tree.Root()
 		db.catalog[name] = ce
 	}
-	err := db.saveCatalog()
 	db.mu.Unlock()
-	if err != nil {
-		return err
+	if err == nil {
+		err = db.saveCatalog()
 	}
-	if err := db.wal.Close(); err != nil {
-		return err
+	if err == nil {
+		// A clean shutdown checkpointed everything: the WAL is obsolete.
+		err = db.wal.Reset()
 	}
-	// A clean shutdown checkpointed everything: the WAL is obsolete.
-	_ = os.Remove(filepath.Join(db.cfg.Dir, "wal.log"))
-	return db.pager.close()
+	if werr := db.wal.Close(); err == nil {
+		err = werr
+	}
+	if perr := db.pager.close(); err == nil {
+		err = perr
+	}
+	return err
 }
 
 // Stats is an engine counter snapshot — the minidb analogue of the

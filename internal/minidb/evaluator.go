@@ -51,6 +51,14 @@ type Evaluator struct {
 	TxnMode bool
 	// Seed drives statement generation.
 	Seed int64
+	// Deterministic replays the statement stream serially with no pacing,
+	// no background engine goroutines (cleaner, WAL timer) and metrics
+	// derived purely from engine counters and statement footprints instead
+	// of wall clock and getrusage. A measurement becomes a pure function of
+	// (knobs, seed), bit-identical across runs and GOMAXPROCS settings —
+	// the substrate for golden-trace regression tests. Real wall-clock
+	// behaviour is NOT measured in this mode.
+	Deterministic bool
 
 	runs int
 }
@@ -96,6 +104,10 @@ func (e *Evaluator) measure(dir string, native []float64) (dbsim.Measurement, er
 	cfg := ConfigFromKnobs(dir, e.Knobs, native)
 	cfg.CleanerInterval = 20 * time.Millisecond
 	cfg.WAL.TimerInterval = 100 * time.Millisecond
+	if e.Deterministic {
+		cfg.CleanerInterval = 0
+		cfg.WAL.TimerInterval = 0
+	}
 	db, err := Open(cfg)
 	if err != nil {
 		return dbsim.Measurement{}, err
@@ -118,7 +130,14 @@ func (e *Evaluator) measure(dir string, native []float64) (dbsim.Measurement, er
 			return dbsim.Measurement{}, fmt.Errorf("minidb: warmup %q: %w", stmt, err)
 		}
 	}
+	// Load in sorted order: map iteration order would otherwise leak into
+	// page layout and engine counters, breaking deterministic replays.
+	names := make([]string, 0, len(ex.created))
 	for name := range ex.created {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		if err := ex.Load(name, rows); err != nil {
 			return dbsim.Measurement{}, err
 		}
@@ -144,6 +163,9 @@ func (e *Evaluator) measure(dir string, native []float64) (dbsim.Measurement, er
 	if rate <= 0 || budget > 100000 {
 		budget = 100000
 	}
+	if e.Deterministic && budget > 2000 {
+		budget = 2000 // serial replay: keep deterministic measurements cheap
+	}
 	var stream [][]string
 	if e.TxnMode {
 		stream = e.Workload.GenerateTransactions(budget, r)
@@ -151,6 +173,10 @@ func (e *Evaluator) measure(dir string, native []float64) (dbsim.Measurement, er
 		for _, stmt := range e.Workload.Generate(budget, r) {
 			stream = append(stream, []string{stmt})
 		}
+	}
+
+	if e.Deterministic {
+		return e.measureDeterministic(db, ex, cfg, stream)
 	}
 
 	// Token bucket paces the offered load; closed channel = window over.
@@ -277,6 +303,82 @@ func (e *Evaluator) measure(dir string, native []float64) (dbsim.Measurement, er
 		float64(statsAfter.SpinRounds - statsBefore.SpinRounds),
 		float64(statsAfter.TableOpens - statsBefore.TableOpens),
 		iops, bps, tps, m.LatencyP99Ms, cpuPct,
+	}
+	return m, nil
+}
+
+// measureDeterministic executes the pre-generated stream serially and
+// synthesizes the measurement from engine counters and per-statement row
+// footprints under a fixed cost model (microseconds): a statement costs
+// 20 + 5·rowsRead + 12·rowsWritten of CPU, a physical page read or write
+// costs 80, a WAL fsync 150 and a WAL block write 2 of IO. The modelled
+// wall clock is their sum, so throughput, latency, CPU share and IO rates
+// all respond to the knobs (pool size moves physical reads, commit policy
+// moves syncs) while remaining exact functions of the replayed counters.
+func (e *Evaluator) measureDeterministic(db *DB, ex *Executor, cfg Config, stream [][]string) (dbsim.Measurement, error) {
+	statsBefore := db.Stats()
+	executed := 0
+	costs := make([]float64, 0, len(stream))
+	for _, group := range stream {
+		var rows RowsTouched
+		if e.TxnMode {
+			rt, err := ex.ExecTxn(group)
+			if errors.Is(err, ErrTxAborted) {
+				continue
+			}
+			rows = rt
+		} else {
+			rt, _ := ex.Exec(group[0])
+			rows = rt
+		}
+		costs = append(costs, 20+5*float64(rows.Read)+12*float64(rows.Written))
+		executed++
+	}
+	statsAfter := db.Stats()
+
+	cpuUS := 0.0
+	for _, c := range costs {
+		cpuUS += c
+	}
+	reads := statsAfter.PhysicalReads - statsBefore.PhysicalReads
+	writes := statsAfter.PhysWrites - statsBefore.PhysWrites
+	syncs := statsAfter.WALSyncs - statsBefore.WALSyncs
+	walWrites := statsAfter.WALWrites - statsBefore.WALWrites
+	ioUS := 80*float64(reads+writes) + 150*float64(syncs) + 2*float64(walWrites)
+	wallUS := cpuUS + ioUS
+	if wallUS <= 0 {
+		wallUS = 1
+	}
+	wallSec := wallUS / 1e6
+
+	sort.Float64s(costs)
+	p99 := 0.0
+	if len(costs) > 0 {
+		// Amortize the IO share over statements so the modelled latency and
+		// throughput describe the same modelled clock.
+		perStmtIO := ioUS / float64(len(costs))
+		p99 = (costs[int(float64(len(costs)-1)*0.99)] + perStmtIO) / 1e3
+	}
+
+	cpuPct := 100 * cpuUS / wallUS
+	if cpuPct > 100 {
+		cpuPct = 100
+	}
+	m := dbsim.Measurement{
+		TPS:          float64(executed) / wallSec,
+		LatencyP99Ms: p99,
+		CPUUtilPct:   cpuPct,
+		IOPS:         float64(reads+writes+syncs+walWrites) / wallSec,
+		IOBps:        float64(reads+writes) * PageSize / wallSec,
+		MemoryBytes:  float64(cfg.BufferPoolBytes) + float64(cfg.WAL.BufferBytes) + 8e6,
+		HitRatio:     db.pool.HitRatio(),
+	}
+	m.Internal = []float64{
+		m.HitRatio,
+		float64(statsAfter.LockWaits - statsBefore.LockWaits),
+		float64(statsAfter.SpinRounds - statsBefore.SpinRounds),
+		float64(statsAfter.TableOpens - statsBefore.TableOpens),
+		m.IOPS, m.IOBps, m.TPS, m.LatencyP99Ms, cpuPct,
 	}
 	return m, nil
 }

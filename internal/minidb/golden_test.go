@@ -1,0 +1,114 @@
+package minidb
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/bo"
+	"repro/internal/core"
+	"repro/internal/dbsim"
+	"repro/internal/workload"
+)
+
+// goldenSession runs one seeded end-to-end tuning session over the
+// deterministic minidb evaluator and renders every observation as raw
+// float64 bits — the strictest possible trace: any divergence anywhere in
+// the pipeline (statement replay, engine counters, GP math, acquisition
+// optimization) changes the string.
+func goldenSession(t *testing.T, seed int64) string {
+	t.Helper()
+	w := workload.Sysbench(10).WithRequestRate(800)
+	ev := NewEvaluator(t.TempDir(), realSpace(), dbsim.IOPS, w, seed)
+	ev.Rows = 200
+	ev.Deterministic = true
+
+	cfg := core.DefaultConfig(seed)
+	cfg.InitIters = 3
+	cfg.SLATolerance = 0.50
+	cfg.Acq = bo.OptimizerConfig{RandomCandidates: 24, LocalStarts: 2, LocalSteps: 3, StepScale: 0.15}
+	res, err := core.New(cfg).Run(ev, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	for i, it := range res.Iterations {
+		o := it.Observation
+		fmt.Fprintf(&b, "iter %d theta", i)
+		for _, v := range o.Theta {
+			fmt.Fprintf(&b, " %016x", math.Float64bits(v))
+		}
+		fmt.Fprintf(&b, " res %016x tps %016x lat %016x\n",
+			math.Float64bits(o.Res), math.Float64bits(o.Tps), math.Float64bits(o.Lat))
+	}
+	return b.String()
+}
+
+// TestGoldenTraceDeterministic: the same seed must yield a bit-identical
+// session trace at GOMAXPROCS=1 and GOMAXPROCS=8 — serial replay, counter-
+// derived metrics and the deterministic parallel math core together make
+// the whole tuning loop scheduling-independent.
+func TestGoldenTraceDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several full evaluator sessions")
+	}
+	const seed = 7
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := goldenSession(t, seed)
+	serialAgain := goldenSession(t, seed)
+	runtime.GOMAXPROCS(8)
+	parallel := goldenSession(t, seed)
+	runtime.GOMAXPROCS(prev)
+
+	if serial != serialAgain {
+		t.Fatalf("same seed, same GOMAXPROCS, different traces:\n--- first\n%s--- second\n%s", serial, serialAgain)
+	}
+	if serial != parallel {
+		t.Fatalf("trace diverges across GOMAXPROCS:\n--- GOMAXPROCS=1\n%s--- GOMAXPROCS=8\n%s", serial, parallel)
+	}
+
+	// A different seed must actually move the trace — guards against the
+	// trace degenerating into constants.
+	runtime.GOMAXPROCS(1)
+	other := goldenSession(t, seed+1)
+	runtime.GOMAXPROCS(prev)
+	if other == serial {
+		t.Fatal("different seeds produced identical traces; the trace is not capturing the session")
+	}
+}
+
+// TestDeterministicMeasureRepeatable pins the evaluator alone: two Measure
+// calls with identical knobs and seed return bit-identical measurements.
+func TestDeterministicMeasureRepeatable(t *testing.T) {
+	w := workload.Sysbench(10).WithRequestRate(800)
+	mk := func() dbsim.Measurement {
+		ev := NewEvaluator(t.TempDir(), realSpace(), dbsim.IOPS, w, 3)
+		ev.Rows = 150
+		ev.Deterministic = true
+		return ev.Measure(ev.DefaultNative())
+	}
+	a, b := mk(), mk()
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Fatalf("deterministic measurements differ:\n%+v\n%+v", a, b)
+	}
+	if a.TPS <= 0 || a.LatencyP99Ms <= 0 || a.IOPS <= 0 {
+		t.Fatalf("degenerate deterministic measurement: %+v", a)
+	}
+
+	// The cost model must respond to knobs: relaxing the commit policy
+	// removes per-commit fsyncs and therefore modelled IO.
+	ev := NewEvaluator(t.TempDir(), realSpace(), dbsim.IOPS, w, 3)
+	ev.Rows = 150
+	ev.Deterministic = true
+	relaxed := ev.DefaultNative()
+	relaxed[ev.Space().Index("innodb_flush_log_at_trx_commit")] = 0
+	strict := ev.DefaultNative()
+	strict[ev.Space().Index("innodb_flush_log_at_trx_commit")] = 1
+	if mr, ms := ev.Measure(relaxed), ev.Measure(strict); mr.IOPS >= ms.IOPS {
+		t.Fatalf("relaxed commit policy should cut modelled IOPS: %.0f vs %.0f", mr.IOPS, ms.IOPS)
+	}
+}

@@ -10,13 +10,16 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/vfs"
 )
 
 // --- pager / buffer pool ----------------------------------------------------
 
 func testPager(t *testing.T) *pager {
 	t.Helper()
-	p, err := newPager(filepath.Join(t.TempDir(), "data.mdb"))
+	dir := t.TempDir()
+	p, err := newPager(vfs.OS(), filepath.Join(dir, "data.mdb"), filepath.Join(dir, "dblwr.mdb"), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +305,7 @@ func TestQuickBTreeAgainstMap(t *testing.T) {
 func TestWALReplayCommittedOnly(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "wal.log")
-	w, err := openWAL(path, WALConfig{Policy: FlushEachCommit})
+	w, err := openWAL(vfs.OS(), path, WALConfig{Policy: FlushEachCommit})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +336,7 @@ func TestWALReplayCommittedOnly(t *testing.T) {
 func TestWALTornRecord(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "wal.log")
-	w, err := openWAL(path, WALConfig{Policy: FlushEachCommit})
+	w, err := openWAL(vfs.OS(), path, WALConfig{Policy: FlushEachCommit})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +363,7 @@ func TestWALTornRecord(t *testing.T) {
 func TestWALPolicies(t *testing.T) {
 	for _, policy := range []FlushPolicy{FlushByTimer, FlushEachCommit, WriteEachCommit} {
 		dir := t.TempDir()
-		w, err := openWAL(filepath.Join(dir, "wal.log"), WALConfig{Policy: policy})
+		w, err := openWAL(vfs.OS(), filepath.Join(dir, "wal.log"), WALConfig{Policy: policy})
 		if err != nil {
 			t.Fatal(err)
 		}

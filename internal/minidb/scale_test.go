@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/vfs"
 )
 
 // --- WAL group commit -------------------------------------------------------
@@ -19,7 +21,7 @@ func TestWALGroupCommitConcurrent(t *testing.T) {
 	const goroutines = 32
 	const perG = 8
 	path := filepath.Join(t.TempDir(), "wal.log")
-	w, err := openWAL(path, WALConfig{Policy: FlushEachCommit})
+	w, err := openWAL(vfs.OS(), path, WALConfig{Policy: FlushEachCommit})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +92,7 @@ func TestWALGroupCommitConcurrent(t *testing.T) {
 // log: a commit record must only commit its own transaction's records.
 func TestWALReplayInterleavedTxns(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	w, err := openWAL(path, WALConfig{Policy: FlushEachCommit})
+	w, err := openWAL(vfs.OS(), path, WALConfig{Policy: FlushEachCommit})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -424,5 +424,5 @@ func (e *Executor) Load(table string, n int64) error {
 		}
 	}
 	e.db.syncRoot(table, t)
-	return e.db.pool.FlushAll()
+	return e.db.checkpoint()
 }

@@ -94,7 +94,7 @@ func (tx *Tx) Put(table string, key int64, val []byte) error {
 		return err
 	}
 	tx.undo = append(tx.undo, beforeImage{table, key, existed, prev})
-	if err := tx.db.wal.Append(recPut, tx.txn, id, key, val); err != nil {
+	if err := tx.db.wal.AppendUndo(recPut, tx.txn, id, key, val, existed, prev); err != nil {
 		return err
 	}
 	if err := t.Put(key, val); err != nil {
@@ -125,7 +125,7 @@ func (tx *Tx) Delete(table string, key int64) (bool, error) {
 		return false, nil
 	}
 	tx.undo = append(tx.undo, beforeImage{table, key, true, prev})
-	if err := tx.db.wal.Append(recDelete, tx.txn, id, key, nil); err != nil {
+	if err := tx.db.wal.AppendUndo(recDelete, tx.txn, id, key, nil, true, prev); err != nil {
 		return false, err
 	}
 	if _, err := t.Delete(key); err != nil {
@@ -165,8 +165,16 @@ func (tx *Tx) Commit() error {
 }
 
 // Rollback restores every before-image (newest first) and releases locks.
-// The transaction's WAL records carry no commit marker, so recovery drops
-// them too.
+//
+// Each compensation is itself WAL-logged and the transaction ends with a
+// commit marker, ARIES-style compensation log records: recovery replays the
+// rollback as a committed net-zero transaction. Without the CLRs a
+// rolled-back transaction looks merely uncommitted, and recovery's undo
+// pass would re-apply its stale before-images AFTER redoing commits that
+// landed later — silently reverting acknowledged writes (found by the
+// crash-point harness). If we crash mid-rollback the marker is absent and
+// undo still converges: before-images of records older than the partial
+// compensations dominate, newest-first.
 func (tx *Tx) Rollback() error {
 	if tx.done {
 		return nil
@@ -175,19 +183,32 @@ func (tx *Tx) Rollback() error {
 	defer tx.releaseAll()
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		u := tx.undo[i]
-		t, _, err := tx.db.table(u.table)
+		t, id, err := tx.db.table(u.table)
+		if err != nil {
+			return err
+		}
+		cur, curExisted, err := t.Get(u.key)
 		if err != nil {
 			return err
 		}
 		if u.existed {
+			if err := tx.db.wal.AppendUndo(recPut, tx.txn, id, u.key, u.value, curExisted, cur); err != nil {
+				return err
+			}
 			if err := t.Put(u.key, u.value); err != nil {
 				return err
 			}
 		} else {
+			if err := tx.db.wal.AppendUndo(recDelete, tx.txn, id, u.key, nil, curExisted, cur); err != nil {
+				return err
+			}
 			if _, err := t.Delete(u.key); err != nil {
 				return err
 			}
 		}
+	}
+	if tx.logged {
+		return tx.db.wal.AppendCommit(tx.txn)
 	}
 	return nil
 }

@@ -1,15 +1,15 @@
 package minidb
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"io"
 	"os"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/vfs"
 )
 
 // FlushPolicy mirrors innodb_flush_log_at_trx_commit.
@@ -33,7 +33,22 @@ const (
 	recPut    = 1
 	recDelete = 2
 	recCommit = 3
+	// recPageImage is a physical redo record: a full page image captured
+	// after a structural modification (split, root growth). Logical
+	// put/delete replay cannot resurrect a half-flushed split — the keys
+	// that moved to the new sibling predate the log — so recovery first
+	// restores imaged pages byte-for-byte, then replays logically on top.
+	recPageImage = 4
+	// recRoot records a table's root page after a structural modification
+	// (Table = table id, Key = root page id). It travels in the same
+	// logged transaction as the modification's page images, so recovery
+	// sees the root move exactly when it sees the pages it points at.
+	recRoot = 5
 )
+
+// maxWALBody bounds a single record body; anything larger is treated as a
+// torn or corrupt header.
+const maxWALBody = 1 << 20
 
 // WAL is an append-only write-ahead log with a log buffer and the three
 // InnoDB durability policies. Records carry a CRC so recovery stops at the
@@ -49,16 +64,21 @@ const (
 // its own fsync; one of the uncovered followers becomes the next leader and
 // flushes the whole batch that accumulated meanwhile. Throughput therefore
 // scales with concurrent committers instead of paying one fsync each.
+//
+// A write or fsync failure is sticky: the log cannot tell how much of the
+// failed batch reached disk, so every later append or commit fails with the
+// original error rather than silently logging past a hole.
 type WAL struct {
 	mu     sync.Mutex
 	cond   *sync.Cond // signals advances of durableLSN / flushing handoff
-	file   *os.File
+	file   vfs.File
 	buf    []byte // log buffer (innodb_log_buffer_size)
 	cap    int
 	policy FlushPolicy
+	err    error // first write/sync failure; poisons all later operations
 
-	appendLSN  uint64 // bytes appended to the log buffer, cumulative
-	writtenLSN uint64 // bytes written to the OS
+	appendLSN  uint64 // bytes appended (buffer + file), cumulative from offset 0
+	writtenLSN uint64 // bytes written to the OS; also the next file write offset
 	durableLSN uint64 // bytes fsynced
 	flushing   bool   // a leader's fsync is in flight
 
@@ -80,10 +100,15 @@ type WALConfig struct {
 	TimerInterval time.Duration
 }
 
-func openWAL(path string, cfg WALConfig) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+func openWAL(fsys vfs.FS, path string, cfg WALConfig) (*WAL, error) {
+	f, err := fsys.OpenFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("minidb: opening wal %s: %w", path, err)
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return nil, err
 	}
 	if cfg.BufferBytes < 4096 {
 		cfg.BufferBytes = 4096
@@ -94,6 +119,10 @@ func openWAL(path string, cfg WALConfig) (*WAL, error) {
 		cap:    cfg.BufferBytes,
 		policy: cfg.Policy,
 	}
+	// LSNs are absolute file offsets; appends continue from the current end.
+	w.appendLSN = uint64(size)
+	w.writtenLSN = uint64(size)
+	w.durableLSN = uint64(size)
 	w.cond = sync.NewCond(&w.mu)
 	if cfg.TimerInterval > 0 && cfg.Policy != FlushEachCommit {
 		w.stop = make(chan struct{})
@@ -113,8 +142,13 @@ func (w *WAL) timerLoop(interval time.Duration) {
 			return
 		case <-t.C:
 			w.mu.Lock()
-			w.writeLocked()
-			w.syncLocked()
+			// Failures poison w.err inside the helpers; the next commit or
+			// append surfaces them instead of this goroutine dropping them.
+			if w.err == nil {
+				if err := w.writeLocked(); err == nil {
+					w.syncLocked()
+				}
+			}
 			w.mu.Unlock()
 		}
 	}
@@ -125,9 +159,47 @@ func (w *WAL) timerLoop(interval time.Duration) {
 // from concurrent transactions interleave in the log: replay groups records
 // by txn and applies a group only when *its own* commit record is on disk.
 func (w *WAL) Append(kind byte, txn, table uint32, key int64, val []byte) error {
-	rec := encodeRecord(kind, txn, table, key, val)
+	return w.AppendUndo(kind, txn, table, key, val, false, nil)
+}
+
+// AppendUndo is Append carrying the row's before-image: prev is the value
+// the key held before this record's change (prevExisted false means the key
+// was absent). Recovery uses it to roll back transactions whose commit
+// record never became durable but whose eagerly-applied pages did.
+func (w *WAL) AppendUndo(kind byte, txn, table uint32, key int64, val []byte, prevExisted bool, prev []byte) error {
+	rec := encodeRecord(kind, txn, table, key, val, prevExisted, prev)
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	_, err := w.appendLocked(rec)
+	return err
+}
+
+// AppendPageImage logs a physical redo record holding a full page image,
+// owned by txn (the structural modification's logged transaction: the set
+// of images is applied at recovery only if the set's commit marker made it
+// to disk, so a torn tail can never apply half a split).
+func (w *WAL) AppendPageImage(txn uint32, id PageID, img *[PageSize]byte) error {
+	rec := encodeRecord(recPageImage, txn, 0, int64(id), img[:], false, nil)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	_, err := w.appendLocked(rec)
+	return err
+}
+
+// AppendRoot logs a table's root page id under txn (see AppendPageImage).
+func (w *WAL) AppendRoot(txn, table uint32, root PageID) error {
+	rec := encodeRecord(recRoot, txn, table, int64(root), nil, false, nil)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
 	_, err := w.appendLocked(rec)
 	return err
 }
@@ -150,11 +222,14 @@ func (w *WAL) appendLocked(rec []byte) (uint64, error) {
 // Commit appends the transaction's commit record and applies the
 // durability policy.
 func (w *WAL) Commit(txn uint32) error {
-	rec := encodeRecord(recCommit, txn, 0, 0, nil)
+	rec := encodeRecord(recCommit, txn, 0, 0, nil, false, nil)
 	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
 	lsn, err := w.appendLocked(rec)
 	if err != nil {
-		w.mu.Unlock()
 		return err
 	}
 	switch w.policy {
@@ -163,8 +238,34 @@ func (w *WAL) Commit(txn uint32) error {
 	case WriteEachCommit:
 		err = w.writeLocked()
 	}
-	w.mu.Unlock()
 	return err
+}
+
+// AppendCommit appends a commit marker without applying the durability
+// policy. Structural-modification sets use it: their durability rides on
+// the next barrier or commit fsync, and recovery safely drops an unsynced
+// set along with the pages it described (none of which can have flushed).
+func (w *WAL) AppendCommit(txn uint32) error {
+	rec := encodeRecord(recCommit, txn, 0, 0, nil, false, nil)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	_, err := w.appendLocked(rec)
+	return err
+}
+
+// Sync makes every record appended so far durable. The pager calls this as
+// its write-ahead barrier before any page reaches disk; checkpoints call it
+// before truncating.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return w.syncToLocked(w.appendLSN)
 }
 
 // syncToLocked blocks until every log byte up to lsn is fsynced, using the
@@ -173,6 +274,9 @@ func (w *WAL) Commit(txn uint32) error {
 func (w *WAL) syncToLocked(lsn uint64) error {
 	led := false
 	for w.durableLSN < lsn {
+		if w.err != nil {
+			return w.err
+		}
 		if w.flushing {
 			// Follower: a leader's fsync is in flight; wait for its result.
 			w.cond.Wait()
@@ -182,6 +286,7 @@ func (w *WAL) syncToLocked(lsn uint64) error {
 		// released so concurrent committers batch behind us.
 		led = true
 		if err := w.writeLocked(); err != nil {
+			w.cond.Broadcast()
 			return err
 		}
 		target := w.writtenLSN
@@ -194,6 +299,9 @@ func (w *WAL) syncToLocked(lsn uint64) error {
 		if err == nil && target > w.durableLSN {
 			w.durableLSN = target
 		}
+		if err != nil && w.err == nil {
+			w.err = err
+		}
 		w.cond.Broadcast()
 		if err != nil {
 			return err
@@ -205,12 +313,17 @@ func (w *WAL) syncToLocked(lsn uint64) error {
 	return nil
 }
 
-// writeLocked drains the log buffer to the OS. Caller holds w.mu.
+// writeLocked drains the log buffer to the OS at the current append offset.
+// Caller holds w.mu.
 func (w *WAL) writeLocked() error {
+	if w.err != nil {
+		return w.err
+	}
 	if len(w.buf) == 0 {
 		return nil
 	}
-	if _, err := w.file.Write(w.buf); err != nil {
+	if _, err := w.file.WriteAt(w.buf, int64(w.writtenLSN)); err != nil {
+		w.err = err
 		return err
 	}
 	w.writes.Add(1)
@@ -221,12 +334,63 @@ func (w *WAL) writeLocked() error {
 
 // syncLocked fsyncs the log file. Caller holds w.mu.
 func (w *WAL) syncLocked() error {
-	w.syncs.Add(1)
-	err := w.file.Sync()
-	if err == nil {
-		w.durableLSN = w.writtenLSN
+	if w.err != nil {
+		return w.err
 	}
-	return err
+	w.syncs.Add(1)
+	if err := w.file.Sync(); err != nil {
+		w.err = err
+		return err
+	}
+	w.durableLSN = w.writtenLSN
+	return nil
+}
+
+// TruncateTo discards everything past off — recovery uses it to cut a torn
+// tail before new records (recovery page images) are appended behind it.
+func (w *WAL) TruncateTo(off int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if len(w.buf) != 0 {
+		return fmt.Errorf("minidb: TruncateTo with %d buffered bytes", len(w.buf))
+	}
+	if err := w.file.Truncate(off); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.file.Sync(); err != nil {
+		w.err = err
+		return err
+	}
+	w.appendLSN = uint64(off)
+	w.writtenLSN = uint64(off)
+	w.durableLSN = uint64(off)
+	return nil
+}
+
+// Reset empties the log after a checkpoint has made every logged change
+// durable in the data file. The truncation itself is fsynced so a later
+// crash cannot resurrect a half-length stale log under fresh appends.
+func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	w.buf = w.buf[:0]
+	if err := w.file.Truncate(0); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.file.Sync(); err != nil {
+		w.err = err
+		return err
+	}
+	w.appendLSN, w.writtenLSN, w.durableLSN = 0, 0, 0
+	return nil
 }
 
 // Close flushes and closes the log.
@@ -238,9 +402,11 @@ func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err := w.writeLocked(); err != nil {
+		w.file.Close()
 		return err
 	}
 	if err := w.syncLocked(); err != nil {
+		w.file.Close()
 		return err
 	}
 	return w.file.Close()
@@ -256,16 +422,23 @@ func (w *WAL) Stats() (writes, syncs uint64) {
 // approaches (N-1)/N of all commits).
 func (w *WAL) GroupedCommits() uint64 { return w.grouped.Load() }
 
-// encodeRecord layout: len uint32 | crc uint32 | kind byte | txn uint32 |
-// table uint32 | key int64 | vlen uint16 | value.
-func encodeRecord(kind byte, txn, table uint32, key int64, val []byte) []byte {
-	body := make([]byte, 1+4+4+8+2+len(val))
+// encodeRecord layout: len uint32 | crc uint32 | body, where body is
+// kind byte | txn uint32 | table uint32 | key int64 | vlen uint16 | value |
+// prevExisted byte | plen uint16 | prev.
+func encodeRecord(kind byte, txn, table uint32, key int64, val []byte, prevExisted bool, prev []byte) []byte {
+	body := make([]byte, 1+4+4+8+2+len(val)+1+2+len(prev))
 	body[0] = kind
 	binary.LittleEndian.PutUint32(body[1:], txn)
 	binary.LittleEndian.PutUint32(body[5:], table)
 	binary.LittleEndian.PutUint64(body[9:], uint64(key))
 	binary.LittleEndian.PutUint16(body[17:], uint16(len(val)))
 	copy(body[19:], val)
+	p := 19 + len(val)
+	if prevExisted {
+		body[p] = 1
+	}
+	binary.LittleEndian.PutUint16(body[p+1:], uint16(len(prev)))
+	copy(body[p+3:], prev)
 	rec := make([]byte, 8+len(body))
 	binary.LittleEndian.PutUint32(rec[0:], uint32(len(body)))
 	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(body))
@@ -280,56 +453,125 @@ type WALEntry struct {
 	Table uint32
 	Key   int64
 	Val   []byte
+	// PrevExisted/Prev carry the row's before-image for undo.
+	PrevExisted bool
+	Prev        []byte
 }
 
-// ReplayWAL streams committed records from a log file, stopping cleanly at
-// the first torn or corrupt record. Records are grouped by transaction id;
-// only groups whose commit record made it to disk are returned, ordered by
-// commit (row locks serialize conflicting transactions, so commit order is
-// the serialization order), with each group's records in append order.
+// walParse is the full decode of a log: the byte length of the valid
+// prefix, records of committed transactions flattened in commit order
+// (physical page images and root records included), logical records of
+// transactions that never committed in append order (for undo), and the
+// highest transaction id seen, so a recovering engine continues numbering
+// above every id already in the log (its own appended records must not
+// collide with stale ones if it crashes mid-recovery).
+type walParse struct {
+	validLen    int64
+	maxTxn      uint32
+	committed   []WALEntry
+	uncommitted []WALEntry
+}
+
+// parseWAL decodes raw log bytes. It never panics: any structural violation
+// — short header, oversized length, CRC mismatch, truncated body, interior
+// lengths overrunning the body — ends the valid prefix exactly there, which
+// is also how a torn tail write manifests.
+func parseWAL(data []byte) walParse {
+	var p walParse
+	pending := make(map[uint32][]WALEntry)
+	var commits []uint32 // commit markers in append order
+	committedSet := make(map[uint32]bool)
+	var seq []WALEntry // non-commit records in append order
+	off := 0
+	for {
+		if off+8 > len(data) {
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n < 19+3 || n > maxWALBody || off+8+n > len(data) {
+			break
+		}
+		body := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(body) != crc {
+			break
+		}
+		kind := body[0]
+		if kind != recPut && kind != recDelete && kind != recCommit && kind != recPageImage && kind != recRoot {
+			break
+		}
+		vlen := int(binary.LittleEndian.Uint16(body[17:]))
+		if 19+vlen+3 > len(body) {
+			break
+		}
+		q := 19 + vlen
+		plen := int(binary.LittleEndian.Uint16(body[q+1:]))
+		if q+3+plen > len(body) {
+			break
+		}
+		e := WALEntry{
+			Kind:        kind,
+			Txn:         binary.LittleEndian.Uint32(body[1:]),
+			Table:       binary.LittleEndian.Uint32(body[5:]),
+			Key:         int64(binary.LittleEndian.Uint64(body[9:])),
+			Val:         append([]byte(nil), body[19:19+vlen]...),
+			PrevExisted: body[q] != 0,
+			Prev:        append([]byte(nil), body[q+3:q+3+plen]...),
+		}
+		if kind == recPageImage && (vlen != PageSize || e.Key < 0 || e.Key > int64(invalidPage)) {
+			// Structurally valid record with an impossible image: stop,
+			// everything from here on is suspect.
+			break
+		}
+		if kind == recRoot && (e.Key < 0 || e.Key > int64(invalidPage)) {
+			break
+		}
+		off += 8 + n
+		if e.Txn > p.maxTxn {
+			p.maxTxn = e.Txn
+		}
+		if kind == recCommit {
+			commits = append(commits, e.Txn)
+			committedSet[e.Txn] = true
+		} else {
+			pending[e.Txn] = append(pending[e.Txn], e)
+			seq = append(seq, e)
+		}
+	}
+	p.validLen = int64(off)
+	// Commit order is the serialization order: flatten each committed
+	// transaction's records at its commit point.
+	for _, txn := range commits {
+		p.committed = append(p.committed, pending[txn]...)
+		delete(pending, txn)
+	}
+	// Undo wants global reverse-append order across all uncommitted
+	// transactions (with 2PL, successive writers of a row logged each
+	// other's values as before-images; unwinding newest-first lands on the
+	// oldest before-image, the last committed state). Physical records
+	// without a commit marker are simply dropped: their pages can never
+	// have reached disk — the flush barrier syncs the marker first.
+	for _, e := range seq {
+		if !committedSet[e.Txn] && (e.Kind == recPut || e.Kind == recDelete) {
+			p.uncommitted = append(p.uncommitted, e)
+		}
+	}
+	return p
+}
+
+// ReplayWAL reads committed records from a log file on the real filesystem,
+// stopping cleanly at the first torn or corrupt record. Records are grouped
+// by transaction id; only groups whose commit record made it to disk are
+// returned, ordered by commit (row locks serialize conflicting
+// transactions, so commit order is the serialization order), with each
+// group's records in append order.
 func ReplayWAL(path string) ([]WALEntry, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
 		}
 		return nil, err
 	}
-	defer f.Close()
-	r := bufio.NewReader(f)
-	pending := make(map[uint32][]WALEntry)
-	var committed []WALEntry
-	for {
-		var hdr [8]byte
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			break // EOF or torn header: stop
-		}
-		n := binary.LittleEndian.Uint32(hdr[0:])
-		crc := binary.LittleEndian.Uint32(hdr[4:])
-		if n == 0 || n > 1<<20 {
-			break
-		}
-		body := make([]byte, n)
-		if _, err := io.ReadFull(r, body); err != nil {
-			break
-		}
-		if crc32.ChecksumIEEE(body) != crc {
-			break
-		}
-		e := WALEntry{
-			Kind:  body[0],
-			Txn:   binary.LittleEndian.Uint32(body[1:]),
-			Table: binary.LittleEndian.Uint32(body[5:]),
-			Key:   int64(binary.LittleEndian.Uint64(body[9:])),
-		}
-		vlen := int(binary.LittleEndian.Uint16(body[17:]))
-		e.Val = append([]byte(nil), body[19:19+vlen]...)
-		if e.Kind == recCommit {
-			committed = append(committed, pending[e.Txn]...)
-			delete(pending, e.Txn)
-		} else {
-			pending[e.Txn] = append(pending[e.Txn], e)
-		}
-	}
-	return committed, nil
+	return parseWAL(data).committed, nil
 }

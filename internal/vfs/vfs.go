@@ -1,0 +1,74 @@
+// Package vfs is the filesystem seam under the minidb storage engine. The
+// engine performs every durable operation — page I/O, log appends, fsyncs,
+// catalog renames — through the FS/File interfaces, so the real os.File
+// backend (OS) is one implementation and the deterministic in-memory
+// fault-injecting backend (FaultFS) is another. The fault backend is what
+// the crash-consistency harness drives: it records every mutating syscall
+// and can materialize the durable state the disk would hold if the process
+// died at any syscall boundary, including torn-write variants.
+package vfs
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the per-file I/O surface the engine uses. Positioned reads and
+// writes, fsync, truncate — deliberately the syscalls whose ordering decides
+// crash consistency.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+	Size() (int64, error)
+}
+
+// FS opens files and performs the directory-level operations the engine
+// relies on (atomic rename for the catalog, remove for log truncation).
+type FS interface {
+	// OpenFile opens path read-write, creating it if absent.
+	OpenFile(path string) (File, error)
+	// ReadFile returns the whole content of path.
+	ReadFile(path string) ([]byte, error)
+	// Remove deletes path. Removing an absent path is an error satisfying
+	// os.IsNotExist.
+	Remove(path string) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// MkdirAll ensures the directory exists.
+	MkdirAll(path string) error
+}
+
+// OS returns the real-filesystem backend.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (osFS) OpenFile(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) MkdirAll(path string) error { return os.MkdirAll(filepath.Clean(path), 0o755) }

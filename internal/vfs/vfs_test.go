@@ -1,0 +1,225 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"testing"
+)
+
+func TestMemFileReadWriteSemantics(t *testing.T) {
+	fs := NewFaultFS(FaultConfig{})
+	f, err := fs.OpenFile("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello"), 3); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := f.Size(); sz != 8 {
+		t.Fatalf("size = %d, want 8 (write extends with zeros)", sz)
+	}
+	buf := make([]byte, 8)
+	if n, err := f.ReadAt(buf, 0); n != 8 || err != nil {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, []byte("\x00\x00\x00hello")) {
+		t.Fatalf("content = %q", buf)
+	}
+	// Partial read past EOF mirrors os.File: n < len(p) with io.EOF.
+	big := make([]byte, 16)
+	if n, err := f.ReadAt(big, 4); n != 4 || err != io.EOF {
+		t.Fatalf("short ReadAt = %d, %v; want 4, EOF", n, err)
+	}
+	if _, err := f.ReadAt(big, 100); err != io.EOF {
+		t.Fatalf("ReadAt past EOF = %v, want EOF", err)
+	}
+	if err := f.Truncate(2); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := f.Size(); sz != 2 {
+		t.Fatalf("size after truncate = %d", sz)
+	}
+}
+
+func TestFaultFSNotExistErrors(t *testing.T) {
+	fs := NewFaultFS(FaultConfig{})
+	if _, err := fs.ReadFile("missing"); !os.IsNotExist(err) {
+		t.Fatalf("ReadFile missing = %v, want IsNotExist", err)
+	}
+	if err := fs.Remove("missing"); !os.IsNotExist(err) {
+		t.Fatalf("Remove missing = %v, want IsNotExist", err)
+	}
+	if err := fs.Rename("missing", "x"); !os.IsNotExist(err) {
+		t.Fatalf("Rename missing = %v, want IsNotExist", err)
+	}
+}
+
+func TestScheduledCrashFailsEveryLaterOp(t *testing.T) {
+	fs := NewFaultFS(FaultConfig{CrashAfterOps: 2})
+	f, _ := fs.OpenFile("a")
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("y"), 1); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("3rd op = %v, want ErrCrashed", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("fs not marked crashed")
+	}
+	// Everything fails after the crash, reads included.
+	if _, err := f.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read after crash = %v", err)
+	}
+	if _, err := fs.OpenFile("b"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("open after crash = %v", err)
+	}
+}
+
+func TestCrashImageHonorsSyncBarrier(t *testing.T) {
+	fs := NewFaultFS(FaultConfig{})
+	f, _ := fs.OpenFile("a")
+	f.WriteAt([]byte("durable!"), 0) // op 1
+	f.Sync()                        // op 2
+	f.WriteAt([]byte("gone"), 8)    // op 3 (unsynced)
+
+	img := fs.CrashImage(3, DropUnsynced, 1)
+	if got := string(img["a"]); got != "durable!" {
+		t.Fatalf("DropUnsynced image = %q, want synced prefix only", got)
+	}
+	// Before the sync, nothing survives in strict mode.
+	img = fs.CrashImage(1, DropUnsynced, 1)
+	if got := string(img["a"]); got != "" {
+		t.Fatalf("image before sync = %q, want empty", got)
+	}
+	// At the boundary covering the sync, data is durable regardless of mode.
+	img = fs.CrashImage(2, TornWrites, 99)
+	if got := string(img["a"]); got != "durable!" {
+		t.Fatalf("torn image after sync = %q", got)
+	}
+}
+
+func TestCrashImageTornWritesDeterministic(t *testing.T) {
+	build := func() *FaultFS {
+		fs := NewFaultFS(FaultConfig{})
+		f, _ := fs.OpenFile("a")
+		payload := make([]byte, 4096)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		f.WriteAt(payload, 0)
+		f.Sync()
+		for i := 0; i < 8; i++ {
+			f.WriteAt(bytes.Repeat([]byte{byte('A' + i)}, 700), int64(i*512))
+		}
+		return fs
+	}
+	a := build().CrashImage(10, TornWrites, 42)
+	b := build().CrashImage(10, TornWrites, 42)
+	if !bytes.Equal(a["a"], b["a"]) {
+		t.Fatal("same seed produced different torn images")
+	}
+	c := build().CrashImage(10, TornWrites, 43)
+	if bytes.Equal(a["a"], c["a"]) {
+		t.Fatal("different seeds produced identical torn images (suspicious)")
+	}
+	// The synced 4096-byte base must be intact wherever no unsynced write
+	// covers it; unsynced regions hold either old or new bytes, never
+	// arbitrary garbage.
+	img := a["a"]
+	if len(img) < 4096 {
+		t.Fatalf("torn image shrank below synced size: %d", len(img))
+	}
+	for i := 0; i < 4096; i++ {
+		old := byte(i)
+		ok := img[i] == old
+		// Write w covers [w*512, w*512+700): the byte may hold any covering
+		// writer's value (the 700-byte writes overlap into the next sector).
+		for w := 0; w < 8 && !ok; w++ {
+			if i >= w*512 && i < w*512+700 && img[i] == byte('A'+w) {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("byte %d = %q: neither old %q nor a written value", i, img[i], old)
+		}
+	}
+}
+
+func TestCrashImageRenameAtomic(t *testing.T) {
+	fs := NewFaultFS(FaultConfig{})
+	f, _ := fs.OpenFile("cat.tmp")
+	f.WriteAt([]byte("v2"), 0)
+	f.Sync()
+	old, _ := fs.OpenFile("cat")
+	old.WriteAt([]byte("v1"), 0)
+	old.Sync()
+	fs.Rename("cat.tmp", "cat")
+
+	// Any boundary shows either the old or the new catalog, never a mix.
+	for n := int64(0); n <= fs.Ops(); n++ {
+		img := fs.CrashImage(n, TornWrites, int64(n))
+		got := string(img["cat"])
+		if got != "" && got != "v1" && got != "v2" {
+			t.Fatalf("boundary %d: catalog = %q", n, got)
+		}
+	}
+	final := fs.CrashImage(fs.Ops(), DropUnsynced, 0)
+	if string(final["cat"]) != "v2" {
+		t.Fatalf("post-rename catalog = %q, want v2", final["cat"])
+	}
+	if _, ok := final["cat.tmp"]; ok {
+		t.Fatal("tmp file survived rename")
+	}
+}
+
+func TestInjectedErrors(t *testing.T) {
+	fs := NewFaultFS(FaultConfig{})
+	f, _ := fs.OpenFile("a")
+	fs.SetErr(OpSync, 2)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("1st sync = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("2nd sync = %v, want ErrInjected", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("3rd sync = %v (injection should be one-shot)", err)
+	}
+	fs.SetErr(OpWrite, -1)
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write with fail-all = %v", err)
+	}
+	fs.SetErr(OpWrite, 0)
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatalf("write after clearing = %v", err)
+	}
+}
+
+func TestFromImageRoundTrip(t *testing.T) {
+	fs := NewFaultFS(FaultConfig{})
+	f, _ := fs.OpenFile("a")
+	f.WriteAt([]byte("state"), 0)
+	f.Sync()
+	img := fs.CrashImage(fs.Ops(), DropUnsynced, 0)
+
+	fs2 := NewFaultFSFromImage(img, FaultConfig{})
+	data, err := fs2.ReadFile("a")
+	if err != nil || string(data) != "state" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	// The new fs traces independently from its own baseline.
+	if fs2.Ops() != 0 {
+		t.Fatalf("fresh fs has %d ops", fs2.Ops())
+	}
+	f2, _ := fs2.OpenFile("a")
+	f2.WriteAt([]byte("X"), 0)
+	img2 := fs2.CrashImage(0, DropUnsynced, 0)
+	if string(img2["a"]) != "state" {
+		t.Fatalf("baseline image = %q, want original state", img2["a"])
+	}
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# verify.sh — the repository's full verification gate.
+#
+# Runs, in order:
+#   1. go build ./...
+#   2. go vet ./...
+#   3. go test ./...                 (includes the exhaustive crash-point
+#                                     harness, golden-trace and error-path
+#                                     regression suites)
+#   4. go test -race ./...           (short mode: the crash harness strides
+#                                     its boundary enumeration under -short)
+#   5. a fuzz smoke pass: every Fuzz target runs for FUZZTIME (default 30s)
+#
+# Environment:
+#   FUZZTIME=30s   per-target fuzz budget; set FUZZTIME=0 to skip fuzzing
+#
+# Any failure aborts with a nonzero exit.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-30s}"
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race -short ./..."
+go test -race -short ./...
+
+if [ "$FUZZTIME" = "0" ]; then
+    echo "==> fuzz smoke skipped (FUZZTIME=0)"
+    exit 0
+fi
+
+# Fuzz targets must run one at a time (go test allows a single -fuzz
+# pattern per package invocation).
+fuzz() {
+    pkg="$1"
+    target="$2"
+    echo "==> fuzz $target ($pkg, $FUZZTIME)"
+    go test "$pkg" -run '^$' -fuzz "^$target\$" -fuzztime "$FUZZTIME"
+}
+
+fuzz ./internal/minidb FuzzExecutorStatements
+fuzz ./internal/minidb FuzzBTreeOperations
+fuzz ./internal/minidb FuzzWALReplay
+fuzz ./internal/replay FuzzExtractTemplate
+
+echo "==> verify OK"
