@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -24,15 +25,29 @@ import (
 
 func main() {
 	var (
-		id     = flag.String("id", "", "experiment id (see -list)")
-		all    = flag.Bool("all", false, "run every experiment")
-		list   = flag.Bool("list", false, "list experiment ids")
-		full   = flag.Bool("full", false, "use the paper's full protocol (200 iterations, 3 runs, 34-task repository)")
-		iters  = flag.Int("iters", 0, "override tuning iterations per session")
-		seed   = flag.Int64("seed", 1, "random seed")
-		csvDir = flag.String("csv", "", "also write each experiment's numeric series as CSV into this directory")
+		id        = flag.String("id", "", "experiment id (see -list)")
+		all       = flag.Bool("all", false, "run every experiment")
+		list      = flag.Bool("list", false, "list experiment ids")
+		full      = flag.Bool("full", false, "use the paper's full protocol (200 iterations, 3 runs, 34-task repository)")
+		iters     = flag.Int("iters", 0, "override tuning iterations per session")
+		seed      = flag.Int64("seed", 1, "random seed")
+		csvDir    = flag.String("csv", "", "also write each experiment's numeric series as CSV into this directory")
+		tracePath = flag.String("trace", "", "write a JSONL telemetry trace of every tuning session to this file")
+		debugAddr = flag.String("debug-addr", "", "serve expvar/metrics/pprof on this address (e.g. localhost:6060) while experiments run")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "restune-bench: unexpected arguments: %s\n", strings.Join(flag.Args(), " "))
+		os.Exit(2)
+	}
+	if *iters < 0 {
+		fmt.Fprintf(os.Stderr, "restune-bench: -iters must not be negative (got %d)\n", *iters)
+		os.Exit(2)
+	}
+	if *all && *id != "" {
+		fmt.Fprintln(os.Stderr, "restune-bench: -all and -id are mutually exclusive")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, eid := range restune.ExperimentIDs() {
@@ -50,6 +65,40 @@ func main() {
 		p.Iters = *iters
 	}
 
+	// Telemetry: every session in every experiment feeds the same recorder,
+	// so the debug endpoint and trace aggregate across the run.
+	var trace *restune.TraceRecorder
+	if *tracePath != "" {
+		t, err := restune.NewTraceFile(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "restune-bench:", err)
+			os.Exit(1)
+		}
+		trace = t
+	} else if *debugAddr != "" {
+		trace = restune.NewTraceRecorder(io.Discard)
+	}
+	if trace != nil {
+		p.Recorder = trace
+	}
+	// die closes the trace (flushing what was recorded so far) before
+	// exiting, so a failed run still leaves a usable artifact.
+	die := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "restune-bench: "+format+"\n", args...)
+		if trace != nil {
+			trace.Close()
+		}
+		os.Exit(1)
+	}
+	if *debugAddr != "" {
+		bound, shutdown, err := restune.ServeDebug(*debugAddr, trace)
+		if err != nil {
+			die("starting debug server: %v", err)
+		}
+		defer shutdown()
+		fmt.Printf("debug endpoint: http://%s/debug/vars (metrics at /debug/metrics, pprof at /debug/pprof/)\n", bound)
+	}
+
 	ids := []string{*id}
 	if *all {
 		ids = restune.ExperimentIDs()
@@ -62,19 +111,23 @@ func main() {
 		start := time.Now()
 		rep, err := restune.RunExperiment(eid, p)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "restune-bench: %s: %v\n", eid, err)
-			os.Exit(1)
+			die("%s: %v", eid, err)
 		}
 		fmt.Print(rep.String())
 		if *csvDir != "" {
 			path, err := writeCSV(*csvDir, rep)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "restune-bench: writing CSV: %v\n", err)
-				os.Exit(1)
+				die("writing CSV: %v", err)
 			}
 			fmt.Printf("(series written to %s)\n", path)
 		}
 		fmt.Printf("(%s completed in %s)\n\n", eid, time.Since(start).Round(time.Millisecond))
+	}
+	if trace != nil {
+		if err := trace.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "restune-bench: writing trace %s: %v\n", *tracePath, err)
+			os.Exit(1)
+		}
 	}
 }
 

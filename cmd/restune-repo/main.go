@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/dbsim"
 	"repro/internal/experiments"
@@ -32,6 +33,18 @@ func main() {
 		inspect = flag.String("inspect", "", "summarize an existing repository instead of building")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "restune-repo: unexpected arguments: %s\n", strings.Join(flag.Args(), " "))
+		os.Exit(2)
+	}
+	if *iters <= 0 {
+		fmt.Fprintf(os.Stderr, "restune-repo: -iters must be positive (got %d)\n", *iters)
+		os.Exit(2)
+	}
+	if *limit < 0 {
+		fmt.Fprintf(os.Stderr, "restune-repo: -limit must not be negative (got %d)\n", *limit)
+		os.Exit(2)
+	}
 	if err := run(*out, *iters, *limit, *seed, *space, *inspect); err != nil {
 		fmt.Fprintln(os.Stderr, "restune-repo:", err)
 		os.Exit(1)

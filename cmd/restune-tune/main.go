@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strings"
@@ -33,15 +34,25 @@ func main() {
 		converge     = flag.Bool("converge", false, "stop early under the paper's 0.5%/10-iteration convergence rule")
 		verbose      = flag.Bool("v", false, "print every iteration")
 		engine       = flag.Bool("engine", false, "measure against the real minidb storage engine instead of the simulator (slower, real I/O; engine-relevant knobs only)")
+		tracePath    = flag.String("trace", "", "write a JSONL telemetry trace of the session to this file")
+		debugAddr    = flag.String("debug-addr", "", "serve expvar/metrics/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	)
 	flag.Parse()
-	if err := run(*workloadName, *instance, *resource, *knobSet, *method, *iters, *seed, *repoPath, *converge, *verbose, *engine); err != nil {
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "restune-tune: unexpected arguments: %s\n", strings.Join(flag.Args(), " "))
+		os.Exit(2)
+	}
+	if *iters <= 0 {
+		fmt.Fprintf(os.Stderr, "restune-tune: -iters must be positive (got %d)\n", *iters)
+		os.Exit(2)
+	}
+	if err := run(*workloadName, *instance, *resource, *knobSet, *method, *iters, *seed, *repoPath, *tracePath, *debugAddr, *converge, *verbose, *engine); err != nil {
 		fmt.Fprintln(os.Stderr, "restune-tune:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workloadName, instance, resource, knobSet, method string, iters int, seed int64, repoPath string, converge, verbose, engine bool) error {
+func run(workloadName, instance, resource, knobSet, method string, iters int, seed int64, repoPath, tracePath, debugAddr string, converge, verbose, engine bool) (retErr error) {
 	w, err := pickWorkload(workloadName)
 	if err != nil {
 		return err
@@ -53,6 +64,38 @@ func run(workloadName, instance, resource, knobSet, method string, iters int, se
 	space, err := pickSpace(knobSet, res)
 	if err != nil {
 		return err
+	}
+
+	// Telemetry: a live JSONL recorder when -trace or -debug-addr asks for
+	// one, the no-op recorder otherwise. Decisions never depend on it.
+	rec := restune.NopRecorder()
+	var trace *restune.TraceRecorder
+	if tracePath != "" {
+		trace, err = restune.NewTraceFile(tracePath)
+		if err != nil {
+			return err
+		}
+		rec = trace
+	} else if debugAddr != "" {
+		trace = restune.NewTraceRecorder(io.Discard)
+		rec = trace
+	}
+	if trace != nil {
+		// A trace that silently lost events is worse than no trace: surface
+		// any sink error as the command's own failure.
+		defer func() {
+			if err := trace.Close(); err != nil && retErr == nil {
+				retErr = fmt.Errorf("writing trace %s: %w", tracePath, err)
+			}
+		}()
+	}
+	if debugAddr != "" {
+		bound, shutdown, err := restune.ServeDebug(debugAddr, trace)
+		if err != nil {
+			return fmt.Errorf("starting debug server: %w", err)
+		}
+		defer shutdown()
+		fmt.Printf("debug endpoint: http://%s/debug/vars (metrics at /debug/metrics, pprof at /debug/pprof/)\n", bound)
 	}
 
 	var ev restune.Evaluator
@@ -67,6 +110,7 @@ func run(workloadName, instance, resource, knobSet, method string, iters int, se
 		defer os.RemoveAll(dir)
 		eng := restune.NewEngineEvaluator(dir, space, res, w.WithRequestRate(1200), seed)
 		eng.Rows = 1500
+		eng.Recorder = rec
 		ev = eng
 		fmt.Println("engine mode: measurements come from real replays against minidb")
 	} else {
@@ -78,7 +122,7 @@ func run(workloadName, instance, resource, knobSet, method string, iters int, se
 		ev = restune.NewEvaluator(sim, space, res)
 	}
 
-	tuner, err := pickTuner(method, seed, repoPath, space, w, converge, engine)
+	tuner, err := pickTuner(method, seed, repoPath, space, w, converge, engine, rec)
 	if err != nil {
 		return err
 	}
@@ -182,10 +226,11 @@ func pickSpace(name string, res restune.Resource) (*restune.Space, error) {
 	return nil, fmt.Errorf("unknown knob set %q", name)
 }
 
-func pickTuner(method string, seed int64, repoPath string, space *restune.Space, w restune.Workload, converge, engine bool) (restune.Tuner, error) {
+func pickTuner(method string, seed int64, repoPath string, space *restune.Space, w restune.Workload, converge, engine bool, rec restune.Recorder) (restune.Tuner, error) {
 	switch strings.ToLower(method) {
 	case "restune":
 		cfg := restune.DefaultConfig(seed)
+		cfg.Recorder = rec
 		if converge {
 			cfg.ConvergenceWindow = 10
 		}

@@ -3,6 +3,7 @@ package bo
 import (
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
 )
@@ -23,6 +24,9 @@ type OptimizerConfig struct {
 	LocalSteps int
 	// StepScale is the initial perturbation magnitude (fraction of range).
 	StepScale float64
+	// Recorder receives a per-optimization span (nil records nothing).
+	// Telemetry only — the recommendation never depends on it.
+	Recorder obs.Recorder
 }
 
 // DefaultOptimizerConfig returns settings balancing quality and cost for the
@@ -44,6 +48,15 @@ func DefaultOptimizerConfig() OptimizerConfig {
 // first-index tie-breaks. The recommendation is therefore bit-identical at
 // any GOMAXPROCS.
 func OptimizeAcq(f AcqFunc, dim int, cfg OptimizerConfig, incumbents [][]float64, r *rand.Rand) []float64 {
+	rec := obs.OrNop(cfg.Recorder)
+	if rec.Enabled() {
+		sp := rec.Span("bo.optimize_acq",
+			obs.Int("dim", dim),
+			obs.Int("candidates", cfg.RandomCandidates),
+			obs.Int("incumbents", len(incumbents)),
+			obs.Int("starts", cfg.LocalStarts))
+		defer sp.End()
+	}
 	xs := make([][]float64, 0, cfg.RandomCandidates+len(incumbents))
 	for i := 0; i < cfg.RandomCandidates; i++ {
 		x := make([]float64, dim)

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/gp"
+	"repro/internal/obs"
 )
 
 // TriGP is the paper's multi-output surrogate for one tuning task: three
@@ -17,6 +18,7 @@ type TriGP struct {
 	dim  int
 	n    int
 	seed int64
+	rec  obs.Recorder // telemetry only; nil means Nop
 }
 
 // NewTriGP returns an unfitted surrogate for a dim-dimensional space. The
@@ -46,10 +48,17 @@ func (t *TriGP) FitWithBudget(h History, candidates int) error {
 	if len(h) == 0 {
 		return fmt.Errorf("bo: empty history")
 	}
+	rec := obs.OrNop(t.rec)
+	if rec.Enabled() {
+		sp := rec.Span("bo.trigp.fit",
+			obs.Int("n", len(h)), obs.Int("budget", candidates))
+		defer sp.End()
+	}
 	t.n = len(h)
 	x := h.Thetas()
 	rng := rand.New(rand.NewSource(t.seed + int64(len(h))))
 	cfg := gp.DefaultFitConfig()
+	cfg.Recorder = rec
 	if candidates > 0 {
 		cfg.Candidates = candidates
 	}
@@ -63,6 +72,10 @@ func (t *TriGP) FitWithBudget(h History, candidates int) error {
 	}
 	return nil
 }
+
+// SetRecorder attaches a telemetry recorder to subsequent fits. The
+// recorder never influences fitted models — it only receives spans.
+func (t *TriGP) SetRecorder(rec obs.Recorder) { t.rec = rec }
 
 // Predict implements Surrogate in standardized scale.
 func (t *TriGP) Predict(m Metric, x []float64) (mu, variance float64) {

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"testing"
 
 	"repro/internal/bo"
 	"repro/internal/meta"
+	"repro/internal/obs"
 )
 
 // sessionTrace flattens the parts of a session result that every stochastic
@@ -27,7 +29,9 @@ func sessionTrace(res *Result) string {
 // hyperparameter search, parallel acquisition optimization, dynamic RGPE
 // weights, dilution guard — must produce a bit-identical iteration trace at
 // GOMAXPROCS=1 and at an oversubscribed worker count, and across repeated
-// runs at the same setting.
+// runs at the same setting. Every run carries a live (non-Nop) recorder,
+// pinning the DESIGN.md §8 contract that telemetry is write-only: recording
+// spans and metrics must not perturb a single tuning decision.
 func TestSessionDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	run := func(procs int) string {
 		old := runtime.GOMAXPROCS(procs)
@@ -53,9 +57,14 @@ func TestSessionDeterministicAcrossGOMAXPROCS(t *testing.T) {
 		cfg.TargetMetaFeature = []float64{0.25, 0.75}
 		cfg.DynamicSamples = 40
 		cfg.DilutionGuard = true
+		rec := obs.NewJSONL(io.Discard)
+		cfg.Recorder = rec
 		res, err := New(cfg).Run(twitterEvaluator(7), 9)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatalf("telemetry sink: %v", err)
 		}
 		return sessionTrace(res)
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dbsim"
 	"repro/internal/lhs"
 	"repro/internal/meta"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -68,6 +69,13 @@ type Config struct {
 	ConvergenceEps    float64
 	// Acq tunes acquisition optimization.
 	Acq bo.OptimizerConfig
+	// Recorder receives the session's telemetry (per-iteration spans with
+	// phase, chosen θ, CEI value, ensemble weights, stage timings and the
+	// feasibility verdict, plus spans from the GP/BO/meta layers underneath).
+	// Nil records nothing. The recorder is strictly write-only: no tuning
+	// decision ever reads it, so traces stay bit-identical with or without a
+	// live recorder attached.
+	Recorder obs.Recorder
 }
 
 // WeightSchema selects how ensemble weights are assigned over a session.
@@ -159,6 +167,16 @@ func (t *ResTune) Run(ev Evaluator, iters int) (*Result, error) {
 	r := rng.Derive(cfg.Seed, "restune:"+t.Name())
 	useMeta := len(cfg.Base) > 0
 
+	// Telemetry is injected, never global; Nop turns all of it off. The
+	// per-layer configs below carry the same recorder downward.
+	rec := obs.OrNop(cfg.Recorder)
+	cfg.Acq.Recorder = rec
+	iterGauge := rec.Gauge("core.iterations")
+	bestGauge := rec.Gauge("core.best_feasible_res")
+	sessionSpan := rec.Span("core.session",
+		obs.String("method", t.Name()), obs.Int("budget", iters))
+	defer sessionSpan.End()
+
 	// Iteration 0: measure the DBA default; its throughput and latency
 	// become the SLA thresholds λ_tps, λ_lat (Section 3).
 	defaultNative := ev.DefaultNative()
@@ -182,6 +200,7 @@ func (t *ResTune) Run(ev Evaluator, iters int) (*Result, error) {
 	var tri *bo.TriGP
 
 	for iter := 1; iter <= iters; iter++ {
+		iterSpan := rec.Span("core.iteration")
 		it := Iteration{Index: iter}
 
 		// --- Meta-data processing: scale unification of the target track
@@ -203,6 +222,7 @@ func (t *ResTune) Run(ev Evaluator, iters int) (*Result, error) {
 		if !lhsPhase {
 			if tri == nil {
 				tri = bo.NewTriGP(dim, cfg.Seed)
+				tri.SetRecorder(rec)
 			}
 			// Warm-started hyperparameter search: full budget every
 			// RefitEvery-th iteration, a small budget otherwise (the
@@ -233,7 +253,7 @@ func (t *ResTune) Run(ev Evaluator, iters int) (*Result, error) {
 				it.Phase = "static"
 			} else {
 				w = meta.DynamicWeightsOpts(cfg.Base, target,
-					meta.DynamicOptions{Samples: cfg.DynamicSamples, DilutionGuard: cfg.DilutionGuard},
+					meta.DynamicOptions{Samples: cfg.DynamicSamples, DilutionGuard: cfg.DilutionGuard, Recorder: rec},
 					rng.Derive(cfg.Seed, fmt.Sprintf("dyn:%d", iter)))
 				it.Phase = "dynamic"
 			}
@@ -261,6 +281,7 @@ func (t *ResTune) Run(ev Evaluator, iters int) (*Result, error) {
 		// --- Knobs recommendation: optimize the constrained acquisition.
 		tRec := time.Now()
 		var theta []float64
+		var acqFn bo.AcqFunc
 		if lhsPhase {
 			theta = lhsDesign[iter-1]
 			it.Phase = "lhs"
@@ -268,6 +289,7 @@ func (t *ResTune) Run(ev Evaluator, iters int) (*Result, error) {
 			acq := func(x []float64) float64 {
 				return bo.CEI(surrogate, x, bestVal, cons)
 			}
+			acqFn = acq
 			incumbents := incumbentSet(h, res.SLA, defaultTheta)
 			theta = bo.OptimizeAcq(acq, dim, cfg.Acq, incumbents, r)
 		}
@@ -285,6 +307,37 @@ func (t *ResTune) Run(ev Evaluator, iters int) (*Result, error) {
 		it.Feasible = res.SLA.Feasible(it.Observation)
 		res.Iterations = append(res.Iterations, it)
 		h = append(h, it.Observation)
+
+		if rec.Enabled() {
+			attrs := []obs.Attr{
+				obs.Int("iter", iter),
+				obs.String("phase", it.Phase),
+				obs.Floats("theta", theta),
+				obs.Bool("feasible", it.Feasible),
+				obs.Float("res", it.Observation.Res),
+				obs.Float("tps", it.Observation.Tps),
+				obs.Float("lat", it.Observation.Lat),
+				obs.Float("model_update_ms", float64(it.ModelUpdate.Microseconds())/1e3),
+				obs.Float("recommend_ms", float64(it.Recommend.Microseconds())/1e3),
+				obs.Float("replay_ms", float64(it.Replay.Microseconds())/1e3),
+			}
+			if acqFn != nil {
+				// One extra pure acquisition evaluation at the chosen point.
+				// No RNG is consumed, so the tuning trace is unchanged.
+				if v := acqFn(theta); !math.IsNaN(v) && !math.IsInf(v, 0) {
+					attrs = append(attrs, obs.Float("cei", v))
+				}
+			}
+			if len(it.Weights) > 0 {
+				attrs = append(attrs, obs.Floats("weights", it.Weights))
+			}
+			iterSpan.SetAttrs(attrs...)
+			iterGauge.Set(float64(iter))
+			if best, ok := h.BestFeasible(res.SLA); ok {
+				bestGauge.Set(best.Res)
+			}
+		}
+		iterSpan.End()
 
 		if cfg.TargetImprovementPct > 0 && res.ImprovementPct() >= cfg.TargetImprovementPct {
 			res.Converged = true

@@ -17,6 +17,7 @@ import (
 	"repro/internal/dbsim"
 	"repro/internal/knobs"
 	"repro/internal/meta"
+	"repro/internal/obs"
 	"repro/internal/repo"
 	"repro/internal/rng"
 	"repro/internal/workload"
@@ -41,6 +42,11 @@ type Params struct {
 	Runs int
 	// Acq configures acquisition optimization for every BO method.
 	Acq bo.OptimizerConfig
+	// Recorder receives telemetry from the ResTune sessions an experiment
+	// runs (nil records nothing). Telemetry only — results never depend on
+	// it. Sessions from different experiments and runs share the recorder,
+	// so consumers should treat the stream as an aggregate.
+	Recorder obs.Recorder
 }
 
 // Quick returns parameters for a fast, structurally complete run.
@@ -289,6 +295,7 @@ func buildRepository(space *knobs.Space, resource dbsim.ResourceKind, p Params, 
 		cfg := core.DefaultConfig(j.seed)
 		cfg.Acq = p.Acq
 		cfg.Name = "repo-build"
+		cfg.Recorder = p.Recorder
 		res, err := core.New(cfg).Run(ev, p.RepoIters)
 		if err != nil {
 			return repo.TaskRecord{}, fmt.Errorf("experiments: building repository task %s/%s: %w", w.Name, j.hwName, err)
@@ -361,6 +368,7 @@ func restuneFor(p Params, r *repo.Repository, space *knobs.Space, target workloa
 	cfg.Acq = p.Acq
 	cfg.Base = base
 	cfg.TargetMetaFeature = mf
+	cfg.Recorder = p.Recorder
 	return core.New(cfg), nil
 }
 
@@ -369,6 +377,7 @@ func scratchTuner(p Params, seed int64) core.Tuner {
 	cfg := core.DefaultConfig(seed)
 	cfg.Acq = p.Acq
 	cfg.Name = "ResTune-w/o-ML"
+	cfg.Recorder = p.Recorder
 	return core.New(cfg)
 }
 

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -17,6 +18,9 @@ type FitConfig struct {
 	VarianceMin, VarianceMax float64
 	// NoiseMin/Max bound the noise-variance search.
 	NoiseMin, NoiseMax float64
+	// Recorder receives a per-search span (nil records nothing). Telemetry
+	// only — the search result never depends on it.
+	Recorder obs.Recorder
 }
 
 // DefaultFitConfig returns search bounds appropriate for normalized inputs
@@ -43,6 +47,12 @@ func DefaultFitConfig() FitConfig {
 func FitHyperparams(g *GP, cfg FitConfig, rng *rand.Rand) float64 {
 	if g.N() == 0 {
 		return math.Inf(-1)
+	}
+	rec := obs.OrNop(cfg.Recorder)
+	if rec.Enabled() {
+		sp := rec.Span("gp.fit_hyperparams",
+			obs.Int("n", g.N()), obs.Int("candidates", cfg.Candidates))
+		defer sp.End()
 	}
 	logU := func(lo, hi float64) float64 {
 		return math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo)))

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/bo"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
 )
@@ -70,6 +71,9 @@ type DynamicOptions struct {
 	// learner's own loss samples is discarded outright, preventing many
 	// weakly-wrong learners from collectively diluting the target.
 	DilutionGuard bool
+	// Recorder receives a per-assignment span (nil records nothing).
+	// Telemetry only — the weights never depend on it.
+	Recorder obs.Recorder
 }
 
 // DynamicWeights implements the RGPE-style weight assignment of Section
@@ -108,6 +112,13 @@ func DynamicWeightsOpts(base []*BaseLearner, target *BaseLearner, opts DynamicOp
 	samples := opts.Samples
 	if samples <= 0 {
 		samples = 100
+	}
+	rec := obs.OrNop(opts.Recorder)
+	var sp obs.Span
+	if rec.Enabled() {
+		sp = rec.Span("meta.dynamic_weights",
+			obs.Int("learners", nL), obs.Int("target_obs", nt),
+			obs.Int("samples", samples))
 	}
 
 	// Ground-truth orderings use the raw target observations (ranking is
@@ -211,6 +222,16 @@ func DynamicWeightsOpts(base []*BaseLearner, target *BaseLearner, opts DynamicOp
 	}
 	for i := range w {
 		w[i] = wins[i] / float64(samples)
+	}
+	if sp != nil {
+		nExcluded := 0
+		for _, x := range excluded {
+			if x {
+				nExcluded++
+			}
+		}
+		sp.SetAttrs(obs.Int("excluded", nExcluded), obs.Floats("weights", w))
+		sp.End()
 	}
 	return w
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // BTree is a B+tree over buffer-pool pages: int64 keys, bounded []byte
@@ -41,6 +43,9 @@ type BTree struct {
 	// changed root) for a completed structural modification. The DB wires
 	// it to WAL page-image records.
 	onStructural func(pages []*page, root PageID) error
+	// latchWaits, when set, counts contended exclusive tree-latch
+	// escalations (split path). Nil — the default — keeps the plain Lock.
+	latchWaits obs.Counter
 }
 
 const (
@@ -288,7 +293,12 @@ func (t *BTree) Put(key int64, val []byte) error {
 	if done || err != nil {
 		return err
 	}
-	t.mu.Lock()
+	if t.latchWaits == nil {
+		t.mu.Lock()
+	} else if !t.mu.TryLock() {
+		t.latchWaits.Add(1)
+		t.mu.Lock()
+	}
 	defer t.mu.Unlock()
 	defer t.releaseSMO()
 	split, err := t.insert(t.root, key, val, 0)

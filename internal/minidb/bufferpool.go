@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // BufferPool caches pages in memory, split into N independent instances the
@@ -45,6 +47,10 @@ type poolInstance struct {
 	oldPct     int // innodb_old_blocks_pct
 
 	hits, misses, flushes, evictions atomic.Uint64
+
+	// Per-shard telemetry counters; nil unless a live recorder is attached,
+	// so the Nop configuration costs one nil check per event.
+	obsHits, obsMisses, obsEvictions obs.Counter
 }
 
 // BufferPoolConfig sizes and tunes the pool.
@@ -67,6 +73,9 @@ type BufferPoolConfig struct {
 	// background cleaner; flushing then happens only at eviction and
 	// checkpoint).
 	CleanerInterval time.Duration
+	// Recorder receives per-shard hit/miss/eviction counters (nil records
+	// nothing). Telemetry only — replacement decisions never depend on it.
+	Recorder obs.Recorder
 }
 
 func newBufferPool(pg *pager, cfg BufferPoolConfig) *BufferPool {
@@ -106,13 +115,21 @@ func newBufferPool(pg *pager, cfg BufferPoolConfig) *BufferPool {
 		ioCapacity:   cfg.IOCapacity,
 	}
 	per := cfg.Frames / cfg.Instances
+	rec := obs.OrNop(cfg.Recorder)
 	for i := range bp.instances {
-		bp.instances[i] = &poolInstance{
+		inst := &poolInstance{
 			pager:    pg,
 			frames:   make(map[PageID]*page, per),
 			capacity: per,
 			oldPct:   cfg.OldBlocksPct,
 		}
+		if rec.Enabled() {
+			prefix := fmt.Sprintf("minidb.pool.shard%d.", i)
+			inst.obsHits = rec.Counter(prefix + "hits")
+			inst.obsMisses = rec.Counter(prefix + "misses")
+			inst.obsEvictions = rec.Counter(prefix + "evictions")
+		}
+		bp.instances[i] = inst
 	}
 	if cfg.CleanerInterval > 0 {
 		bp.cleanerStop = make(chan struct{})
@@ -150,12 +167,18 @@ func (b *poolInstance) fetch(id PageID) (*page, error) {
 	}
 	if p, ok := b.frames[id]; ok {
 		b.hits.Add(1)
+		if b.obsHits != nil {
+			b.obsHits.Add(1)
+		}
 		p.pins++
 		b.touch(p)
 		b.mu.Unlock()
 		return p, nil
 	}
 	b.misses.Add(1)
+	if b.obsMisses != nil {
+		b.obsMisses.Add(1)
+	}
 	p, err := b.admit(id)
 	if err != nil {
 		b.mu.Unlock()
@@ -199,6 +222,9 @@ func (b *poolInstance) evictOne() error {
 		b.unlink(p)
 		delete(b.frames, p.id)
 		b.evictions.Add(1)
+		if b.obsEvictions != nil {
+			b.obsEvictions.Add(1)
+		}
 		return nil
 	}
 	return fmt.Errorf("minidb: buffer pool instance exhausted (%d pages, all pinned)", len(b.frames))

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/knobs"
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -50,6 +51,12 @@ type Config struct {
 	ThreadConcurrency int
 	// TableOpenCache bounds cached table handles (table_open_cache).
 	TableOpenCache int
+	// Recorder receives engine telemetry (WAL fsync/batch histograms,
+	// per-shard pool counters, lock- and latch-wait counters, recovery-phase
+	// spans). Nil records nothing. Telemetry is strictly write-only: no
+	// engine decision reads it, so deterministic replays stay bit-identical
+	// with a live recorder attached.
+	Recorder obs.Recorder
 }
 
 // DefaultTestConfig returns a small configuration suitable for tests.
@@ -156,6 +163,9 @@ type DB struct {
 	tableHits   atomic.Uint64
 	commits     atomic.Uint64
 	statementsN atomic.Uint64
+
+	rec            obs.Recorder // never nil (OrNop); write-only telemetry
+	treeLatchWaits obs.Counter  // nil unless the recorder is live
 }
 
 // Open creates or reopens a database in cfg.Dir, running crash recovery:
@@ -177,6 +187,7 @@ func Open(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	rec := obs.OrNop(cfg.Recorder)
 	frames := int(cfg.BufferPoolBytes / PageSize)
 	pool := newBufferPool(pg, BufferPoolConfig{
 		Frames:          frames,
@@ -185,6 +196,7 @@ func Open(cfg Config) (*DB, error) {
 		LRUScanDepth:    cfg.LRUScanDepth,
 		IOCapacity:      cfg.IOCapacity,
 		CleanerInterval: cfg.CleanerInterval,
+		Recorder:        rec,
 	})
 	db := &DB{
 		cfg:     cfg,
@@ -194,6 +206,11 @@ func Open(cfg Config) (*DB, error) {
 		locks:   NewLockManager(cfg.SpinWaitDelay, cfg.SyncSpinLoops),
 		catalog: make(map[string]catalogEntry),
 		open:    make(map[string]*tableHandle),
+		rec:     rec,
+	}
+	db.locks.setRecorder(rec)
+	if rec.Enabled() {
+		db.treeLatchWaits = rec.Counter("minidb.btree.latch_waits")
 	}
 	if cfg.ThreadConcurrency > 0 {
 		db.admit = make(chan struct{}, cfg.ThreadConcurrency)
@@ -215,7 +232,9 @@ func Open(cfg Config) (*DB, error) {
 		return fail(err)
 	}
 	parse := parseWAL(walBytes)
-	db.wal, err = openWAL(fsys, walPath, cfg.WAL)
+	walCfg := cfg.WAL
+	walCfg.Recorder = rec
+	db.wal, err = openWAL(fsys, walPath, walCfg)
 	if err != nil {
 		return fail(err)
 	}
@@ -307,6 +326,7 @@ func (db *DB) saveCatalog() error {
 // the set drops all of it, matching the on-disk state (the pages were
 // pinned until the set was logged, so none of them can have been flushed).
 func (db *DB) hookTree(t *BTree, table uint32) {
+	t.latchWaits = db.treeLatchWaits
 	t.onStructural = func(pages []*page, root PageID) error {
 		txn := db.nextTxn.Add(1)
 		for _, p := range pages {
@@ -337,10 +357,17 @@ func (db *DB) hookTree(t *BTree, table uint32) {
 // Trees used during recovery carry the structural hook, so splits replay
 // causes are themselves logged — a crash during recovery recovers.
 func (db *DB) recover(p walParse) error {
+	if db.rec.Enabled() {
+		sp := db.rec.Span("minidb.recovery",
+			obs.Int("committed", len(p.committed)),
+			obs.Int("uncommitted", len(p.uncommitted)))
+		defer sp.End()
+	}
 	byID := make(map[uint32]string)
 	for name, e := range db.catalog {
 		byID[e.ID] = name
 	}
+	phase := db.rec.Span("minidb.recovery.physical_redo")
 	for _, e := range p.committed {
 		switch e.Kind {
 		case recPageImage:
@@ -367,6 +394,8 @@ func (db *DB) recover(p walParse) error {
 	if err := db.advanceAllocator(); err != nil {
 		return err
 	}
+	phase.End()
+	phase = db.rec.Span("minidb.recovery.logical_redo")
 	trees := make(map[uint32]*BTree)
 	tree := func(table uint32) *BTree {
 		if t, ok := trees[table]; ok {
@@ -392,6 +421,8 @@ func (db *DB) recover(p walParse) error {
 			}
 		}
 	}
+	phase.End()
+	phase = db.rec.Span("minidb.recovery.undo")
 	for i := len(p.uncommitted) - 1; i >= 0; i-- {
 		e := p.uncommitted[i]
 		if _, ok := byID[e.Table]; !ok {
@@ -406,6 +437,7 @@ func (db *DB) recover(p walParse) error {
 			return err
 		}
 	}
+	phase.End()
 	// Roots may have grown during replay.
 	for table, t := range trees {
 		ce := db.catalog[byID[table]]
@@ -421,6 +453,10 @@ func (db *DB) recover(p walParse) error {
 // be quiescent — an in-flight transaction's eager writes would checkpoint
 // without the undo records that could erase them.
 func (db *DB) checkpoint() error {
+	if db.rec.Enabled() {
+		sp := db.rec.Span("minidb.checkpoint")
+		defer sp.End()
+	}
 	if err := db.pool.FlushAll(); err != nil {
 		return err
 	}

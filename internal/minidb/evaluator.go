@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/dbsim"
 	"repro/internal/knobs"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/workload"
 )
@@ -51,6 +52,10 @@ type Evaluator struct {
 	TxnMode bool
 	// Seed drives statement generation.
 	Seed int64
+	// Recorder receives engine telemetry from every measurement's engine
+	// instance (nil records nothing). Telemetry is write-only, so
+	// deterministic measurements stay bit-identical with a live recorder.
+	Recorder obs.Recorder
 	// Deterministic replays the statement stream serially with no pacing,
 	// no background engine goroutines (cleaner, WAL timer) and metrics
 	// derived purely from engine counters and statement footprints instead
@@ -102,6 +107,7 @@ func (e *Evaluator) Measure(native []float64) dbsim.Measurement {
 
 func (e *Evaluator) measure(dir string, native []float64) (dbsim.Measurement, error) {
 	cfg := ConfigFromKnobs(dir, e.Knobs, native)
+	cfg.Recorder = e.Recorder
 	cfg.CleanerInterval = 20 * time.Millisecond
 	cfg.WAL.TimerInterval = 100 * time.Millisecond
 	if e.Deterministic {

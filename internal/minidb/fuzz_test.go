@@ -24,15 +24,15 @@ func FuzzExecutorStatements(f *testing.F) {
 	f.Add("")
 	f.Add("SELECT * FROM a JOIN b ON a.id = b.id LIMIT 5")
 	// One seed per plan-cache template shape (planStatement's classification).
-	f.Add("SELECT c FROM sbtest1 WHERE id BETWEEN 100 AND 199")          // planSelectRange
-	f.Add("SELECT c FROM sbtest1 WHERE id BETWEEN 199 AND 100")          // reversed bounds
-	f.Add("SELECT SUM(k) FROM sbtest1 WHERE id BETWEEN 1 AND 1000000")   // range clamp
-	f.Add("SELECT c FROM sbtest1 ORDER BY c LIMIT 10")                   // planSelectShort
-	f.Add("SELECT c FROM sbtest2 WHERE id IN (SELECT id FROM sbtest1)")  // subquery short
-	f.Add("SELECT COUNT(*) FROM sbtest1")                                // planSelectWindow (no literals)
+	f.Add("SELECT c FROM sbtest1 WHERE id BETWEEN 100 AND 199")         // planSelectRange
+	f.Add("SELECT c FROM sbtest1 WHERE id BETWEEN 199 AND 100")         // reversed bounds
+	f.Add("SELECT SUM(k) FROM sbtest1 WHERE id BETWEEN 1 AND 1000000")  // range clamp
+	f.Add("SELECT c FROM sbtest1 ORDER BY c LIMIT 10")                  // planSelectShort
+	f.Add("SELECT c FROM sbtest2 WHERE id IN (SELECT id FROM sbtest1)") // subquery short
+	f.Add("SELECT COUNT(*) FROM sbtest1")                               // planSelectWindow (no literals)
 	f.Add("INSERT INTO sbtest1 (id, k, c, pad) VALUES (4242, 1, 'x', 'y')")
 	f.Add("UPDATE sbtest1 SET k = k + 1 WHERE id = 77")
-	f.Add("UPDATE sbtest99 SET c = 'abc' WHERE id = 12")                 // digit-suffixed table
+	f.Add("UPDATE sbtest99 SET c = 'abc' WHERE id = 12") // digit-suffixed table
 	f.Add("DELETE FROM sbtest1 WHERE id = 4242")
 	// Template-key normalization edges: digit runs, negatives, huge runs.
 	f.Add("SELECT c FROM sbtest1 WHERE id = -9223372036854775808")

@@ -2,6 +2,7 @@ package minidb
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/bo"
 	"repro/internal/core"
 	"repro/internal/dbsim"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -17,21 +19,29 @@ import (
 // deterministic minidb evaluator and renders every observation as raw
 // float64 bits — the strictest possible trace: any divergence anywhere in
 // the pipeline (statement replay, engine counters, GP math, acquisition
-// optimization) changes the string.
+// optimization) changes the string. A live recorder is attached to both the
+// tuner and the engine so the run also pins the DESIGN.md §8 contract:
+// telemetry is write-only and cannot move a single observed bit.
 func goldenSession(t *testing.T, seed int64) string {
 	t.Helper()
+	rec := obs.NewJSONL(io.Discard)
 	w := workload.Sysbench(10).WithRequestRate(800)
 	ev := NewEvaluator(t.TempDir(), realSpace(), dbsim.IOPS, w, seed)
 	ev.Rows = 200
 	ev.Deterministic = true
+	ev.Recorder = rec
 
 	cfg := core.DefaultConfig(seed)
 	cfg.InitIters = 3
 	cfg.SLATolerance = 0.50
 	cfg.Acq = bo.OptimizerConfig{RandomCandidates: 24, LocalStarts: 2, LocalSteps: 3, StepScale: 0.15}
+	cfg.Recorder = rec
 	res, err := core.New(cfg).Run(ev, 6)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("telemetry sink: %v", err)
 	}
 
 	var b strings.Builder

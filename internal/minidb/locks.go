@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // LockManager provides row-level exclusive locks with InnoDB-style
@@ -19,6 +21,9 @@ type LockManager struct {
 	SyncSpinLoops int
 
 	waits, spins atomic.Uint64
+
+	// Telemetry counters; nil unless a live recorder is attached.
+	obsWaits, obsSpins obs.Counter
 }
 
 type lockShard struct {
@@ -38,6 +43,15 @@ func NewLockManager(spinWaitDelay, syncSpinLoops int) *LockManager {
 		lm.shards[i].locks = make(map[uint64]*rowLock)
 	}
 	return lm
+}
+
+// setRecorder attaches telemetry counters for contended waits and spin
+// rounds. Telemetry only — acquisition order never depends on it.
+func (lm *LockManager) setRecorder(rec obs.Recorder) {
+	if rec.Enabled() {
+		lm.obsWaits = rec.Counter("minidb.locks.waits")
+		lm.obsSpins = rec.Counter("minidb.locks.spins")
+	}
 }
 
 func (lm *LockManager) shard(id uint64) *lockShard {
@@ -67,10 +81,16 @@ func (lm *LockManager) Acquire(id uint64) {
 		return
 	}
 	lm.waits.Add(1)
+	if lm.obsWaits != nil {
+		lm.obsWaits.Add(1)
+	}
 
 	// Spin phase.
 	for round := 0; round < lm.SyncSpinLoops; round++ {
 		lm.spins.Add(1)
+		if lm.obsSpins != nil {
+			lm.obsSpins.Add(1)
+		}
 		// PAUSE-like delay: up to SpinWaitDelay busy iterations.
 		for d := 0; d < lm.SpinWaitDelay; d++ {
 			runtime.Gosched() // keep the spin preemptible

@@ -133,11 +133,11 @@ func TestBufferPoolInstanceClamping(t *testing.T) {
 	cases := []struct {
 		frames, instances, want int
 	}{
-		{256, 0, 1},   // zero/unspecified -> one instance (legacy behaviour)
-		{256, 4, 4},   // plenty of frames per instance
+		{256, 0, 1},    // zero/unspecified -> one instance (legacy behaviour)
+		{256, 4, 4},    // plenty of frames per instance
 		{256, 100, 32}, // capped so every instance keeps >= 8 frames
-		{16, 8, 2},    // shrunk: 16 frames can only feed 2 instances
-		{8, 16, 1},    // tiny pool -> single instance
+		{16, 8, 2},     // shrunk: 16 frames can only feed 2 instances
+		{8, 16, 1},     // tiny pool -> single instance
 	}
 	for _, c := range cases {
 		pool := newBufferPool(pg, BufferPoolConfig{Frames: c.frames, Instances: c.instances})

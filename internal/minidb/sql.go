@@ -105,10 +105,10 @@ func (e *Executor) ExecTxn(stmts []string) (RowsTouched, error) {
 type planOp uint8
 
 const (
-	planSelectPoint planOp = iota // WHERE key = ?
-	planSelectRange               // BETWEEN ? AND ?
-	planSelectShort               // LIMIT / join-shaped: short indexed range
-	planSelectWindow              // no literals: fixed scan window
+	planSelectPoint  planOp = iota // WHERE key = ?
+	planSelectRange                // BETWEEN ? AND ?
+	planSelectShort                // LIMIT / join-shaped: short indexed range
+	planSelectWindow               // no literals: fixed scan window
 	planInsert
 	planUpdate
 	planDelete

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -85,6 +86,16 @@ type WAL struct {
 	writes, syncs atomic.Uint64
 	grouped       atomic.Uint64 // commits that rode another commit's fsync
 
+	// Telemetry. obsLive caches Enabled() so the commit path only reads the
+	// clock around fsyncs when a live recorder is attached; with the Nop
+	// recorder the fsync path is unchanged. commitsSinceSync counts commit
+	// records appended since the last fsync snapshot (guarded by mu) — the
+	// group-commit batch size the fsync makes durable.
+	obsLive          bool
+	fsyncHist        obs.Histogram // fsync latency, microseconds
+	batchHist        obs.Histogram // commits made durable per fsync
+	commitsSinceSync int
+
 	stop chan struct{}
 	done chan struct{}
 }
@@ -98,6 +109,9 @@ type WALConfig struct {
 	// TimerInterval is the background write/sync period for policies 0 and
 	// 2 (zero disables the timer; Close still flushes).
 	TimerInterval time.Duration
+	// Recorder receives fsync-latency and group-commit-batch histograms
+	// (nil records nothing). Telemetry only — durability never depends on it.
+	Recorder obs.Recorder
 }
 
 func openWAL(fsys vfs.FS, path string, cfg WALConfig) (*WAL, error) {
@@ -118,6 +132,12 @@ func openWAL(fsys vfs.FS, path string, cfg WALConfig) (*WAL, error) {
 		buf:    make([]byte, 0, cfg.BufferBytes),
 		cap:    cfg.BufferBytes,
 		policy: cfg.Policy,
+	}
+	if rec := obs.OrNop(cfg.Recorder); rec.Enabled() {
+		w.obsLive = true
+		w.fsyncHist = rec.Histogram("minidb.wal.fsync_us", obs.ExpBuckets(10, 2, 14))
+		w.batchHist = rec.Histogram("minidb.wal.commits_per_fsync",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
 	}
 	// LSNs are absolute file offsets; appends continue from the current end.
 	w.appendLSN = uint64(size)
@@ -232,6 +252,7 @@ func (w *WAL) Commit(txn uint32) error {
 	if err != nil {
 		return err
 	}
+	w.commitsSinceSync++
 	switch w.policy {
 	case FlushEachCommit:
 		err = w.syncToLocked(lsn)
@@ -290,9 +311,23 @@ func (w *WAL) syncToLocked(lsn uint64) error {
 			return err
 		}
 		target := w.writtenLSN
+		// Snapshot the batch before releasing the lock: every commit record
+		// counted here is in the drained buffer this fsync makes durable.
+		batch := w.commitsSinceSync
+		w.commitsSinceSync = 0
 		w.flushing = true
 		w.mu.Unlock()
+		var t0 time.Time
+		if w.obsLive {
+			t0 = time.Now()
+		}
 		err := w.file.Sync()
+		if w.obsLive {
+			w.fsyncHist.Observe(float64(time.Since(t0).Microseconds()))
+			if batch > 0 {
+				w.batchHist.Observe(float64(batch))
+			}
+		}
 		w.syncs.Add(1)
 		w.mu.Lock()
 		w.flushing = false
@@ -338,7 +373,20 @@ func (w *WAL) syncLocked() error {
 		return w.err
 	}
 	w.syncs.Add(1)
-	if err := w.file.Sync(); err != nil {
+	batch := w.commitsSinceSync
+	w.commitsSinceSync = 0
+	var t0 time.Time
+	if w.obsLive {
+		t0 = time.Now()
+	}
+	err := w.file.Sync()
+	if w.obsLive {
+		w.fsyncHist.Observe(float64(time.Since(t0).Microseconds()))
+		if batch > 0 {
+			w.batchHist.Observe(float64(batch))
+		}
+	}
+	if err != nil {
 		w.err = err
 		return err
 	}

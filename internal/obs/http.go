@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// expvarReg points the process-wide "restune" expvar at the most recently
+// served registry. expvar.Publish is append-only (a duplicate name
+// panics), so the var is registered once and indirects through here.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+func publishExpvar(reg *Registry) {
+	expvarReg.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("restune", expvar.Func(func() any {
+			if r := expvarReg.Load(); r != nil {
+				return r.Snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+// ServeDebug starts the opt-in debug endpoint (the -debug-addr flag) on
+// addr, exposing:
+//
+//	/debug/vars     expvar, including a "restune" snapshot of reg's metrics
+//	/debug/metrics  reg's metrics alone, as JSON
+//	/debug/pprof/   the standard pprof profiles
+//
+// It returns the bound address (useful with ":0") and a shutdown func. The
+// server runs on its own goroutine and must never influence tuning
+// decisions — it only reads the registry.
+func ServeDebug(addr string, reg *Registry) (string, func() error, error) {
+	publishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// JSONL is a live Recorder whose events stream to an io.Writer as JSON
+// Lines, one event per line — the run artifact scripts/trace_summary.sh
+// consumes. Span events are written as they end; Flush appends a metric
+// snapshot. A marshal or write failure is sticky and reported by Close.
+type JSONL struct {
+	*Registry
+	sink *jsonlSink
+}
+
+type jsonlSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	c   io.Closer
+	err error
+}
+
+// NewJSONL returns a recorder writing events to w.
+func NewJSONL(w io.Writer) *JSONL {
+	s := &jsonlSink{w: w}
+	return &JSONL{Registry: NewRegistry(s), sink: s}
+}
+
+// NewJSONLFile creates (truncating) path and returns a recorder writing to
+// it. Close flushes metrics and closes the file.
+func NewJSONLFile(path string) (*JSONL, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: creating trace %s: %w", path, err)
+	}
+	bw := bufio.NewWriter(f)
+	s := &jsonlSink{w: bw, c: &flushCloser{bw: bw, f: f}}
+	return &JSONL{Registry: NewRegistry(s), sink: s}, nil
+}
+
+// Emit implements Sink.
+func (s *jsonlSink) Emit(e Event) {
+	data, err := json.Marshal(e)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(append(data, '\n')); err != nil {
+		s.err = err
+	}
+}
+
+// Err returns the first marshal or write failure, if any.
+func (j *JSONL) Err() error {
+	j.sink.mu.Lock()
+	defer j.sink.mu.Unlock()
+	return j.sink.err
+}
+
+// Close flushes a final metric snapshot and closes the underlying file (if
+// the recorder owns one), returning the first error seen over the
+// recorder's lifetime.
+func (j *JSONL) Close() error {
+	if err := j.Flush(); err != nil {
+		return err
+	}
+	j.sink.mu.Lock()
+	err := j.sink.err
+	c := j.sink.c
+	j.sink.mu.Unlock()
+	if c != nil {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+type flushCloser struct {
+	bw *bufio.Writer
+	f  *os.File
+}
+
+func (fc *flushCloser) Close() error {
+	err := fc.bw.Flush()
+	if serr := fc.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := fc.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

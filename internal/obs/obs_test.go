@@ -1,0 +1,353 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memSink collects events in order.
+type memSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (s *memSink) Emit(e Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+func (s *memSink) all() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// fixedClock advances a fake time by step on every read, so span durations
+// are deterministic in tests.
+func fixedClock(step time.Duration) func() time.Time {
+	t := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		t = t.Add(step)
+		return t
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	sink := &memSink{}
+	reg := NewRegistry(sink)
+	reg.clock = fixedClock(time.Millisecond)
+
+	outer := reg.Span("outer", String("k", "v"))
+	inner := reg.Span("inner")
+	inner.SetAttrs(Int("n", 3))
+	inner.End()
+	outer.End()
+	outer.End() // double End must not emit twice
+
+	events := sink.all()
+	if len(events) != 2 {
+		t.Fatalf("events: %d, want 2 (double End must be a no-op)", len(events))
+	}
+	// Inner ends first; spans emit on End.
+	if events[0].Name != "inner" || events[1].Name != "outer" {
+		t.Fatalf("order: %s, %s", events[0].Name, events[1].Name)
+	}
+	if got := events[0].Attrs["n"]; got != 3 {
+		t.Fatalf("inner attrs: %v", events[0].Attrs)
+	}
+	if got := events[1].Attrs["k"]; got != "v" {
+		t.Fatalf("outer attrs: %v", events[1].Attrs)
+	}
+	// With a 1ms-per-read clock: outer spans 3 reads (inner start, inner
+	// end, outer end), inner spans 1.
+	if events[0].DurUS != 1000 {
+		t.Fatalf("inner duration: %dus", events[0].DurUS)
+	}
+	if events[1].DurUS != 3000 {
+		t.Fatalf("outer duration: %dus", events[1].DurUS)
+	}
+	for _, e := range events {
+		if e.Type != "span" {
+			t.Fatalf("type: %q", e.Type)
+		}
+		if _, err := time.Parse(time.RFC3339Nano, e.TS); err != nil {
+			t.Fatalf("timestamp %q: %v", e.TS, err)
+		}
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	reg := NewRegistry(nil)
+	h := reg.Histogram("h", []float64{1, 2, 4})
+
+	// Buckets are upper-inclusive: v <= bound lands in that bucket; values
+	// beyond the last bound land in the implicit overflow bucket.
+	for _, v := range []float64{0.5, 1.0, 1.5, 2.0, 2.5, 4.0, 4.5, 100} {
+		h.Observe(v)
+	}
+	count, sum, counts := reg.hists["h"].snapshot()
+	if count != 8 {
+		t.Fatalf("count: %d", count)
+	}
+	if want := 0.5 + 1 + 1.5 + 2 + 2.5 + 4 + 4.5 + 100; sum != want {
+		t.Fatalf("sum: %g, want %g", sum, want)
+	}
+	want := []uint64{2, 2, 2, 2} // <=1, <=2, <=4, overflow
+	if len(counts) != len(want) {
+		t.Fatalf("counts: %v", counts)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts: %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestRegistryReusesInstruments(t *testing.T) {
+	reg := NewRegistry(nil)
+	if reg.Counter("c") != reg.Counter("c") {
+		t.Fatal("counter handles for one name must be identical")
+	}
+	if reg.Gauge("g") != reg.Gauge("g") {
+		t.Fatal("gauge handles for one name must be identical")
+	}
+	if reg.Histogram("h", []float64{1}) != reg.Histogram("h", []float64{2}) {
+		t.Fatal("histogram handles for one name must be identical")
+	}
+}
+
+func TestFlushSnapshotOrderAndValues(t *testing.T) {
+	sink := &memSink{}
+	reg := NewRegistry(sink)
+	reg.clock = fixedClock(time.Millisecond)
+
+	reg.Counter("b.count").Add(2)
+	reg.Counter("a.count").Add(5)
+	reg.Gauge("z.gauge").Set(1.5)
+	reg.Histogram("m.hist", []float64{10}).Observe(3)
+	if err := reg.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	events := sink.all()
+	names := make([]string, len(events))
+	for i, e := range events {
+		names[i] = e.Type + ":" + e.Name
+	}
+	// Sorted by type then name, so artifacts are byte-stable across runs.
+	want := []string{"counter:a.count", "counter:b.count", "gauge:z.gauge", "hist:m.hist"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("snapshot order: %v", names)
+	}
+	if events[0].Value != 5 || events[1].Value != 2 || events[2].Value != 1.5 {
+		t.Fatalf("values: %+v", events[:3])
+	}
+	h := events[3]
+	if h.Count != 1 || h.Sum != 3 || len(h.Buckets) != 1 || len(h.Counts) != 2 {
+		t.Fatalf("hist event: %+v", h)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	rec := NewJSONL(io.Discard)
+	const workers, n = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := rec.Counter("c")
+			g := rec.Gauge(fmt.Sprintf("g%d", w%2))
+			h := rec.Histogram("h", ExpBuckets(1, 2, 8))
+			for i := 0; i < n; i++ {
+				sp := rec.Span("work", Int("worker", w))
+				c.Add(1)
+				g.Set(float64(i))
+				h.Observe(float64(i % 50))
+				sp.SetAttrs(Int("i", i))
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := rec.Registry.Snapshot()
+	if got := snap["c"].(uint64); got != workers*n {
+		t.Fatalf("counter: %d, want %d", got, workers*n)
+	}
+	hist := snap["h"].(map[string]any)
+	if got := hist["count"].(uint64); got != workers*n {
+		t.Fatalf("histogram count: %d, want %d", got, workers*n)
+	}
+}
+
+func TestJSONLStream(t *testing.T) {
+	var buf strings.Builder
+	rec := NewJSONL(&buf)
+	sp := rec.Span("op", Float("x", 1.25), Floats("vec", []float64{1, 2}))
+	sp.End()
+	rec.Counter("hits").Add(7)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines: %d\n%s", len(lines), buf.String())
+	}
+	var span, counter Event
+	if err := json.Unmarshal([]byte(lines[0]), &span); err != nil {
+		t.Fatalf("line 0: %v", err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &counter); err != nil {
+		t.Fatalf("line 1: %v", err)
+	}
+	if span.Type != "span" || span.Name != "op" || span.Attrs["x"] != 1.25 {
+		t.Fatalf("span event: %+v", span)
+	}
+	if counter.Type != "counter" || counter.Name != "hits" || counter.Value != 7 {
+		t.Fatalf("counter event: %+v", counter)
+	}
+}
+
+type failWriter struct{ after int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.after--
+	return len(p), nil
+}
+
+func TestJSONLStickyError(t *testing.T) {
+	rec := NewJSONL(&failWriter{after: 1})
+	rec.Span("ok").End()
+	rec.Span("fails").End()
+	rec.Span("after failure").End()
+	if rec.Err() == nil {
+		t.Fatal("write failure must surface through Err")
+	}
+	if err := rec.Close(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Unmarshalable attribute values (NaN) are sticky errors too, not
+	// silent drops.
+	rec = NewJSONL(io.Discard)
+	rec.Span("bad", Float("v", math.NaN())).End()
+	if rec.Err() == nil {
+		t.Fatal("NaN attr must surface as a marshal error")
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	reg := NewRegistry(nil)
+	reg.Counter("requests").Add(3)
+	reg.Histogram("lat", []float64{1, 10}).Observe(5)
+
+	addr, shutdown, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		return string(body)
+	}
+
+	var metrics map[string]any
+	if err := json.Unmarshal([]byte(get("/debug/metrics")), &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics["requests"] != float64(3) {
+		t.Fatalf("metrics: %v", metrics)
+	}
+	if !strings.Contains(get("/debug/vars"), `"restune":`) {
+		t.Fatal("expvar page must include the published restune snapshot")
+	}
+	if !strings.Contains(get("/debug/pprof/"), "profile") {
+		t.Fatal("pprof index must be served")
+	}
+}
+
+func TestOrNopAndExpBuckets(t *testing.T) {
+	if OrNop(nil) != Nop {
+		t.Fatal("OrNop(nil) must be Nop")
+	}
+	reg := NewRegistry(nil)
+	if OrNop(reg) != Recorder(reg) {
+		t.Fatal("OrNop must pass a live recorder through")
+	}
+	b := ExpBuckets(10, 2, 4)
+	want := []float64{10, 20, 40, 80}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets: %v", b)
+		}
+	}
+}
+
+// TestNopAllocs proves the entire Nop surface is allocation-free, which is
+// what lets hot engine paths carry always-present instrument handles.
+func TestNopAllocs(t *testing.T) {
+	rec := OrNop(nil)
+	c := rec.Counter("c")
+	g := rec.Gauge("g")
+	h := rec.Histogram("h", nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if rec.Enabled() {
+			t.Fatal("Nop must report disabled")
+		}
+		sp := rec.Span("s")
+		sp.SetAttrs()
+		sp.End()
+		c.Add(1)
+		g.Set(1)
+		h.Observe(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("Nop path allocates: %v allocs/op", allocs)
+	}
+}
+
+func BenchmarkNopSpan(b *testing.B) {
+	rec := OrNop(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := rec.Span("s")
+		sp.End()
+	}
+}
+
+func BenchmarkLiveSpanDiscard(b *testing.B) {
+	rec := NewJSONL(io.Discard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := rec.Span("s", Int("i", i))
+		sp.End()
+	}
+}

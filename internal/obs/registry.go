@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one telemetry record: a finished span or a metric snapshot.
+// The JSON field names are the artifact schema consumed by
+// scripts/trace_summary.sh (see DESIGN.md §8).
+type Event struct {
+	// Type is "span", "counter", "gauge" or "hist".
+	Type string `json:"t"`
+	// TS is the event's wall-clock emission time in RFC3339Nano.
+	TS string `json:"ts"`
+	// Name identifies the span or metric.
+	Name string `json:"name"`
+	// DurUS is the span duration in microseconds (spans only).
+	DurUS int64 `json:"dur_us,omitempty"`
+	// Value is the counter or gauge value.
+	Value float64 `json:"v,omitempty"`
+	// Count and Sum summarize a histogram's observations.
+	Count uint64  `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	// Buckets are the histogram's upper bounds; Counts has one extra
+	// trailing overflow entry.
+	Buckets []float64 `json:"buckets,omitempty"`
+	Counts  []uint64  `json:"counts,omitempty"`
+	// Attrs carries span attributes.
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Sink receives events as they are produced. Implementations must be safe
+// for concurrent use.
+type Sink interface {
+	Emit(e Event)
+}
+
+// Registry is the live Recorder: it owns the metric instruments and
+// forwards span ends and metric snapshots to a Sink.
+type Registry struct {
+	sink  Sink
+	clock func() time.Time
+
+	mu       sync.Mutex
+	counters map[string]*counter
+	gauges   map[string]*gauge
+	hists    map[string]*histogram
+}
+
+// NewRegistry returns a live recorder emitting into sink (nil discards
+// span events but still accumulates metrics for Flush and snapshots).
+func NewRegistry(sink Sink) *Registry {
+	return &Registry{
+		sink:     sink,
+		clock:    time.Now,
+		counters: make(map[string]*counter),
+		gauges:   make(map[string]*gauge),
+		hists:    make(map[string]*histogram),
+	}
+}
+
+// Enabled implements Recorder.
+func (r *Registry) Enabled() bool { return true }
+
+// Span implements Recorder.
+func (r *Registry) Span(name string, attrs ...Attr) Span {
+	return &liveSpan{reg: r, name: name, start: r.clock(), attrs: attrs}
+}
+
+type liveSpan struct {
+	reg   *Registry
+	name  string
+	start time.Time
+	attrs []Attr
+	ended bool
+}
+
+func (s *liveSpan) SetAttrs(attrs ...Attr) { s.attrs = append(s.attrs, attrs...) }
+
+func (s *liveSpan) End() {
+	if s.ended {
+		return
+	}
+	s.ended = true
+	end := s.reg.clock()
+	var attrs map[string]any
+	if len(s.attrs) > 0 {
+		attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			attrs[a.Key] = a.Value
+		}
+	}
+	s.reg.emit(Event{
+		Type:  "span",
+		TS:    end.UTC().Format(time.RFC3339Nano),
+		Name:  s.name,
+		DurUS: end.Sub(s.start).Microseconds(),
+		Attrs: attrs,
+	})
+}
+
+func (r *Registry) emit(e Event) {
+	if r.sink != nil {
+		r.sink.Emit(e)
+	}
+}
+
+// Counter implements Recorder.
+func (r *Registry) Counter(name string) Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge implements Recorder.
+func (r *Registry) Gauge(name string) Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram implements Recorder.
+func (r *Registry) Histogram(name string, buckets []float64) Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(buckets)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Flush implements Recorder: it emits one snapshot event per metric, in
+// name order so artifacts are stable.
+func (r *Registry) Flush() error {
+	ts := r.clock().UTC().Format(time.RFC3339Nano)
+	for _, e := range r.snapshotEvents(ts) {
+		r.emit(e)
+	}
+	return nil
+}
+
+func (r *Registry) snapshotEvents(ts string) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	events := make([]Event, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		events = append(events, Event{Type: "counter", TS: ts, Name: name, Value: float64(c.v.Load())})
+	}
+	for name, g := range r.gauges {
+		events = append(events, Event{Type: "gauge", TS: ts, Name: name, Value: g.get()})
+	}
+	for name, h := range r.hists {
+		count, sum, counts := h.snapshot()
+		events = append(events, Event{
+			Type: "hist", TS: ts, Name: name,
+			Count: count, Sum: sum,
+			Buckets: h.bounds, Counts: counts,
+		})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Type != events[j].Type {
+			return events[i].Type < events[j].Type
+		}
+		return events[i].Name < events[j].Name
+	})
+	return events
+}
+
+// Snapshot returns the current metric values keyed by name — the payload
+// the expvar endpoint publishes.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any)
+	for name, c := range r.counters {
+		out[name] = c.v.Load()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.get()
+	}
+	for name, h := range r.hists {
+		count, sum, counts := h.snapshot()
+		out[name] = map[string]any{
+			"count": count, "sum": sum,
+			"buckets": h.bounds, "counts": counts,
+		}
+	}
+	return out
+}
+
+type counter struct{ v atomic.Uint64 }
+
+func (c *counter) Add(delta uint64) { c.v.Add(delta) }
+
+type gauge struct{ bits atomic.Uint64 }
+
+func (g *gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+func (g *gauge) get() float64  { return math.Float64frombits(g.bits.Load()) }
+
+// histogram is a fixed-bucket histogram: counts[i] tallies observations
+// v <= bounds[i] (first matching bucket); counts[len(bounds)] is overflow.
+type histogram struct {
+	bounds []float64
+	mu     sync.Mutex
+	counts []uint64
+	count  uint64
+	sum    float64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+func (h *histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: upper-inclusive buckets
+	h.mu.Lock()
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+func (h *histogram) snapshot() (count uint64, sum float64, counts []uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count, h.sum, append([]uint64(nil), h.counts...)
+}

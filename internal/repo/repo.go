@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/bo"
 	"repro/internal/core"
@@ -76,20 +77,26 @@ func (r *Repository) Filter(pred func(TaskRecord) bool) []TaskRecord {
 }
 
 // BaseLearners fits a base-learner per task matching the predicate (nil
-// selects all). Tasks whose knob set does not match the given space are
+// selects all). Tasks whose knob *set* does not match the given space are
 // skipped: histories are only transferable within the same configuration
-// space.
+// space. Knob order is immaterial — a task stored under a different knob
+// ordering has its Theta vectors permuted into the space's order.
 func (r *Repository) BaseLearners(space *knobs.Space, seed int64, pred func(TaskRecord) bool) ([]*meta.BaseLearner, error) {
 	var out []*meta.BaseLearner
 	for i, t := range r.Tasks {
 		if pred != nil && !pred(t) {
 			continue
 		}
-		if !sameKnobs(t.KnobNames, space) {
+		perm, ok := knobPermutation(t.KnobNames, space)
+		if !ok {
 			continue
 		}
+		h, err := t.historyInOrder(perm)
+		if err != nil {
+			return nil, fmt.Errorf("repo: task %s: %w", t.TaskID, err)
+		}
 		bl, err := meta.NewBaseLearner(t.TaskID, t.Workload, t.Hardware,
-			t.MetaFeature, t.History(), space.Dim(), seed+int64(i))
+			t.MetaFeature, h, space.Dim(), seed+int64(i))
 		if err != nil {
 			return nil, fmt.Errorf("repo: task %s: %w", t.TaskID, err)
 		}
@@ -98,17 +105,60 @@ func (r *Repository) BaseLearners(space *knobs.Space, seed int64, pred func(Task
 	return out, nil
 }
 
-func sameKnobs(names []string, space *knobs.Space) bool {
+// knobPermutation matches stored knob names against a space by name set,
+// independent of order. It returns perm such that a stored Theta vector
+// maps onto the space's order via permuted[j] = theta[perm[j]]; a nil perm
+// with ok=true means the orders already agree. ok is false when the name
+// sets differ or the stored names contain duplicates.
+func knobPermutation(names []string, space *knobs.Space) (perm []int, ok bool) {
 	ks := space.Knobs()
 	if len(names) != len(ks) {
-		return false
+		return nil, false
 	}
-	for i, k := range ks {
-		if names[i] != k.Name {
-			return false
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		if _, dup := idx[n]; dup {
+			return nil, false
+		}
+		idx[n] = i
+	}
+	perm = make([]int, len(ks))
+	identity := true
+	for j, k := range ks {
+		i, found := idx[k.Name]
+		if !found {
+			return nil, false
+		}
+		perm[j] = i
+		if i != j {
+			identity = false
 		}
 	}
-	return true
+	if identity {
+		return nil, true
+	}
+	return perm, true
+}
+
+// historyInOrder converts the stored observations to a bo.History with each
+// Theta permuted by perm (nil means stored order already matches).
+func (t TaskRecord) historyInOrder(perm []int) (bo.History, error) {
+	if perm == nil {
+		return t.History(), nil
+	}
+	h := make(bo.History, len(t.Observations))
+	for i, o := range t.Observations {
+		if len(o.Theta) != len(perm) {
+			return nil, fmt.Errorf("observation %d: theta has %d entries, knob set has %d",
+				i, len(o.Theta), len(perm))
+		}
+		theta := make([]float64, len(perm))
+		for j, src := range perm {
+			theta[j] = o.Theta[src]
+		}
+		h[i] = bo.Observation{Theta: theta, Res: o.Res, Tps: o.Tps, Lat: o.Lat}
+	}
+	return h, nil
 }
 
 // FromResult converts a finished tuning session into a task record.
@@ -134,14 +184,42 @@ func FromResult(taskID, workloadName, hardwareName string, metaFeature []float64
 	return t
 }
 
-// Save writes the repository as JSON.
+// Save writes the repository as JSON, atomically: the bytes go to a temp
+// file in the destination directory, which is fsynced and then renamed over
+// the live file — the same discipline as the engine's catalog — so a crash
+// mid-save leaves either the old repository or the new one, never a
+// truncated mix.
 func (r *Repository) Save(path string) error {
 	data, err := json.MarshalIndent(r, "", " ")
 	if err != nil {
 		return fmt.Errorf("repo: encoding: %w", err)
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return fmt.Errorf("repo: writing %s: %w", path, err)
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("repo: creating temp file: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(step string, err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("repo: %s %s: %w", step, tmp, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail("writing", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail("syncing", err)
+	}
+	if err := f.Chmod(0o644); err != nil {
+		return fail("setting mode on", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("repo: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("repo: renaming %s over %s: %w", tmp, path, err)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package repo
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -106,5 +107,135 @@ func TestBaseLearnersFilterAndSpaceCheck(t *testing.T) {
 func TestLoadErrors(t *testing.T) {
 	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestLoadTruncatedJSON(t *testing.T) {
+	res, space := sampleResult(t, 3)
+	var r Repository
+	r.Add(FromResult("t", "twitter", "A", []float64{1, 0, 0, 0, 0}, space, res))
+	path := filepath.Join(t.TempDir(), "repo.json")
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-write under the old non-atomic Save manifested as a
+	// truncated file; Load must fail cleanly on one, never return a
+	// half-parsed repository.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		cut := int(float64(len(data)) * frac)
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err == nil {
+			t.Fatalf("truncation at %d/%d bytes: expected a decode error", cut, len(data))
+		}
+	}
+}
+
+func TestSaveAtomicReplace(t *testing.T) {
+	res, space := sampleResult(t, 4)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "repo.json")
+
+	var r1 Repository
+	r1.Add(FromResult("first", "twitter", "A", []float64{1, 0, 0, 0, 0}, space, res))
+	if err := r1.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	var r2 Repository
+	r2.Add(FromResult("second", "twitter", "B", []float64{0, 1, 0, 0, 0}, space, res))
+	if err := r2.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Tasks) != 1 || loaded.Tasks[0].TaskID != "second" {
+		t.Fatalf("replace lost: %+v", loaded.Tasks)
+	}
+	// No temp-file litter after successful saves.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "repo.json" {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("leftover files: %v", names)
+	}
+}
+
+func TestBaseLearnersShuffledKnobOrder(t *testing.T) {
+	res, space := sampleResult(t, 5)
+	rec := FromResult("orig", "twitter", "A", []float64{1, 0, 0, 0, 0}, space, res)
+
+	// The same task stored under a reversed knob ordering, with every Theta
+	// permuted to match its own knob_names — as another tool writing the
+	// repository legitimately might.
+	shuffled := rec
+	shuffled.TaskID = "shuffled"
+	n := len(rec.KnobNames)
+	shuffled.KnobNames = make([]string, n)
+	for i, name := range rec.KnobNames {
+		shuffled.KnobNames[n-1-i] = name
+	}
+	shuffled.Observations = make([]ObservationRecord, len(rec.Observations))
+	for i, o := range rec.Observations {
+		theta := make([]float64, n)
+		for j, v := range o.Theta {
+			theta[n-1-j] = v
+		}
+		shuffled.Observations[i] = ObservationRecord{Theta: theta, Res: o.Res, Tps: o.Tps, Lat: o.Lat}
+	}
+
+	var orig, shuf Repository
+	orig.Add(rec)
+	shuf.Add(shuffled)
+	blsOrig, err := orig.BaseLearners(space, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blsShuf, err := shuf.BaseLearners(space, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blsOrig) != 1 || len(blsShuf) != 1 {
+		t.Fatalf("learners: %d orig, %d shuffled (order must not exclude a matching knob set)",
+			len(blsOrig), len(blsShuf))
+	}
+	// After permutation the two histories are identical, so the fitted
+	// learners must predict identically.
+	probe := []float64{0.25, 0.5, 0.75}
+	for _, m := range bo.Metrics {
+		mo, vo := blsOrig[0].Predict(m, probe)
+		ms, vs := blsShuf[0].Predict(m, probe)
+		if mo != ms || vo != vs {
+			t.Fatalf("metric %v: predictions diverge: (%g,%g) vs (%g,%g)", m, mo, vo, ms, vs)
+		}
+	}
+}
+
+func TestBaseLearnersThetaLengthMismatch(t *testing.T) {
+	res, space := sampleResult(t, 6)
+	rec := FromResult("bad", "twitter", "A", []float64{1, 0, 0, 0, 0}, space, res)
+	// Force the permutation path (reverse the names), then corrupt one Theta.
+	n := len(rec.KnobNames)
+	rev := make([]string, n)
+	for i, name := range rec.KnobNames {
+		rev[n-1-i] = name
+	}
+	rec.KnobNames = rev
+	rec.Observations[0].Theta = rec.Observations[0].Theta[:n-1]
+	var r Repository
+	r.Add(rec)
+	if _, err := r.BaseLearners(space, 1, nil); err == nil {
+		t.Fatal("expected an error for a theta/knob-set length mismatch")
 	}
 }

@@ -84,8 +84,8 @@ func TestCrashImageHonorsSyncBarrier(t *testing.T) {
 	fs := NewFaultFS(FaultConfig{})
 	f, _ := fs.OpenFile("a")
 	f.WriteAt([]byte("durable!"), 0) // op 1
-	f.Sync()                        // op 2
-	f.WriteAt([]byte("gone"), 8)    // op 3 (unsynced)
+	f.Sync()                         // op 2
+	f.WriteAt([]byte("gone"), 8)     // op 3 (unsynced)
 
 	img := fs.CrashImage(3, DropUnsynced, 1)
 	if got := string(img["a"]); got != "durable!" {

@@ -28,6 +28,7 @@
 package restune
 
 import (
+	"io"
 	"time"
 
 	"repro/internal/baselines"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/knobs"
 	"repro/internal/meta"
 	"repro/internal/minidb"
+	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/repo"
 	"repro/internal/workload"
@@ -298,6 +300,38 @@ func OpenEngine(cfg EngineConfig) (*minidb.DB, error) { return minidb.Open(cfg) 
 // parameters.
 func EngineConfigFromKnobs(dir string, space *Space, native []float64) EngineConfig {
 	return minidb.ConfigFromKnobs(dir, space, native)
+}
+
+// ---------------------------------------------------------------------------
+// Observability.
+
+// Recorder receives telemetry (spans, counters, gauges, histograms) from an
+// instrumented component. It is always injected — through Config.Recorder,
+// EngineConfig.Recorder, EngineEvaluator.Recorder or ExperimentParams.
+// Recorder — never global, and never influences tuning decisions.
+type Recorder = obs.Recorder
+
+// TraceRecorder is a live Recorder streaming structured events as JSON
+// Lines — the run artifact scripts/trace_summary.sh summarizes.
+type TraceRecorder = obs.JSONL
+
+// NopRecorder returns the recorder that records nothing (the default
+// everywhere a Recorder is accepted).
+func NopRecorder() Recorder { return obs.Nop }
+
+// NewTraceRecorder returns a TraceRecorder writing JSONL events to w.
+func NewTraceRecorder(w io.Writer) *TraceRecorder { return obs.NewJSONL(w) }
+
+// NewTraceFile creates (truncating) a JSONL trace file at path. Close the
+// returned recorder to flush the final metric snapshot.
+func NewTraceFile(path string) (*TraceRecorder, error) { return obs.NewJSONLFile(path) }
+
+// ServeDebug starts the opt-in debug HTTP endpoint (expvar at /debug/vars,
+// a JSON metric snapshot at /debug/metrics, pprof under /debug/pprof/)
+// backed by the recorder's metric registry. It returns the bound address
+// and a shutdown func.
+func ServeDebug(addr string, rec *TraceRecorder) (string, func() error, error) {
+	return obs.ServeDebug(addr, rec.Registry)
 }
 
 // ---------------------------------------------------------------------------

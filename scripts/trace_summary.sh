@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# trace_summary.sh — validate and summarize a JSONL telemetry trace written
+# by `restune-tune -trace` or `restune-bench -trace` (schema: DESIGN.md §8).
+#
+# Usage: scripts/trace_summary.sh trace.jsonl
+
+set -eu
+
+if [ "$#" -ne 1 ]; then
+    echo "usage: $0 <trace.jsonl>" >&2
+    exit 2
+fi
+
+cd "$(dirname "$0")/.."
+exec go run ./scripts/tracecheck -summary "$1"

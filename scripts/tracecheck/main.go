@@ -1,0 +1,186 @@
+// Command tracecheck validates a JSONL telemetry trace (the artifact
+// restune-tune/restune-bench write with -trace) against the DESIGN.md §8
+// schema, and with -summary prints a human-readable digest. It is the
+// engine behind scripts/trace_summary.sh and the verify.sh smoke gate.
+//
+//	go run ./scripts/tracecheck trace.jsonl            # validate, exit 1 on violation
+//	go run ./scripts/tracecheck -summary trace.jsonl   # validate + summarize
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// event mirrors obs.Event (kept separate so the schema check is an
+// independent reading of the contract, not the producer's own struct).
+type event struct {
+	Type    string         `json:"t"`
+	TS      string         `json:"ts"`
+	Name    string         `json:"name"`
+	DurUS   int64          `json:"dur_us"`
+	Value   float64        `json:"v"`
+	Count   uint64         `json:"count"`
+	Sum     float64        `json:"sum"`
+	Buckets []float64      `json:"buckets"`
+	Counts  []uint64       `json:"counts"`
+	Attrs   map[string]any `json:"attrs"`
+}
+
+func main() {
+	summary := flag.Bool("summary", false, "print a digest of the trace after validating")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-summary] <trace.jsonl>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *summary); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, summary bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	type spanStat struct {
+		n     int
+		total int64 // microseconds
+		max   int64
+	}
+	spans := map[string]*spanStat{}
+	counters := map[string]float64{}
+	gauges := map[string]float64{}
+	type histStat struct {
+		count uint64
+		sum   float64
+	}
+	hists := map[string]histStat{}
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			return fmt.Errorf("%s:%d: empty line", path, line)
+		}
+		var e event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		if e.Name == "" {
+			return fmt.Errorf("%s:%d: event has no name", path, line)
+		}
+		if _, err := time.Parse(time.RFC3339Nano, e.TS); err != nil {
+			return fmt.Errorf("%s:%d: bad timestamp %q", path, line, e.TS)
+		}
+		switch e.Type {
+		case "span":
+			if e.DurUS < 0 {
+				return fmt.Errorf("%s:%d: span %s has negative duration", path, line, e.Name)
+			}
+			s := spans[e.Name]
+			if s == nil {
+				s = &spanStat{}
+				spans[e.Name] = s
+			}
+			s.n++
+			s.total += e.DurUS
+			if e.DurUS > s.max {
+				s.max = e.DurUS
+			}
+		case "counter":
+			counters[e.Name] = e.Value
+		case "gauge":
+			gauges[e.Name] = e.Value
+		case "hist":
+			if len(e.Counts) != len(e.Buckets)+1 {
+				return fmt.Errorf("%s:%d: hist %s has %d counts for %d buckets (want buckets+1)",
+					path, line, e.Name, len(e.Counts), len(e.Buckets))
+			}
+			var n uint64
+			for _, c := range e.Counts {
+				n += c
+			}
+			if n != e.Count {
+				return fmt.Errorf("%s:%d: hist %s bucket counts sum to %d, count says %d",
+					path, line, e.Name, n, e.Count)
+			}
+			for i := 1; i < len(e.Buckets); i++ {
+				if e.Buckets[i] <= e.Buckets[i-1] {
+					return fmt.Errorf("%s:%d: hist %s buckets not ascending", path, line, e.Name)
+				}
+			}
+			hists[e.Name] = histStat{count: e.Count, sum: e.Sum}
+		default:
+			return fmt.Errorf("%s:%d: unknown event type %q", path, line, e.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if line == 0 {
+		return fmt.Errorf("%s: trace is empty", path)
+	}
+
+	if !summary {
+		fmt.Printf("%s: %d events OK\n", path, line)
+		return nil
+	}
+
+	fmt.Printf("%s: %d events\n\n", path, line)
+	if len(spans) > 0 {
+		fmt.Printf("%-28s %8s %12s %12s %12s\n", "span", "n", "total_ms", "avg_ms", "max_ms")
+		for _, name := range sorted(spans) {
+			s := spans[name]
+			fmt.Printf("%-28s %8d %12.3f %12.3f %12.3f\n", name, s.n,
+				float64(s.total)/1e3, float64(s.total)/float64(s.n)/1e3, float64(s.max)/1e3)
+		}
+		fmt.Println()
+	}
+	if len(counters) > 0 {
+		fmt.Printf("%-40s %14s\n", "counter", "value")
+		for _, name := range sorted(counters) {
+			fmt.Printf("%-40s %14.0f\n", name, counters[name])
+		}
+		fmt.Println()
+	}
+	if len(gauges) > 0 {
+		fmt.Printf("%-40s %14s\n", "gauge", "value")
+		for _, name := range sorted(gauges) {
+			fmt.Printf("%-40s %14.4g\n", name, gauges[name])
+		}
+		fmt.Println()
+	}
+	if len(hists) > 0 {
+		fmt.Printf("%-32s %10s %14s %12s\n", "histogram", "count", "sum", "mean")
+		for _, name := range sorted(hists) {
+			h := hists[name]
+			mean := 0.0
+			if h.count > 0 {
+				mean = h.sum / float64(h.count)
+			}
+			fmt.Printf("%-32s %10d %14.1f %12.2f\n", name, h.count, h.sum, mean)
+		}
+	}
+	return nil
+}
+
+func sorted[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

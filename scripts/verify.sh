@@ -2,14 +2,17 @@
 # verify.sh — the repository's full verification gate.
 #
 # Runs, in order:
-#   1. go build ./...
-#   2. go vet ./...
-#   3. go test ./...                 (includes the exhaustive crash-point
+#   1. gofmt -l (repository must be gofmt-clean)
+#   2. go build ./...
+#   3. go vet ./...
+#   4. go test ./...                 (includes the exhaustive crash-point
 #                                     harness, golden-trace and error-path
 #                                     regression suites)
-#   4. go test -race ./...           (short mode: the crash harness strides
+#   5. go test -race ./...           (short mode: the crash harness strides
 #                                     its boundary enumeration under -short)
-#   5. a fuzz smoke pass: every Fuzz target runs for FUZZTIME (default 30s)
+#   6. a telemetry smoke run: restune-tune -trace must emit a non-empty,
+#      schema-valid JSONL artifact
+#   7. a fuzz smoke pass: every Fuzz target runs for FUZZTIME (default 30s)
 #
 # Environment:
 #   FUZZTIME=30s   per-target fuzz budget; set FUZZTIME=0 to skip fuzzing
@@ -22,6 +25,14 @@ cd "$(dirname "$0")/.."
 
 FUZZTIME="${FUZZTIME:-30s}"
 
+echo "==> gofmt -l"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files are not formatted:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "==> go build ./..."
 go build ./...
 
@@ -33,6 +44,16 @@ go test ./...
 
 echo "==> go test -race -short ./..."
 go test -race -short ./...
+
+echo "==> telemetry smoke (restune-tune -trace)"
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/restune-tune -workload twitter -iters 6 -trace "$tracedir/trace.jsonl" >/dev/null
+test -s "$tracedir/trace.jsonl" || {
+    echo "telemetry smoke: trace is empty" >&2
+    exit 1
+}
+go run ./scripts/tracecheck "$tracedir/trace.jsonl"
 
 if [ "$FUZZTIME" = "0" ]; then
     echo "==> fuzz smoke skipped (FUZZTIME=0)"
