@@ -2,6 +2,7 @@ package bo
 
 import (
 	"math/rand"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -14,6 +15,18 @@ import (
 // prediction paths are read-only with pooled scratch).
 type AcqFunc func(x []float64) float64
 
+// BatchAcqFunc scores a block of candidates at once, writing out[j] = f(X[j])
+// for the point-wise function it batches. It must be bit-identical to the
+// point-wise AcqFunc and safe for concurrent calls on disjoint blocks —
+// CEIBatch over any BatchSurrogate satisfies both.
+type BatchAcqFunc func(X [][]float64, out []float64)
+
+// DefaultBatchBlock is the candidate-block width of the batched probe phase:
+// large enough to amortize cross-covariance and solve setup per block, small
+// enough that per-block workspaces (a few n x block matrices) stay
+// cache-resident at mid-session history sizes.
+const DefaultBatchBlock = 64
+
 // OptimizerConfig controls acquisition maximization.
 type OptimizerConfig struct {
 	// RandomCandidates is the number of uniform random probes.
@@ -24,6 +37,11 @@ type OptimizerConfig struct {
 	LocalSteps int
 	// StepScale is the initial perturbation magnitude (fraction of range).
 	StepScale float64
+	// BatchBlock is the candidate-block width used when a BatchAcqFunc is
+	// supplied (0 selects DefaultBatchBlock). Block partitioning is purely
+	// mechanical: candidates never interact, so any width yields the same
+	// recommendation.
+	BatchBlock int
 	// Recorder receives a per-optimization span (nil records nothing).
 	// Telemetry only — the recommendation never depends on it.
 	Recorder obs.Recorder
@@ -48,25 +66,47 @@ func DefaultOptimizerConfig() OptimizerConfig {
 // first-index tie-breaks. The recommendation is therefore bit-identical at
 // any GOMAXPROCS.
 func OptimizeAcq(f AcqFunc, dim int, cfg OptimizerConfig, incumbents [][]float64, r *rand.Rand) []float64 {
+	return OptimizeAcqBatch(f, nil, dim, cfg, incumbents, r)
+}
+
+// OptimizeAcqBatch is OptimizeAcq with an optional batch-scoring hook: when
+// batch is non-nil, the random-probe phase block-partitions the candidates
+// (cfg.BatchBlock per block) and scores each block with one batch call,
+// fanning blocks across par workers instead of single points. Because a
+// conforming BatchAcqFunc is bit-identical to f and blocks write disjoint
+// result ranges, the probe scores — and therefore the recommendation — match
+// the point-wise path bit for bit at any GOMAXPROCS and any block width.
+// Local search stays point-wise: each step depends on the previous accept.
+func OptimizeAcqBatch(f AcqFunc, batch BatchAcqFunc, dim int, cfg OptimizerConfig, incumbents [][]float64, r *rand.Rand) []float64 {
 	rec := obs.OrNop(cfg.Recorder)
+	var sp obs.Span
 	if rec.Enabled() {
-		sp := rec.Span("bo.optimize_acq",
+		sp = rec.Span("bo.optimize_acq",
 			obs.Int("dim", dim),
 			obs.Int("candidates", cfg.RandomCandidates),
 			obs.Int("incumbents", len(incumbents)),
-			obs.Int("starts", cfg.LocalStarts))
+			obs.Int("starts", cfg.LocalStarts),
+			obs.Bool("batched", batch != nil))
 		defer sp.End()
 	}
-	xs := make([][]float64, 0, cfg.RandomCandidates+len(incumbents))
-	for i := 0; i < cfg.RandomCandidates; i++ {
-		x := make([]float64, dim)
-		for d := range x {
-			x[d] = r.Float64()
-		}
-		xs = append(xs, x)
+	// All probe (and incumbent) coordinates live in one contiguous backing
+	// array — one allocation instead of one per candidate, and cache-dense
+	// input for the batched cross-covariance pass. Draw order (candidate
+	// major, dimension minor) matches the per-candidate loop it replaces, so
+	// the seeded stream is consumed identically.
+	total := cfg.RandomCandidates + len(incumbents)
+	coords := make([]float64, total*dim)
+	for i := 0; i < cfg.RandomCandidates*dim; i++ {
+		coords[i] = r.Float64()
 	}
-	for _, inc := range incumbents {
-		xs = append(xs, append([]float64(nil), inc...))
+	xs := make([][]float64, 0, total)
+	for i := 0; i < cfg.RandomCandidates; i++ {
+		xs = append(xs, coords[i*dim:(i+1)*dim:(i+1)*dim])
+	}
+	for k, inc := range incumbents {
+		row := coords[(cfg.RandomCandidates+k)*dim : (cfg.RandomCandidates+k+1)*dim : (cfg.RandomCandidates+k+1)*dim]
+		copy(row, inc)
+		xs = append(xs, row)
 	}
 	if len(xs) == 0 {
 		x := make([]float64, dim)
@@ -76,7 +116,33 @@ func OptimizeAcq(f AcqFunc, dim int, cfg OptimizerConfig, incumbents [][]float64
 		return x
 	}
 	vals := make([]float64, len(xs))
-	par.ForEach(len(xs), func(i int) { vals[i] = f(xs[i]) })
+	tScore := time.Now()
+	if batch != nil {
+		block := cfg.BatchBlock
+		if block <= 0 {
+			block = DefaultBatchBlock
+		}
+		nb := (len(xs) + block - 1) / block
+		par.ForEach(nb, func(b int) {
+			lo := b * block
+			hi := lo + block
+			if hi > len(xs) {
+				hi = len(xs)
+			}
+			batch(xs[lo:hi], vals[lo:hi])
+		})
+		if sp != nil {
+			sp.SetAttrs(obs.Int("batch_block", block), obs.Int("batch_blocks", nb))
+		}
+	} else {
+		par.ForEach(len(xs), func(i int) { vals[i] = f(xs[i]) })
+	}
+	if sp != nil {
+		if el := time.Since(tScore).Seconds(); el > 0 {
+			sp.SetAttrs(obs.Float("probe_score_ms", el*1e3),
+				obs.Float("probes_per_sec", float64(len(xs))/el))
+		}
+	}
 
 	// Partial selection of the top LocalStarts probes (first index wins
 	// ties, matching a sequential scan).

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"math/rand"
 	"runtime"
 	"testing"
 
@@ -29,9 +30,14 @@ func sessionTrace(res *Result) string {
 // hyperparameter search, parallel acquisition optimization, dynamic RGPE
 // weights, dilution guard — must produce a bit-identical iteration trace at
 // GOMAXPROCS=1 and at an oversubscribed worker count, and across repeated
-// runs at the same setting. Every run carries a live (non-Nop) recorder,
-// pinning the DESIGN.md §8 contract that telemetry is write-only: recording
-// spans and metrics must not perturb a single tuning decision.
+// runs at the same setting. The non-LHS iterations all score probes through
+// the batched acquisition path (both TriGP and the ensemble implement
+// bo.BatchSurrogate, so the tuner loop always installs the CEIBatch hook —
+// see TestSessionUsesBatchedAcquisition), which makes this test also pin the
+// batch path's bit-identity under parallel block scoring. Every run carries
+// a live (non-Nop) recorder, pinning the DESIGN.md §8 contract that
+// telemetry is write-only: recording spans and metrics must not perturb a
+// single tuning decision.
 func TestSessionDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	run := func(procs int) string {
 		old := runtime.GOMAXPROCS(procs)
@@ -80,6 +86,54 @@ func TestSessionDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	if parallel := run(procs); parallel != serial {
 		t.Fatalf("session trace differs between GOMAXPROCS=1 and %d:\n%s\nvs\n%s",
 			procs, serial, parallel)
+	}
+}
+
+// TestSessionUsesBatchedAcquisition pins the wiring assumption the
+// determinism test above relies on: every surrogate the tuner loop builds
+// (plain TriGP and the meta ensemble) satisfies bo.BatchSurrogate, and the
+// batched CEI hook the loop installs scores a probe block bit-identically to
+// the point-wise acquisition at GOMAXPROCS 1 and 8.
+func TestSessionUsesBatchedAcquisition(t *testing.T) {
+	ev := twitterEvaluator(3)
+	h := sampleHistory(ev, 14, 0.1)
+	tri := bo.NewTriGP(ev.Space().Dim(), 3)
+	if err := tri.Fit(h); err != nil {
+		t.Fatal(err)
+	}
+	bl, err := meta.NewBaseLearner("b", "w", "A", []float64{0.5, 0.5}, h, ev.Space().Dim(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := meta.NewBaseLearnerFromSurrogate("target", "t", "A", []float64{0.4, 0.6}, h, tri)
+	ens := meta.NewEnsemble([]*meta.BaseLearner{bl}, target, []float64{0.3, 0.7})
+
+	for name, s := range map[string]bo.Surrogate{"trigp": tri, "ensemble": ens} {
+		bs, ok := s.(bo.BatchSurrogate)
+		if !ok {
+			t.Fatalf("%s surrogate does not batch: the tuner loop would fall back to point-wise scoring", name)
+		}
+		sla := bo.SLA{LambdaTps: 5000, LambdaLat: 10}
+		cons := tri.RawConstraints(sla)
+		best := tri.Standardizer(bo.Res).Apply(55)
+		f := func(x []float64) float64 { return bo.CEI(s, x, best, cons) }
+		fb := func(X [][]float64, out []float64) { bo.CEIBatch(bs, X, best, cons, out) }
+		cfg := fastAcq()
+		var want []float64
+		for _, procs := range []int{1, 8} {
+			old := runtime.GOMAXPROCS(procs)
+			got := bo.OptimizeAcqBatch(f, fb, ev.Space().Dim(), cfg, nil, rand.New(rand.NewSource(11)))
+			point := bo.OptimizeAcq(f, ev.Space().Dim(), cfg, nil, rand.New(rand.NewSource(11)))
+			runtime.GOMAXPROCS(old)
+			if fmt.Sprintf("%x", got) != fmt.Sprintf("%x", point) {
+				t.Fatalf("%s at GOMAXPROCS=%d: batched %x != point-wise %x", name, procs, got, point)
+			}
+			if want == nil {
+				want = got
+			} else if fmt.Sprintf("%x", got) != fmt.Sprintf("%x", want) {
+				t.Fatalf("%s: batched recommendation varies with GOMAXPROCS", name)
+			}
+		}
 	}
 }
 

@@ -290,8 +290,17 @@ func (t *ResTune) Run(ev Evaluator, iters int) (*Result, error) {
 				return bo.CEI(surrogate, x, bestVal, cons)
 			}
 			acqFn = acq
+			// Every surrogate in this repository (TriGP and the meta
+			// ensemble) batches, so probes are scored block-at-a-time; the
+			// batch path is bit-identical to acq, keeping traces unchanged.
+			var acqBatch bo.BatchAcqFunc
+			if bs, ok := surrogate.(bo.BatchSurrogate); ok {
+				acqBatch = func(X [][]float64, out []float64) {
+					bo.CEIBatch(bs, X, bestVal, cons, out)
+				}
+			}
 			incumbents := incumbentSet(h, res.SLA, defaultTheta)
-			theta = bo.OptimizeAcq(acq, dim, cfg.Acq, incumbents, r)
+			theta = bo.OptimizeAcqBatch(acq, acqBatch, dim, cfg.Acq, incumbents, r)
 		}
 		theta = space.Quantize(theta)
 		it.Recommend = time.Since(tRec)

@@ -44,10 +44,36 @@ type GP struct {
 	// calls Predict tens of thousands of times per tuning iteration, from
 	// many goroutines) runs allocation-free in steady state.
 	scratch sync.Pool
+	// batch pools per-PredictBatch workspaces (cross-covariance block,
+	// solve block, prior row) for the same reason.
+	batch sync.Pool
 }
 
 type predictBuf struct {
 	ks, v []float64
+}
+
+// batchBuf is the pooled workspace of one PredictBatch call: the n x m
+// cross-covariance block, the n x m forward-solve block, and the m-vector of
+// prior variances. The Dense headers are retained and re-dressed over the
+// backing arrays with Reset, so steady-state use allocates nothing.
+type batchBuf struct {
+	kdata, vdata []float64
+	kstar, v     mat.Dense
+	prior        []float64
+}
+
+func (bb *batchBuf) resize(n, m int) {
+	if cap(bb.kdata) < n*m {
+		bb.kdata = make([]float64, n*m)
+		bb.vdata = make([]float64, n*m)
+	}
+	if cap(bb.prior) < m {
+		bb.prior = make([]float64, m)
+	}
+	bb.kstar.Reset(n, m, bb.kdata[:n*m])
+	bb.v.Reset(n, m, bb.vdata[:n*m])
+	bb.prior = bb.prior[:m]
 }
 
 // New returns an unfitted GP with the given kernel and noise variance.
@@ -230,6 +256,178 @@ func (g *GP) Predict(x []float64) (mu, variance float64) {
 		variance = 1e-12
 	}
 	return mu, variance
+}
+
+// CrossCovTo fills dst (an N() x len(X) matrix) with the cross-covariance
+// block between the training inputs and the candidate batch X: dst[i][j] =
+// k(x_i, X[j]). Isotropic Matérn-5/2 and RBF kernels — the production
+// configuration — take a transposed fast path whose distance and sqrt passes
+// vectorize over candidates; other kernels evaluate row by row through
+// Kernel.EvalRow with batch-invariant terms hoisted per training point.
+// Either way every entry matches the point-wise Eval bit for bit.
+func (g *GP) CrossCovTo(dst *mat.Dense, X [][]float64) {
+	if r, c := dst.Dims(); r != len(g.x) || c != len(X) {
+		panic("gp: cross-covariance dimension mismatch")
+	}
+	if len(X) == 0 || len(g.x) == 0 {
+		return
+	}
+	switch k := g.kernel.(type) {
+	case *Matern52:
+		if len(k.LengthScales) == 1 {
+			crossCovMatern52Iso(dst, g.x, X, k)
+			return
+		}
+	case *RBF:
+		if len(k.LengthScales) == 1 {
+			crossCovRBFIso(dst, g.x, X, k)
+			return
+		}
+	}
+	for i, xi := range g.x {
+		g.kernel.EvalRow(xi, X, dst.Row(i))
+	}
+}
+
+// SharesCrossCov reports whether g and o would build bit-identical
+// cross-covariance blocks for any candidate batch: the same training inputs
+// (pointer-identical storage) under equal kernels. Co-trained surrogates
+// (TriGP's three metric GPs, fitted on one shared theta track) use this to
+// compute the block once and share it.
+func (g *GP) SharesCrossCov(o *GP) bool {
+	if len(g.x) != len(o.x) {
+		return false
+	}
+	if len(g.x) > 0 && &g.x[0] != &o.x[0] {
+		return false
+	}
+	return KernelsEqual(g.kernel, o.kernel)
+}
+
+// SharesSolve reports whether g and o compute bit-identical posterior
+// variances for any candidate batch: SharesCrossCov plus equal noise
+// variance on two fitted GPs. The factorization is a pure function of
+// (training inputs, kernel, noise) — mat.Cholesky.Append is bit-identical to
+// a full Factor — so two such GPs carry the same Cholesky factor, the same
+// prior variances, and therefore the same forward solve and posterior
+// variance. Only the mean differs (it depends on the targets), so a sharing
+// caller pairs one full posterior computation with MeanBatchCov calls for
+// the rest of the family and copies the variance outright.
+func (g *GP) SharesSolve(o *GP) bool {
+	return g.chol != nil && o.chol != nil &&
+		g.NoiseVariance == o.NoiseVariance && g.SharesCrossCov(o)
+}
+
+// MeanBatchCov fills mu with the posterior mean at every candidate from a
+// caller-provided cross-covariance block — exactly the mean half of
+// PredictBatchCov, bit for bit — leaving the variance to be shared from a
+// sibling GP for which SharesSolve holds. The GP must be fitted.
+func (g *GP) MeanBatchCov(kstar *mat.Dense, mu []float64) {
+	mat.MulTVecTo(mu, kstar, g.alpha)
+	for j := range mu {
+		mu[j] += g.meanY
+	}
+}
+
+// PredictBatch computes the posterior mean and variance at every candidate in
+// X, filling mu and variance (each len(X)). It is bit-identical to calling
+// Predict per candidate — same kernel arithmetic, same solve order, same
+// variance floor — but builds the cross-covariance block with per-row hoisted
+// kernel terms and forward-substitutes all candidates through the Cholesky
+// factor in one blocked pass. Safe for concurrent use; allocation-free in
+// steady state (workspaces are pooled, outputs are caller-provided).
+func (g *GP) PredictBatch(X [][]float64, mu, variance []float64) {
+	m := len(X)
+	if len(mu) != m || len(variance) != m {
+		panic("gp: batch output length mismatch")
+	}
+	if m == 0 {
+		return
+	}
+	if g.chol == nil {
+		g.priorBatch(X, mu, variance)
+		return
+	}
+	bb := g.getBatchBuf(len(g.x), m)
+	g.CrossCovTo(&bb.kstar, X)
+	g.predictBatchCov(bb, &bb.kstar, X, mu, variance)
+	g.batch.Put(bb)
+}
+
+// PredictBatchCov is PredictBatch with a caller-provided cross-covariance
+// block (as built by CrossCovTo, N() x len(X)). The block is read, never
+// written, so one block can serve several GPs for which SharesCrossCov holds
+// — they differ only in targets, noise and factorization. The caller is
+// responsible for that agreement; a mismatched block silently yields the
+// wrong posterior.
+func (g *GP) PredictBatchCov(kstar *mat.Dense, X [][]float64, mu, variance []float64) {
+	m := len(X)
+	if len(mu) != m || len(variance) != m {
+		panic("gp: batch output length mismatch")
+	}
+	if m == 0 {
+		return
+	}
+	if g.chol == nil {
+		g.priorBatch(X, mu, variance)
+		return
+	}
+	bb := g.getBatchBuf(len(g.x), m)
+	g.predictBatchCov(bb, kstar, X, mu, variance)
+	g.batch.Put(bb)
+}
+
+// priorBatch fills the unfitted posterior, matching Predict's prior branch.
+func (g *GP) priorBatch(X [][]float64, mu, variance []float64) {
+	for j, x := range X {
+		mu[j] = 0
+		variance[j] = g.kernel.Eval(x, x) + g.NoiseVariance
+	}
+}
+
+func (g *GP) getBatchBuf(n, m int) *batchBuf {
+	bb, _ := g.batch.Get().(*batchBuf)
+	if bb == nil {
+		bb = &batchBuf{}
+	}
+	bb.resize(n, m)
+	return bb
+}
+
+// predictBatchCov is the shared body of PredictBatch/PredictBatchCov. Per
+// candidate j it performs exactly Predict's op sequence: prior = k(x,x) + σ²;
+// mu = mean + Σ_i ks[i]·α[i] (ascending i); v = forward solve of ks through
+// L (ascending rows); variance = prior − Σ_i v[i]² (ascending i), floored at
+// 1e-12. MulTVecTo, SolveLowerBatchTo and ColDotsTo each preserve that
+// per-column order, so batch results carry the same bits as point-wise ones.
+func (g *GP) predictBatchCov(bb *batchBuf, kstar *mat.Dense, X [][]float64, mu, variance []float64) {
+	for j, x := range X {
+		bb.prior[j] = g.kernel.Eval(x, x) + g.NoiseVariance
+	}
+	mat.MulTVecTo(mu, kstar, g.alpha)
+	for j := range mu {
+		mu[j] += g.meanY
+	}
+	g.chol.SolveLowerBatchTo(&bb.v, kstar)
+	mat.ColDotsTo(variance, &bb.v)
+	for j := range variance {
+		variance[j] = bb.prior[j] - variance[j]
+		if variance[j] < 1e-12 {
+			variance[j] = 1e-12
+		}
+	}
+}
+
+// AdoptHyperparamsFrom installs o's kernel hyperparameters and noise
+// variance into g and refactors g's current fit under them. It is the
+// explicit way to construct a sharing family: afterwards, if g and o hold
+// the same training inputs, SharesSolve(g, o) holds and batched posterior
+// callers can share one cross-covariance block and triangular solve across
+// both GPs.
+func (g *GP) AdoptHyperparamsFrom(o *GP) error {
+	g.kernel.SetParams(o.kernel.Params())
+	g.NoiseVariance = o.NoiseVariance
+	return g.refactor()
 }
 
 // LogMarginalLikelihood returns log p(y | X, θ) for the current fit.

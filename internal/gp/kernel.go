@@ -16,12 +16,45 @@ import (
 type Kernel interface {
 	// Eval returns k(a, b).
 	Eval(a, b []float64) float64
+	// EvalRow fills dst[j] = k(x, xs[j]) for every j. It must be
+	// bit-identical to calling Eval(x, xs[j]) point by point; terms that do
+	// not vary across the batch (the inverse squared length scale of an
+	// isotropic kernel) are hoisted out of the loop, which preserves bits
+	// because the hoisted value is computed by the same expression Eval uses.
+	EvalRow(x []float64, xs [][]float64, dst []float64)
 	// Params returns the kernel hyperparameters in log space.
 	Params() []float64
 	// SetParams installs hyperparameters from log space.
 	SetParams(logp []float64)
 	// Clone returns an independent copy.
 	Clone() Kernel
+}
+
+// KernelsEqual reports whether two kernels compute bit-identical covariances:
+// the same concrete type with identical hyperparameters. The GP layer uses it
+// to share cross-covariance blocks between co-trained surrogates.
+func KernelsEqual(a, b Kernel) bool {
+	switch ka := a.(type) {
+	case *Matern52:
+		kb, ok := b.(*Matern52)
+		return ok && ka.Variance == kb.Variance && floatsEqual(ka.LengthScales, kb.LengthScales)
+	case *RBF:
+		kb, ok := b.(*RBF)
+		return ok && ka.Variance == kb.Variance && floatsEqual(ka.LengthScales, kb.LengthScales)
+	}
+	return false
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // sqDist returns the squared Euclidean distance scaled per-dimension by the
@@ -64,6 +97,32 @@ func (k *Matern52) Eval(a, b []float64) float64 {
 	return k.Variance * (1 + r + 5*r2/3) * math.Exp(-r)
 }
 
+// EvalRow implements Kernel. The isotropic inverse squared length scale is
+// hoisted once per row (the same 1/(l·l) expression sqDist computes per
+// call), so every dst[j] matches Eval(x, xs[j]) bit for bit.
+func (k *Matern52) EvalRow(x []float64, xs [][]float64, dst []float64) {
+	v, ls := k.Variance, k.LengthScales
+	if len(ls) == 1 {
+		inv := 1 / (ls[0] * ls[0])
+		for j, b := range xs {
+			b = b[:len(x)]
+			s := 0.0
+			for i := range x {
+				d := x[i] - b[i]
+				s += d * d * inv
+			}
+			r := math.Sqrt(5 * s)
+			dst[j] = v * (1 + r + 5*s/3) * math.Exp(-r)
+		}
+		return
+	}
+	for j, b := range xs {
+		s := sqDist(x, b, ls)
+		r := math.Sqrt(5 * s)
+		dst[j] = v * (1 + r + 5*s/3) * math.Exp(-r)
+	}
+}
+
 // Params implements Kernel.
 func (k *Matern52) Params() []float64 {
 	p := make([]float64, 1+len(k.LengthScales))
@@ -103,6 +162,28 @@ func NewRBF(variance, lengthScale float64) *RBF {
 // Eval implements Kernel.
 func (k *RBF) Eval(a, b []float64) float64 {
 	return k.Variance * math.Exp(-0.5*sqDist(a, b, k.LengthScales))
+}
+
+// EvalRow implements Kernel with the same per-batch hoisting as
+// Matern52.EvalRow.
+func (k *RBF) EvalRow(x []float64, xs [][]float64, dst []float64) {
+	v, ls := k.Variance, k.LengthScales
+	if len(ls) == 1 {
+		inv := 1 / (ls[0] * ls[0])
+		for j, b := range xs {
+			b = b[:len(x)]
+			s := 0.0
+			for i := range x {
+				d := x[i] - b[i]
+				s += d * d * inv
+			}
+			dst[j] = v * math.Exp(-0.5*s)
+		}
+		return
+	}
+	for j, b := range xs {
+		dst[j] = v * math.Exp(-0.5*sqDist(x, b, ls))
+	}
 }
 
 // Params implements Kernel.

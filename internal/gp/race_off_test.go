@@ -1,0 +1,5 @@
+//go:build !race
+
+package gp
+
+const raceEnabled = false

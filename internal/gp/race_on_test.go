@@ -1,0 +1,8 @@
+//go:build race
+
+package gp
+
+// raceEnabled reports that the race detector is active, under which
+// sync.Pool deliberately drops a fraction of Puts — allocation-count
+// assertions cannot hold there.
+const raceEnabled = true

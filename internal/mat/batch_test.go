@@ -1,0 +1,113 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSolveLowerBatchMatchesVec pins the batched solve's bit-identity
+// contract: every column of the batch result must equal the per-vector
+// forward solve exactly, for batch widths spanning 0, 1, sub-block and
+// multi-block sizes, with and without aliasing.
+func TestSolveLowerBatchMatchesVec(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 3, 17, 50} {
+		c, err := NewCholesky(randomSPD(n, r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []int{0, 1, 5, solveBatchCols, solveBatchCols + 37} {
+			b := NewDense(n, m)
+			for i := range b.data {
+				b.data[i] = r.NormFloat64()
+			}
+			dst := NewDense(n, m)
+			c.SolveLowerBatchTo(dst, b)
+			col := make([]float64, n)
+			want := make([]float64, n)
+			for j := 0; j < m; j++ {
+				for i := 0; i < n; i++ {
+					col[i] = b.At(i, j)
+				}
+				c.SolveLowerVecTo(want, col)
+				for i := 0; i < n; i++ {
+					if math.Float64bits(dst.At(i, j)) != math.Float64bits(want[i]) {
+						t.Fatalf("n=%d m=%d: batch[%d][%d]=%x, vec=%x",
+							n, m, i, j, dst.At(i, j), want[i])
+					}
+				}
+			}
+			// Aliased solve (dst == b) must agree with the out-of-place one.
+			alias := b.Clone()
+			c.SolveLowerBatchTo(alias, alias)
+			for i := range alias.data {
+				if math.Float64bits(alias.data[i]) != math.Float64bits(dst.data[i]) {
+					t.Fatalf("n=%d m=%d: aliased solve diverges at %d", n, m, i)
+				}
+			}
+		}
+	}
+}
+
+// TestMulTVecToMatchesDot checks dst = aᵀx column-for-column against Dot.
+func TestMulTVecToMatchesDot(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a := NewDense(23, 9)
+	for i := range a.data {
+		a.data[i] = r.NormFloat64()
+	}
+	x := make([]float64, 23)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	dst := make([]float64, 9)
+	MulTVecTo(dst, a, x)
+	col := make([]float64, 23)
+	for j := 0; j < 9; j++ {
+		for i := 0; i < 23; i++ {
+			col[i] = a.At(i, j)
+		}
+		if want := Dot(col, x); math.Float64bits(dst[j]) != math.Float64bits(want) {
+			t.Fatalf("col %d: got %x want %x", j, dst[j], want)
+		}
+	}
+}
+
+// TestColDotsTo checks per-column squared norms against Dot.
+func TestColDotsTo(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	a := NewDense(31, 7)
+	for i := range a.data {
+		a.data[i] = r.NormFloat64()
+	}
+	dst := make([]float64, 7)
+	ColDotsTo(dst, a)
+	col := make([]float64, 31)
+	for j := 0; j < 7; j++ {
+		for i := 0; i < 31; i++ {
+			col[i] = a.At(i, j)
+		}
+		if want := Dot(col, col); math.Float64bits(dst[j]) != math.Float64bits(want) {
+			t.Fatalf("col %d: got %x want %x", j, dst[j], want)
+		}
+	}
+}
+
+// TestDenseReset checks reshaping over pooled backing.
+func TestDenseReset(t *testing.T) {
+	var d Dense
+	back := make([]float64, 12)
+	d.Reset(3, 4, back)
+	if r, c := d.Dims(); r != 3 || c != 4 {
+		t.Fatalf("dims %dx%d", r, c)
+	}
+	d.Set(2, 3, 42)
+	if back[11] != 42 {
+		t.Fatal("Reset did not share backing")
+	}
+	d.Reset(4, 3, back)
+	if d.At(3, 2) != 42 {
+		t.Fatal("reshape lost data")
+	}
+}

@@ -35,6 +35,19 @@ func NewDenseData(r, c int, data []float64) *Dense {
 // Dims returns the row and column counts.
 func (m *Dense) Dims() (r, c int) { return m.rows, m.cols }
 
+// Reset reshapes m in place to r x c over data (row-major, length r*c)
+// without allocating, so pooled workspaces can re-dress their backing
+// arrays as matrices of varying shape.
+func (m *Dense) Reset(r, c int, data []float64) {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: data length %d != %d*%d", len(data), r, c))
+	}
+	m.rows, m.cols, m.data = r, c, data
+}
+
 // At returns the element at (i, j).
 func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
 
@@ -89,6 +102,121 @@ func MulVec(a *Dense, x []float64) []float64 {
 		out[i] = s
 	}
 	return out
+}
+
+// MulTVecTo computes dst = aᵀ x without allocating: dst[j] = Σ_i a[i][j]·x[i],
+// accumulated over rows in ascending order. For each column j this performs
+// exactly the multiply-add sequence Dot(col_j, x) would, so batching a block
+// of column vectors through one call is bit-identical to per-vector Dot.
+func MulTVecTo(dst []float64, a *Dense, x []float64) {
+	if a.rows != len(x) {
+		panic(fmt.Sprintf("mat: multvec dimension mismatch %dx%d * %d", a.rows, a.cols, len(x)))
+	}
+	if a.cols != len(dst) {
+		panic(fmt.Sprintf("mat: multvec output length %d != %d", len(dst), a.cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	w8 := 0
+	if simdOn {
+		w8 = a.cols &^ 7
+	}
+	for i := 0; i < a.rows; i++ {
+		xi := x[i]
+		row := a.Row(i)
+		if w8 > 0 {
+			axpyRow(&dst[0], &row[0], xi, w8)
+		}
+		for j := w8; j < len(row); j++ {
+			dst[j] += xi * row[j]
+		}
+	}
+}
+
+// ColDotsTo fills dst[j] with the squared Euclidean norm of column j of a,
+// accumulated over rows in ascending order — per column, the exact op
+// sequence of Dot(col_j, col_j).
+func ColDotsTo(dst []float64, a *Dense) {
+	if a.cols != len(dst) {
+		panic(fmt.Sprintf("mat: coldots output length %d != %d", len(dst), a.cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	w8 := 0
+	if simdOn {
+		w8 = a.cols &^ 7
+	}
+	for i := 0; i < a.rows; i++ {
+		row := a.Row(i)
+		if w8 > 0 {
+			sqAccumRow(&dst[0], &row[0], w8)
+		}
+		for j := w8; j < len(row); j++ {
+			dst[j] += row[j] * row[j]
+		}
+	}
+}
+
+// SqDistColsTo fills s[j] with the scaled squared distance between the point
+// x and column j of xt — a len(x) x len(s) matrix holding one candidate per
+// column: s[j] = Σ_d ((x[d]−xt[d][j])²)·inv, accumulating over d in
+// ascending order with per-element op order subtract, square, scale, add.
+// This is the isotropic-kernel distance loop vectorized over candidates;
+// per column it carries the same bits as the point-wise scalar loop (the
+// candidate-minus-point sign flip vanishes under squaring).
+func SqDistColsTo(s []float64, x []float64, xt *Dense, inv float64) {
+	if xt.rows != len(x) || xt.cols != len(s) {
+		panic(fmt.Sprintf("mat: sqdist dimension mismatch %dx%d vs %d, %d",
+			xt.rows, xt.cols, len(x), len(s)))
+	}
+	if len(x) == 0 {
+		for j := range s {
+			s[j] = 0
+		}
+		return
+	}
+	w := len(s)
+	w8 := 0
+	if simdOn {
+		w8 = w &^ 7
+	}
+	if w8 > 0 {
+		sqDistRow(&s[0], &x[0], &xt.data[0], xt.rows, xt.cols, w8, inv)
+	}
+	if w8 == w {
+		return
+	}
+	for j := w8; j < w; j++ {
+		s[j] = 0
+	}
+	for d, xd := range x {
+		row := xt.Row(d)
+		for j := w8; j < w; j++ {
+			diff := xd - row[j]
+			s[j] += diff * diff * inv
+		}
+	}
+}
+
+// SqrtScaleTo fills r[j] = sqrt(c·s[j]) — one rounded multiply, one rounded
+// square root per element, matching math.Sqrt(c*s[j]) bit for bit. r may
+// alias s.
+func SqrtScaleTo(r, s []float64, c float64) {
+	if len(r) != len(s) {
+		panic(fmt.Sprintf("mat: sqrtscale length mismatch %d != %d", len(r), len(s)))
+	}
+	w8 := 0
+	if simdOn {
+		w8 = len(s) &^ 7
+	}
+	if w8 > 0 {
+		sqrtScaleRow(&r[0], &s[0], c, w8)
+	}
+	for j := w8; j < len(s); j++ {
+		r[j] = math.Sqrt(c * s[j])
+	}
 }
 
 // Transpose returns the transpose of m.
@@ -260,6 +388,66 @@ func (c *Cholesky) SolveLowerVecTo(dst, b []float64) {
 			s -= row[k] * dst[k]
 		}
 		dst[i] = s / row[i]
+	}
+}
+
+// solveBatchCols is the column-block width of SolveLowerBatchTo: wide enough
+// to amortize the per-row factor loads over many right-hand sides, narrow
+// enough that the active dst rows of a block stay cache-resident.
+const solveBatchCols = 128
+
+// SolveLowerBatchTo solves L Y = B for every column of B by blocked forward
+// substitution: B and dst are n x m matrices whose m columns are independent
+// right-hand sides. dst may alias b (entry rows are consumed before they are
+// overwritten, as in SolveLowerVecTo); otherwise b is left untouched.
+//
+// Columns never interact: for each column j the subtraction order over k and
+// the final division are exactly those of SolveLowerVecTo, so the batched
+// solve is bit-identical to m per-vector solves. The batching win is purely
+// mechanical — each packed factor row is loaded once per column block instead
+// of once per right-hand side, and the inner loop runs over independent
+// columns instead of a loop-carried dependency chain.
+func (c *Cholesky) SolveLowerBatchTo(dst, b *Dense) {
+	if b.rows != c.n || dst.rows != c.n || b.cols != dst.cols {
+		panic("mat: batch solve dimension mismatch")
+	}
+	if dst != b {
+		copy(dst.data, b.data)
+	}
+	m := dst.cols
+	for lo := 0; lo < m; lo += solveBatchCols {
+		hi := lo + solveBatchCols
+		if hi > m {
+			hi = m
+		}
+		w := hi - lo
+		w8 := 0
+		if simdOn {
+			w8 = w &^ 7
+		}
+		for i := 0; i < c.n; i++ {
+			row := c.row(i)
+			di := dst.Row(i)[lo:hi]
+			if w8 > 0 {
+				// Vector columns: one row of forward substitution across
+				// w8 right-hand sides, accumulators held in registers.
+				fwdSubRow(&di[0], &row[0], &dst.data[lo], i, dst.cols, w8, row[i])
+			}
+			if w8 < w {
+				dt := di[w8:]
+				for k := 0; k < i; k++ {
+					lik := row[k]
+					dk := dst.Row(k)[lo+w8 : hi]
+					for j := range dt {
+						dt[j] -= lik * dk[j]
+					}
+				}
+				lii := row[i]
+				for j := range dt {
+					dt[j] /= lii
+				}
+			}
+		}
 	}
 }
 

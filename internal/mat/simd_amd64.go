@@ -1,0 +1,71 @@
+package mat
+
+// simdOn gates the AVX vector kernels under every batched primitive. The
+// vector paths are bit-identical to the scalar loops they replace: each AVX
+// lane performs exactly the per-column IEEE op sequence (mul, sub, add, div,
+// sqrt — never FMA, which would skip an intermediate rounding), and columns
+// never interact, so enabling or disabling SIMD cannot change a single
+// output bit. It is a variable, not a constant, so the differential tests in
+// this package can force the scalar path on AVX hardware.
+var simdOn = detectAVX()
+
+// detectAVX reports whether the CPU and OS support 256-bit AVX state. The
+// kernels use only AVX1 float instructions (broadcasts are from memory), so
+// AVX2 is not required.
+func detectAVX() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 1 {
+		return false
+	}
+	_, _, ecx, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx&osxsave == 0 || ecx&avx == 0 {
+		return false
+	}
+	// The OS must save/restore XMM and YMM state across context switches.
+	lo, _ := xgetbv()
+	return lo&0x6 == 0x6
+}
+
+// cpuid executes the CPUID instruction.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0).
+func xgetbv() (lo, hi uint32)
+
+// fwdSubRow performs one row of blocked forward substitution over w
+// right-hand-side columns, w a positive multiple of 8:
+//
+//	di[j] = (di[j] - Σ_{t<k, ascending} lrow[t]·data[t·stride+j]) / lii
+//
+// The subtraction order over t and the final division match the per-column
+// scalar solve exactly; lanes are independent columns.
+//
+//go:noescape
+func fwdSubRow(di, lrow, data *float64, k, stride, w int, lii float64)
+
+// sqDistRow fills s[j] = Σ_{d<dim, ascending} ((x[d]-xt[d·stride+j])²)·inv
+// for w columns, w a positive multiple of 8, accumulating from 0.0 in the
+// same per-element op order (sub, square, scale, add) as the scalar loop.
+//
+//go:noescape
+func sqDistRow(s, x, xt *float64, dim, stride, w int, inv float64)
+
+// sqrtScaleRow fills r[j] = sqrt(c·s[j]) for w columns, w a positive
+// multiple of 8.
+//
+//go:noescape
+func sqrtScaleRow(r, s *float64, c float64, w int)
+
+// axpyRow performs dst[j] += a·src[j] for w columns, w a positive multiple
+// of 8.
+//
+//go:noescape
+func axpyRow(dst, src *float64, a float64, w int)
+
+// sqAccumRow performs dst[j] += src[j]·src[j] for w columns, w a positive
+// multiple of 8.
+//
+//go:noescape
+func sqAccumRow(dst, src *float64, w int)

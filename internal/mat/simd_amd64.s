@@ -1,0 +1,307 @@
+// AVX vector kernels for the batched math primitives. Every loop processes
+// independent columns in 256-bit lanes using only correctly-rounded IEEE-754
+// instructions (VMULPD, VSUBPD, VADDPD, VDIVPD, VSQRTPD) in exactly the
+// per-column op order of the scalar Go loops — no FMA, no horizontal
+// reductions — so the vector paths are bit-identical to the scalar ones.
+// All w arguments are positive multiples of 8; callers handle tails in Go.
+
+#include "textflag.h"
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (lo, hi uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, lo+0(FP)
+	MOVL DX, hi+4(FP)
+	RET
+
+// func fwdSubRow(di, lrow, data *float64, k, stride, w int, lii float64)
+//
+// One row of blocked forward substitution:
+//   di[j] = (di[j] - sum_{t<k} lrow[t]*data[t*stride+j]) / lii
+// Columns j are 16-wide (four ymm accumulators) while >=16 remain, then one
+// 8-wide pass. The t-loop is innermost so accumulators stay in registers.
+TEXT ·fwdSubRow(SB), NOSPLIT, $0-56
+	MOVQ di+0(FP), DI
+	MOVQ lrow+8(FP), SI
+	MOVQ data+16(FP), DX
+	MOVQ k+24(FP), CX
+	MOVQ stride+32(FP), R8
+	SHLQ $3, R8                   // row stride in bytes
+	MOVQ w+40(FP), R9
+	SHLQ $3, R9                   // column limit in bytes
+	VBROADCASTSD lii+48(FP), Y15
+	XORQ R10, R10                 // current column offset in bytes
+
+fs_chunk16:
+	MOVQ R9, R12
+	SUBQ R10, R12                 // bytes remaining
+	CMPQ R12, $128
+	JLT  fs_chunk8
+	VMOVUPD 0(DI)(R10*1), Y0
+	VMOVUPD 32(DI)(R10*1), Y1
+	VMOVUPD 64(DI)(R10*1), Y2
+	VMOVUPD 96(DI)(R10*1), Y3
+	LEAQ 0(DX)(R10*1), R13        // &data[0*stride + jc]
+	XORQ R14, R14                 // t
+
+fs_k16:
+	CMPQ R14, CX
+	JGE  fs_k16done
+	VBROADCASTSD 0(SI)(R14*8), Y4 // lrow[t]
+	VMULPD 0(R13), Y4, Y5
+	VSUBPD Y5, Y0, Y0
+	VMULPD 32(R13), Y4, Y6
+	VSUBPD Y6, Y1, Y1
+	VMULPD 64(R13), Y4, Y7
+	VSUBPD Y7, Y2, Y2
+	VMULPD 96(R13), Y4, Y8
+	VSUBPD Y8, Y3, Y3
+	ADDQ R8, R13
+	INCQ R14
+	JMP  fs_k16
+
+fs_k16done:
+	VDIVPD Y15, Y0, Y0
+	VDIVPD Y15, Y1, Y1
+	VDIVPD Y15, Y2, Y2
+	VDIVPD Y15, Y3, Y3
+	VMOVUPD Y0, 0(DI)(R10*1)
+	VMOVUPD Y1, 32(DI)(R10*1)
+	VMOVUPD Y2, 64(DI)(R10*1)
+	VMOVUPD Y3, 96(DI)(R10*1)
+	ADDQ $128, R10
+	JMP  fs_chunk16
+
+fs_chunk8:
+	CMPQ R12, $0
+	JLE  fs_done
+	VMOVUPD 0(DI)(R10*1), Y0
+	VMOVUPD 32(DI)(R10*1), Y1
+	LEAQ 0(DX)(R10*1), R13
+	XORQ R14, R14
+
+fs_k8:
+	CMPQ R14, CX
+	JGE  fs_k8done
+	VBROADCASTSD 0(SI)(R14*8), Y4
+	VMULPD 0(R13), Y4, Y5
+	VSUBPD Y5, Y0, Y0
+	VMULPD 32(R13), Y4, Y6
+	VSUBPD Y6, Y1, Y1
+	ADDQ R8, R13
+	INCQ R14
+	JMP  fs_k8
+
+fs_k8done:
+	VDIVPD Y15, Y0, Y0
+	VDIVPD Y15, Y1, Y1
+	VMOVUPD Y0, 0(DI)(R10*1)
+	VMOVUPD Y1, 32(DI)(R10*1)
+	ADDQ $64, R10
+	MOVQ R9, R12
+	SUBQ R10, R12
+	JMP  fs_chunk8
+
+fs_done:
+	VZEROUPPER
+	RET
+
+// func sqDistRow(s, x, xt *float64, dim, stride, w int, inv float64)
+//
+// s[j] = sum_{d<dim} ((x[d]-xt[d*stride+j])^2)*inv, accumulating from 0.0
+// with the scalar op order: sub, square, scale by inv, add.
+TEXT ·sqDistRow(SB), NOSPLIT, $0-56
+	MOVQ s+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ xt+16(FP), DX
+	MOVQ dim+24(FP), CX
+	MOVQ stride+32(FP), R8
+	SHLQ $3, R8
+	MOVQ w+40(FP), R9
+	SHLQ $3, R9
+	VBROADCASTSD inv+48(FP), Y15
+	XORQ R10, R10
+
+sd_chunk16:
+	MOVQ R9, R12
+	SUBQ R10, R12
+	CMPQ R12, $128
+	JLT  sd_chunk8
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	LEAQ 0(DX)(R10*1), R13
+	XORQ R14, R14
+
+sd_d16:
+	CMPQ R14, CX
+	JGE  sd_d16done
+	VBROADCASTSD 0(SI)(R14*8), Y4 // x[d]
+	VMOVUPD 0(R13), Y5
+	VSUBPD Y5, Y4, Y5             // x[d] - xt[d][j]
+	VMULPD Y5, Y5, Y5             // d*d
+	VMULPD Y15, Y5, Y5            // *inv
+	VADDPD Y5, Y0, Y0
+	VMOVUPD 32(R13), Y6
+	VSUBPD Y6, Y4, Y6
+	VMULPD Y6, Y6, Y6
+	VMULPD Y15, Y6, Y6
+	VADDPD Y6, Y1, Y1
+	VMOVUPD 64(R13), Y7
+	VSUBPD Y7, Y4, Y7
+	VMULPD Y7, Y7, Y7
+	VMULPD Y15, Y7, Y7
+	VADDPD Y7, Y2, Y2
+	VMOVUPD 96(R13), Y8
+	VSUBPD Y8, Y4, Y8
+	VMULPD Y8, Y8, Y8
+	VMULPD Y15, Y8, Y8
+	VADDPD Y8, Y3, Y3
+	ADDQ R8, R13
+	INCQ R14
+	JMP  sd_d16
+
+sd_d16done:
+	VMOVUPD Y0, 0(DI)(R10*1)
+	VMOVUPD Y1, 32(DI)(R10*1)
+	VMOVUPD Y2, 64(DI)(R10*1)
+	VMOVUPD Y3, 96(DI)(R10*1)
+	ADDQ $128, R10
+	JMP  sd_chunk16
+
+sd_chunk8:
+	CMPQ R12, $0
+	JLE  sd_done
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	LEAQ 0(DX)(R10*1), R13
+	XORQ R14, R14
+
+sd_d8:
+	CMPQ R14, CX
+	JGE  sd_d8done
+	VBROADCASTSD 0(SI)(R14*8), Y4
+	VMOVUPD 0(R13), Y5
+	VSUBPD Y5, Y4, Y5
+	VMULPD Y5, Y5, Y5
+	VMULPD Y15, Y5, Y5
+	VADDPD Y5, Y0, Y0
+	VMOVUPD 32(R13), Y6
+	VSUBPD Y6, Y4, Y6
+	VMULPD Y6, Y6, Y6
+	VMULPD Y15, Y6, Y6
+	VADDPD Y6, Y1, Y1
+	ADDQ R8, R13
+	INCQ R14
+	JMP  sd_d8
+
+sd_d8done:
+	VMOVUPD Y0, 0(DI)(R10*1)
+	VMOVUPD Y1, 32(DI)(R10*1)
+	ADDQ $64, R10
+	MOVQ R9, R12
+	SUBQ R10, R12
+	JMP  sd_chunk8
+
+sd_done:
+	VZEROUPPER
+	RET
+
+// func sqrtScaleRow(r, s *float64, c float64, w int)
+//
+// r[j] = sqrt(c*s[j]): one rounded multiply, one rounded square root.
+TEXT ·sqrtScaleRow(SB), NOSPLIT, $0-32
+	MOVQ r+0(FP), DI
+	MOVQ s+8(FP), SI
+	VBROADCASTSD c+16(FP), Y15
+	MOVQ w+24(FP), R9
+	SHLQ $3, R9
+	XORQ R10, R10
+
+ss_loop:
+	CMPQ R10, R9
+	JGE  ss_done
+	VMULPD 0(SI)(R10*1), Y15, Y0
+	VSQRTPD Y0, Y0
+	VMULPD 32(SI)(R10*1), Y15, Y1
+	VSQRTPD Y1, Y1
+	VMOVUPD Y0, 0(DI)(R10*1)
+	VMOVUPD Y1, 32(DI)(R10*1)
+	ADDQ $64, R10
+	JMP  ss_loop
+
+ss_done:
+	VZEROUPPER
+	RET
+
+// func axpyRow(dst, src *float64, a float64, w int)
+//
+// dst[j] += a*src[j]: one rounded multiply, one rounded add.
+TEXT ·axpyRow(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	VBROADCASTSD a+16(FP), Y15
+	MOVQ w+24(FP), R9
+	SHLQ $3, R9
+	XORQ R10, R10
+
+ax_loop:
+	CMPQ R10, R9
+	JGE  ax_done
+	VMULPD 0(SI)(R10*1), Y15, Y0
+	VMOVUPD 0(DI)(R10*1), Y1
+	VADDPD Y0, Y1, Y1
+	VMULPD 32(SI)(R10*1), Y15, Y2
+	VMOVUPD 32(DI)(R10*1), Y3
+	VADDPD Y2, Y3, Y3
+	VMOVUPD Y1, 0(DI)(R10*1)
+	VMOVUPD Y3, 32(DI)(R10*1)
+	ADDQ $64, R10
+	JMP  ax_loop
+
+ax_done:
+	VZEROUPPER
+	RET
+
+// func sqAccumRow(dst, src *float64, w int)
+//
+// dst[j] += src[j]*src[j]: one rounded multiply, one rounded add.
+TEXT ·sqAccumRow(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ w+16(FP), R9
+	SHLQ $3, R9
+	XORQ R10, R10
+
+sq_loop:
+	CMPQ R10, R9
+	JGE  sq_done
+	VMOVUPD 0(SI)(R10*1), Y0
+	VMULPD Y0, Y0, Y0
+	VMOVUPD 0(DI)(R10*1), Y1
+	VADDPD Y0, Y1, Y1
+	VMOVUPD 32(SI)(R10*1), Y2
+	VMULPD Y2, Y2, Y2
+	VMOVUPD 32(DI)(R10*1), Y3
+	VADDPD Y2, Y3, Y3
+	VMOVUPD Y1, 0(DI)(R10*1)
+	VMOVUPD Y3, 32(DI)(R10*1)
+	ADDQ $64, R10
+	JMP  sq_loop
+
+sq_done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,27 @@
+//go:build !amd64
+
+package mat
+
+// simdOn is a constant false off amd64, so the compiler removes every vector
+// branch and the stubs below are never reached.
+const simdOn = false
+
+func fwdSubRow(di, lrow, data *float64, k, stride, w int, lii float64) {
+	panic("mat: simd stub called")
+}
+
+func sqDistRow(s, x, xt *float64, dim, stride, w int, inv float64) {
+	panic("mat: simd stub called")
+}
+
+func sqrtScaleRow(r, s *float64, c float64, w int) {
+	panic("mat: simd stub called")
+}
+
+func axpyRow(dst, src *float64, a float64, w int) {
+	panic("mat: simd stub called")
+}
+
+func sqAccumRow(dst, src *float64, w int) {
+	panic("mat: simd stub called")
+}

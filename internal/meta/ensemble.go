@@ -1,6 +1,8 @@
 package meta
 
 import (
+	"sync"
+
 	"repro/internal/bo"
 )
 
@@ -114,6 +116,103 @@ func (e *Ensemble) Predict(m bo.Metric, x []float64) (mu, variance float64) {
 	// phase before any target model exists (so the acquisition still
 	// explores).
 	return mu, sumWVar / sumW
+}
+
+// ensembleBuf pools the per-call scratch of Ensemble.PredictBatch: one
+// learner posterior reused across base learners, the target's posterior, and
+// the weighted accumulators.
+type ensembleBuf struct {
+	learner, target bo.BatchPosterior
+	sumWMu, sumWVar [3][]float64
+}
+
+var ensemblePool = sync.Pool{New: func() any { return &ensembleBuf{} }}
+
+func (b *ensembleBuf) resize(n int) {
+	for m := range b.sumWMu {
+		b.sumWMu[m] = growZero(b.sumWMu[m], n)
+		b.sumWVar[m] = growZero(b.sumWVar[m], n)
+	}
+}
+
+func growZero(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// PredictBatch implements bo.BatchSurrogate: the Eq. 6/7 combination at every
+// candidate of a block, bit-identical to per-point Predict. Zero-weight base
+// learners are skipped entirely — their surrogates never build a block — and
+// each contributing learner computes its cross-covariance block(s) once for
+// the whole (block x 3 metrics) workload via its own PredictBatch.
+func (e *Ensemble) PredictBatch(X [][]float64, post *bo.BatchPosterior) {
+	post.Resize(len(X))
+	n := len(X)
+	if n == 0 {
+		return
+	}
+	buf := ensemblePool.Get().(*ensembleBuf)
+	buf.resize(n)
+	// Accumulate base learners in index order — the same order, and thus the
+	// same floating-point sums, as the point-wise loop.
+	sumW := 0.0
+	for i, b := range e.base {
+		if e.weights[i] == 0 {
+			continue
+		}
+		w := e.weights[i]
+		sumW += w
+		b.PredictBatch(X, &buf.learner)
+		for m := range buf.sumWMu {
+			lmu, lv := buf.learner.Mu[m], buf.learner.Var[m]
+			smu, sv := buf.sumWMu[m], buf.sumWVar[m]
+			for j := 0; j < n; j++ {
+				smu[j] += w * lmu[j]
+				sv[j] += w * lv[j]
+			}
+		}
+	}
+	hasTarget := e.target != nil
+	if hasTarget {
+		e.target.PredictBatch(X, &buf.target)
+		if w := e.weights[len(e.base)]; w > 0 {
+			sumW += w
+			for m := range buf.sumWMu {
+				tmu, tv := buf.target.Mu[m], buf.target.Var[m]
+				smu, sv := buf.sumWMu[m], buf.sumWVar[m]
+				for j := 0; j < n; j++ {
+					smu[j] += w * tmu[j]
+					sv[j] += w * tv[j]
+				}
+			}
+		}
+	}
+	for m := range buf.sumWMu {
+		mu, va := post.Mu[m], post.Var[m]
+		if sumW == 0 {
+			for j := 0; j < n; j++ {
+				mu[j], va[j] = 0, 1
+			}
+			continue
+		}
+		for j := 0; j < n; j++ {
+			mu[j] = buf.sumWMu[m][j] / sumW
+		}
+		if hasTarget && !e.weightedVariance {
+			copy(va, buf.target.Var[m])
+			continue
+		}
+		for j := 0; j < n; j++ {
+			va[j] = buf.sumWVar[m][j] / sumW
+		}
+	}
+	ensemblePool.Put(buf)
 }
 
 // RescaledConstraints computes the re-scaled SLA thresholds of Section 6.1:

@@ -1,0 +1,58 @@
+#!/usr/bin/env sh
+# bench_snapshot.sh — snapshot the math-core microbenchmarks into
+# BENCH_mathcore.json at the repository root: one JSON object mapping
+# benchmark name -> { "ns_per_op": ..., "allocs_per_op": ... }.
+#
+# Covers the Cholesky, GP-predict, acquisition and meta-weight kernels plus
+# the batched-inference benchmarks (PredictBatch, and the point-wise vs
+# batched OptimizeAcq pair whose ratio is the batching speedup).
+#
+# Environment:
+#   BENCHTIME=2s   per-benchmark budget (any go test -benchtime value)
+#   COUNT=1        repetitions; with COUNT>1 the last measurement wins
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2s}"
+COUNT="${COUNT:-1}"
+OUT="BENCH_mathcore.json"
+
+PATTERN='^(BenchmarkCholAppend|BenchmarkCholFullRefactor|BenchmarkGPFitIncremental|BenchmarkGPPredict|BenchmarkGPPredictNoAlloc|BenchmarkPredictBatch|BenchmarkCEI|BenchmarkOptimizeAcqParallel|BenchmarkOptimizeAcqPointwise|BenchmarkOptimizeAcqBatched|BenchmarkDynamicWeights)$'
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "==> go test -bench (benchtime=$BENCHTIME, count=$COUNT)"
+go test -run '^$' -bench "$PATTERN" -benchmem \
+    -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$raw"
+
+# Parse `BenchmarkName-N  iters  X ns/op [ Y B/op  Z allocs/op ]` lines into
+# a JSON object. Benchmarks without -benchmem columns report allocs as null.
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""
+    allocs = "null"
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns != "") {
+        vals[name] = sprintf("{\"ns_per_op\": %s, \"allocs_per_op\": %s}", ns, allocs)
+        if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+    }
+}
+END {
+    printf "{\n"
+    for (i = 1; i <= n; i++) {
+        printf "  \"%s\": %s%s\n", order[i], vals[order[i]], (i < n ? "," : "")
+    }
+    printf "}\n"
+}
+' "$raw" > "$OUT"
+
+echo "==> wrote $OUT"
+cat "$OUT"

@@ -10,9 +10,11 @@
 #                                     regression suites)
 #   5. go test -race ./...           (short mode: the crash harness strides
 #                                     its boundary enumeration under -short)
-#   6. a telemetry smoke run: restune-tune -trace must emit a non-empty,
+#   6. a benchmark smoke pass: the batched math-core benchmarks run once
+#      (-benchtime=1x) so a broken benchmark cannot land silently
+#   7. a telemetry smoke run: restune-tune -trace must emit a non-empty,
 #      schema-valid JSONL artifact
-#   7. a fuzz smoke pass: every Fuzz target runs for FUZZTIME (default 30s)
+#   8. a fuzz smoke pass: every Fuzz target runs for FUZZTIME (default 30s)
 #
 # Environment:
 #   FUZZTIME=30s   per-target fuzz budget; set FUZZTIME=0 to skip fuzzing
@@ -45,6 +47,11 @@ go test ./...
 echo "==> go test -race -short ./..."
 go test -race -short ./...
 
+echo "==> benchmark smoke (-benchtime=1x)"
+go test -run '^$' \
+    -bench 'PredictBatch$|OptimizeAcqPointwise$|OptimizeAcqBatched$' \
+    -benchtime 1x .
+
 echo "==> telemetry smoke (restune-tune -trace)"
 tracedir="$(mktemp -d)"
 trap 'rm -rf "$tracedir"' EXIT
@@ -73,5 +80,6 @@ fuzz ./internal/minidb FuzzExecutorStatements
 fuzz ./internal/minidb FuzzBTreeOperations
 fuzz ./internal/minidb FuzzWALReplay
 fuzz ./internal/replay FuzzExtractTemplate
+fuzz ./internal/gp FuzzPredictBatch
 
 echo "==> verify OK"
