@@ -334,6 +334,41 @@ func BenchmarkDynamicWeights(b *testing.B) {
 	}
 }
 
+// BenchmarkMetaIteration measures one meta-learning iteration — dynamic
+// RGPE weights plus ensemble scoring of a 64-candidate block — against
+// synthetic corpus size, comparing the shortlisting corpus path (top-K
+// nearest base tasks by meta-feature, exact fallback at small N) with the
+// all-learners baseline that consults every task. The tentpole gate reads
+// the N=1000 pair from BENCH_corpus.json: corpus per-iteration time must be
+// at most 25% of baseline. At N=34 the corpus path takes the exact fallback
+// and the two variants do identical work by construction.
+func BenchmarkMetaIteration(b *testing.B) {
+	for _, n := range []int{34, 100, 1000, 4000} {
+		cb, err := experiments.NewCorpusBench(n, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("corpus/N=%d", n), func(b *testing.B) {
+			if _, err := cb.CorpusIteration(0); err != nil { // warm lazy fits
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cb.CorpusIteration(i + 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("baseline/N=%d", n), func(b *testing.B) {
+			cb.BaselineIteration(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cb.BaselineIteration(i + 1)
+			}
+		})
+	}
+}
+
 // BenchmarkFullTuningIteration measures one complete ResTune-w/o-ML
 // iteration (model update + recommendation + replay) at a mid-session
 // history size.

@@ -8,6 +8,7 @@
 //	restune-bench -id fig3
 //	restune-bench -id table4 -full
 //	restune-bench -all -iters 40 > results.txt
+//	restune-bench -corpus-size 34,100,1000 -corpus-seed 1
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -34,6 +36,9 @@ func main() {
 		csvDir    = flag.String("csv", "", "also write each experiment's numeric series as CSV into this directory")
 		tracePath = flag.String("trace", "", "write a JSONL telemetry trace of every tuning session to this file")
 		debugAddr = flag.String("debug-addr", "", "serve expvar/metrics/pprof on this address (e.g. localhost:6060) while experiments run")
+
+		corpusSize = flag.String("corpus-size", "", "run the corpus-scaling measurement over these synthetic corpus sizes (comma-separated, e.g. 34,100,1000) instead of a paper experiment")
+		corpusSeed = flag.Int64("corpus-seed", 1, "seed for the deterministic synthetic corpus (-corpus-size)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -48,11 +53,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "restune-bench: -all and -id are mutually exclusive")
 		os.Exit(2)
 	}
+	if *corpusSize != "" && (*all || *id != "") {
+		fmt.Fprintln(os.Stderr, "restune-bench: -corpus-size is mutually exclusive with -id/-all")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, eid := range restune.ExperimentIDs() {
 			fmt.Printf("%-8s %s\n", eid, restune.ExperimentTitle(eid))
 		}
+		return
+	}
+
+	if *corpusSize != "" {
+		sizes, err := parseSizes(*corpusSize)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "restune-bench:", err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		rep, err := restune.CorpusScale(sizes, *corpusSeed, *iters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "restune-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		if *csvDir != "" {
+			path, err := writeCSV(*csvDir, rep)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "restune-bench: writing CSV:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("(series written to %s)\n", path)
+		}
+		fmt.Printf("(corpus scaling completed in %s)\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 
@@ -129,6 +163,20 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// parseSizes parses the -corpus-size list ("34,100,1000") into sizes.
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	sizes := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("-corpus-size: %q is not a positive corpus size", p)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
 }
 
 // writeCSV dumps an experiment's series, one row per series, as

@@ -8,6 +8,7 @@
 //	restune-tune -workload twitter -instance A -resource cpu -iters 50
 //	restune-tune -workload tpcc -resource iops -knobs io -method ituned
 //	restune-tune -workload sysbench -repo repo.json -method restune
+//	restune-tune -workload twitter -repo repo.json -shortlist 16
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		iters        = flag.Int("iters", 50, "tuning iterations")
 		seed         = flag.Int64("seed", 1, "random seed")
 		repoPath     = flag.String("repo", "", "repository JSON for meta-learning (restune only)")
+		shortlist    = flag.Int("shortlist", 0, "with -repo: open the repository lazily and shortlist the top-K base tasks per iteration (0 = eager all-learners path)")
 		converge     = flag.Bool("converge", false, "stop early under the paper's 0.5%/10-iteration convergence rule")
 		verbose      = flag.Bool("v", false, "print every iteration")
 		engine       = flag.Bool("engine", false, "measure against the real minidb storage engine instead of the simulator (slower, real I/O; engine-relevant knobs only)")
@@ -46,13 +48,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "restune-tune: -iters must be positive (got %d)\n", *iters)
 		os.Exit(2)
 	}
-	if err := run(*workloadName, *instance, *resource, *knobSet, *method, *iters, *seed, *repoPath, *tracePath, *debugAddr, *converge, *verbose, *engine); err != nil {
+	if *shortlist < 0 {
+		fmt.Fprintf(os.Stderr, "restune-tune: -shortlist must not be negative (got %d)\n", *shortlist)
+		os.Exit(2)
+	}
+	if err := run(*workloadName, *instance, *resource, *knobSet, *method, *iters, *shortlist, *seed, *repoPath, *tracePath, *debugAddr, *converge, *verbose, *engine); err != nil {
 		fmt.Fprintln(os.Stderr, "restune-tune:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workloadName, instance, resource, knobSet, method string, iters int, seed int64, repoPath, tracePath, debugAddr string, converge, verbose, engine bool) (retErr error) {
+func run(workloadName, instance, resource, knobSet, method string, iters, shortlist int, seed int64, repoPath, tracePath, debugAddr string, converge, verbose, engine bool) (retErr error) {
 	w, err := pickWorkload(workloadName)
 	if err != nil {
 		return err
@@ -122,9 +128,12 @@ func run(workloadName, instance, resource, knobSet, method string, iters int, se
 		ev = restune.NewEvaluator(sim, space, res)
 	}
 
-	tuner, err := pickTuner(method, seed, repoPath, space, w, converge, engine, rec)
+	tuner, cleanup, err := pickTuner(method, seed, shortlist, repoPath, space, w, converge, engine, rec)
 	if err != nil {
 		return err
+	}
+	if cleanup != nil {
+		defer cleanup()
 	}
 
 	fmt.Printf("tuning %s on instance %s: minimize %s over %d knobs with %s (%d iterations)\n",
@@ -226,7 +235,10 @@ func pickSpace(name string, res restune.Resource) (*restune.Space, error) {
 	return nil, fmt.Errorf("unknown knob set %q", name)
 }
 
-func pickTuner(method string, seed int64, repoPath string, space *restune.Space, w restune.Workload, converge, engine bool, rec restune.Recorder) (restune.Tuner, error) {
+// pickTuner builds the selected method. The returned cleanup (possibly nil)
+// must be deferred past the session: with -shortlist the lazily-opened
+// repository file backs on-demand history reads for the whole run.
+func pickTuner(method string, seed int64, shortlist int, repoPath string, space *restune.Space, w restune.Workload, converge, engine bool, rec restune.Recorder) (restune.Tuner, func() error, error) {
 	switch strings.ToLower(method) {
 	case "restune":
 		cfg := restune.DefaultConfig(seed)
@@ -240,44 +252,62 @@ func pickTuner(method string, seed int64, repoPath string, space *restune.Space,
 			cfg.SLATolerance = 0.30
 			cfg.InitIters = 6
 		}
+		var cleanup func() error
 		if repoPath != "" {
-			r, err := restune.LoadRepository(repoPath)
-			if err != nil {
-				return nil, err
-			}
-			base, err := r.BaseLearners(space, seed, nil)
-			if err != nil {
-				return nil, err
-			}
 			ch, err := restune.NewCharacterizer(restune.Workloads(), seed)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			cfg.Base = base
 			cfg.TargetMetaFeature = ch.MetaFeature(w, 3000, rngFor(seed))
-			fmt.Printf("loaded %d base-learners from %s\n", len(base), repoPath)
+			if shortlist > 0 {
+				lazy, err := restune.OpenLazyRepository(repoPath)
+				if err != nil {
+					return nil, nil, err
+				}
+				corpus, err := lazy.Corpus(space, seed, nil,
+					restune.CorpusOptions{ShortlistK: shortlist, Recorder: rec})
+				if err != nil {
+					lazy.Close()
+					return nil, nil, err
+				}
+				cfg.Corpus = corpus
+				cleanup = lazy.Close
+				fmt.Printf("opened %s lazily: %d tasks, shortlisting top %d per iteration\n",
+					repoPath, lazy.Len(), shortlist)
+			} else {
+				r, err := restune.LoadRepository(repoPath)
+				if err != nil {
+					return nil, nil, err
+				}
+				base, err := r.BaseLearners(space, seed, nil)
+				if err != nil {
+					return nil, nil, err
+				}
+				cfg.Base = base
+				fmt.Printf("loaded %d base-learners from %s\n", len(base), repoPath)
+			}
 		}
-		return restune.New(cfg), nil
+		return restune.New(cfg), cleanup, nil
 	case "ituned":
-		return restune.ITuned(seed), nil
+		return restune.ITuned(seed), nil, nil
 	case "ottertune":
 		var tasks []restune.TaskRecord
 		if repoPath != "" {
 			r, err := restune.LoadRepository(repoPath)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			tasks = r.Tasks
 		}
-		return restune.OtterTuneWithConstraints(seed, tasks), nil
+		return restune.OtterTuneWithConstraints(seed, tasks), nil, nil
 	case "cdbtune":
-		return restune.CDBTuneWithConstraints(seed), nil
+		return restune.CDBTuneWithConstraints(seed), nil, nil
 	case "grid":
-		return restune.GridSearch(8), nil
+		return restune.GridSearch(8), nil, nil
 	case "default":
-		return restune.Default(), nil
+		return restune.Default(), nil, nil
 	}
-	return nil, fmt.Errorf("unknown method %q", method)
+	return nil, nil, fmt.Errorf("unknown method %q", method)
 }
 
 func rngFor(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

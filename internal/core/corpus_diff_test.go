@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/bo"
+	"repro/internal/meta"
+)
+
+// corpusTestTasks builds n deterministic base tasks over the case-study
+// space: each task's history, meta-feature, and fit seed are pure functions
+// of its index, so the eager and lazy paths can construct byte-identical
+// learners independently.
+func corpusTestTasks(t *testing.T, n int) ([]bo.History, [][]float64) {
+	t.Helper()
+	hists := make([]bo.History, n)
+	metas := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		off := float64(i) / float64(n)
+		hists[i] = sampleHistory(twitterEvaluator(int64(100+i)), 8, off)
+		metas[i] = []float64{off, 1 - off}
+	}
+	return hists, metas
+}
+
+func corpusTestConfig() Config {
+	cfg := DefaultConfig(7)
+	cfg.InitIters = 3
+	cfg.Acq = fastAcq()
+	cfg.TargetMetaFeature = []float64{0.25, 0.75}
+	cfg.DynamicSamples = 30
+	cfg.DilutionGuard = true
+	return cfg
+}
+
+// TestCorpusSessionBitIdenticalToEager is the ISSUE's differential gate: on
+// the paper-scale 34-task corpus, routing base learners through the lazy
+// Corpus — exact fallback or forced shortlisting with K covering the whole
+// corpus — must reproduce the eager all-learners session bit for bit:
+// identical θ traces, identical fig6-style RGPE weight dynamics.
+func TestCorpusSessionBitIdenticalToEager(t *testing.T) {
+	const n = 34
+	hists, metas := corpusTestTasks(t, n)
+
+	base := make([]*meta.BaseLearner, n)
+	for i := 0; i < n; i++ {
+		bl, err := meta.NewBaseLearner(fmt.Sprintf("task%02d", i), "w", "A",
+			metas[i], hists[i], 3, int64(200+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		base[i] = bl
+	}
+	newCorpus := func(opts meta.CorpusOptions) *meta.Corpus {
+		tasks := make([]meta.CorpusTask, n)
+		for i := 0; i < n; i++ {
+			i := i
+			tasks[i] = meta.CorpusTask{
+				ID:          fmt.Sprintf("task%02d", i),
+				MetaFeature: metas[i],
+				Fit: func() (*meta.BaseLearner, error) {
+					return meta.NewBaseLearner(fmt.Sprintf("task%02d", i), "w", "A",
+						metas[i], hists[i], 3, int64(200+i))
+				},
+			}
+		}
+		return meta.NewCorpus(tasks, opts)
+	}
+
+	run := func(mutate func(*Config)) string {
+		cfg := corpusTestConfig()
+		mutate(&cfg)
+		res, err := New(cfg).Run(twitterEvaluator(7), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sessionTrace(res)
+	}
+
+	eager := run(func(c *Config) { c.Base = base })
+	exact := run(func(c *Config) { c.Corpus = newCorpus(meta.CorpusOptions{}) })
+	if exact != eager {
+		t.Fatalf("corpus exact-fallback session diverges from eager:\n%s\nvs\n%s", exact, eager)
+	}
+	// Forced shortlisting with K = n: every task still participates, the
+	// scatter/active-id bookkeeping runs for real, and the trace must not
+	// move.
+	full := run(func(c *Config) {
+		c.Corpus = newCorpus(meta.CorpusOptions{ExactThreshold: -1, ShortlistK: n})
+	})
+	if full != eager {
+		t.Fatalf("corpus full-K shortlist session diverges from eager:\n%s\nvs\n%s", full, eager)
+	}
+}
+
+// TestCorpusShortlistSessionDeterministicAcrossGOMAXPROCS extends the
+// session determinism contract to the sublinear path: shortlisting, lazy
+// fits, and pruning enabled, the iteration trace must be bit-identical at
+// GOMAXPROCS=1 and oversubscribed.
+func TestCorpusShortlistSessionDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	const n = 20
+	run := func(procs int) string {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		hists, metas := corpusTestTasks(t, n)
+		tasks := make([]meta.CorpusTask, n)
+		for i := 0; i < n; i++ {
+			i := i
+			tasks[i] = meta.CorpusTask{
+				ID:          fmt.Sprintf("task%02d", i),
+				MetaFeature: metas[i],
+				Fit: func() (*meta.BaseLearner, error) {
+					return meta.NewBaseLearner(fmt.Sprintf("task%02d", i), "w", "A",
+						metas[i], hists[i], 3, int64(200+i))
+				},
+			}
+		}
+		cfg := corpusTestConfig()
+		cfg.Corpus = meta.NewCorpus(tasks, meta.CorpusOptions{
+			ExactThreshold: -1, ShortlistK: 6, PruneAfter: 2,
+		})
+		res, err := New(cfg).Run(twitterEvaluator(7), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range res.Iterations {
+			if it.Shortlist > 6 {
+				t.Fatalf("iteration %d: shortlist %d exceeds K=6", it.Index, it.Shortlist)
+			}
+			if len(it.Weights) > 0 && len(it.Weights) != n+1 {
+				t.Fatalf("iteration %d: weight vector has %d entries, want %d (full corpus + target)",
+					it.Index, len(it.Weights), n+1)
+			}
+		}
+		return sessionTrace(res)
+	}
+	serial := run(1)
+	if again := run(1); again != serial {
+		t.Fatal("corpus session not deterministic at GOMAXPROCS=1")
+	}
+	procs := runtime.NumCPU()
+	if procs < 4 {
+		procs = 4
+	}
+	if parallel := run(procs); parallel != serial {
+		t.Fatalf("corpus session trace differs between GOMAXPROCS=1 and %d:\n%s\nvs\n%s",
+			procs, serial, parallel)
+	}
+}
+
+// TestCorpusAndBaseMutuallyExclusive pins the config validation.
+func TestCorpusAndBaseMutuallyExclusive(t *testing.T) {
+	hists, metas := corpusTestTasks(t, 1)
+	bl, err := meta.NewBaseLearner("task0", "w", "A", metas[0], hists[0], 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := corpusTestConfig()
+	cfg.Base = []*meta.BaseLearner{bl}
+	cfg.Corpus = meta.NewCorpus(nil, meta.CorpusOptions{})
+	if _, err := New(cfg).Run(twitterEvaluator(7), 2); err == nil {
+		t.Fatal("expected an error when both Base and Corpus are set")
+	}
+}

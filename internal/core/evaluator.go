@@ -75,8 +75,12 @@ type Iteration struct {
 	// "dynamic", "lhs", "cbo", "rl", ...).
 	Phase string
 	// Weights is the ensemble weight vector (target last) when
-	// meta-learning is active, nil otherwise.
+	// meta-learning is active, nil otherwise. With a corpus it spans the
+	// whole corpus (zeros for tasks off the shortlist).
 	Weights []float64
+	// Shortlist is how many base-learners participated in this iteration's
+	// ensemble when a corpus is active (0 otherwise).
+	Shortlist int
 	// MetaProcessing, ModelUpdate, Recommend, Replay are the measured stage
 	// durations of this iteration.
 	MetaProcessing time.Duration

@@ -26,6 +26,13 @@ type Config struct {
 	// Base holds the historical base-learners from the data repository.
 	// Empty disables meta-learning (the ResTune-w/o-ML ablation).
 	Base []*meta.BaseLearner
+	// Corpus supplies base-learners lazily with nearest-neighbor
+	// shortlisting — the corpus-scale alternative to Base: only shortlisted
+	// tasks are fitted and weighted each iteration, and learners pinned at
+	// zero weight long enough are pruned. On a small corpus (at or below
+	// the exact threshold) sessions are bit-identical to the same learners
+	// passed via Base. Mutually exclusive with Base.
+	Corpus *meta.Corpus
 	// TargetMetaFeature is the target workload's characterization embedding
 	// (required for static weights when Base is non-empty).
 	TargetMetaFeature []float64
@@ -153,7 +160,7 @@ func (t *ResTune) Name() string {
 	if t.cfg.Name != "" {
 		return t.cfg.Name
 	}
-	if len(t.cfg.Base) == 0 {
+	if len(t.cfg.Base) == 0 && t.cfg.Corpus == nil {
 		return "ResTune-w/o-ML"
 	}
 	return "ResTune"
@@ -165,7 +172,17 @@ func (t *ResTune) Run(ev Evaluator, iters int) (*Result, error) {
 	space := ev.Space()
 	dim := space.Dim()
 	r := rng.Derive(cfg.Seed, "restune:"+t.Name())
-	useMeta := len(cfg.Base) > 0
+	if len(cfg.Base) > 0 && cfg.Corpus != nil {
+		return nil, fmt.Errorf("core: Config.Base and Config.Corpus are mutually exclusive")
+	}
+	useMeta := len(cfg.Base) > 0 || cfg.Corpus != nil
+	if cfg.Corpus != nil {
+		// One shortlist per session: the target meta-feature is fixed, so
+		// the index query happens once, not per iteration.
+		if err := cfg.Corpus.Activate(cfg.TargetMetaFeature); err != nil {
+			return nil, fmt.Errorf("core: activating corpus: %w", err)
+		}
+	}
 
 	// Telemetry is injected, never global; Nop turns all of it off. The
 	// per-layer configs below carry the same recorder downward.
@@ -240,6 +257,15 @@ func (t *ResTune) Run(ev Evaluator, iters int) (*Result, error) {
 		}
 
 		if useMeta && !lhsPhase {
+			base := cfg.Base
+			var activeIDs []int
+			if cfg.Corpus != nil {
+				var err error
+				base, activeIDs, err = cfg.Corpus.ActiveLearners()
+				if err != nil {
+					return nil, fmt.Errorf("core: corpus learners at iter %d: %w", iter, err)
+				}
+			}
 			var w []float64
 			useStatic := staticPhase
 			switch cfg.Schema {
@@ -249,19 +275,32 @@ func (t *ResTune) Run(ev Evaluator, iters int) (*Result, error) {
 				useStatic = false
 			}
 			if useStatic {
-				w = meta.StaticWeights(cfg.Base, cfg.TargetMetaFeature, true, cfg.StaticBandwidth)
+				w = meta.StaticWeights(base, cfg.TargetMetaFeature, true, cfg.StaticBandwidth)
 				it.Phase = "static"
 			} else {
-				w = meta.DynamicWeightsOpts(cfg.Base, target,
+				w = meta.DynamicWeightsOpts(base, target,
 					meta.DynamicOptions{Samples: cfg.DynamicSamples, DilutionGuard: cfg.DilutionGuard, Recorder: rec},
 					rng.Derive(cfg.Seed, fmt.Sprintf("dyn:%d", iter)))
 				it.Phase = "dynamic"
+				if cfg.Corpus != nil {
+					// Pruning bookkeeping: takes effect from the next
+					// iteration's shortlist, never this ensemble.
+					cfg.Corpus.ObserveDynamicWeights(activeIDs, w)
+				}
 			}
-			ens := meta.NewEnsemble(cfg.Base, target, w)
+			ens := meta.NewEnsemble(base, target, w)
 			if cfg.WeightedVariance {
 				ens = ens.WithWeightedVariance()
 			}
-			it.Weights = ens.Weights()
+			if cfg.Corpus != nil {
+				// Fixed-shape weight vector over the whole corpus (zeros off
+				// the shortlist) so fig6-style weight traces keep one column
+				// per base task. On the exact path this is the identity.
+				it.Weights = cfg.Corpus.ScatterWeights(activeIDs, ens.Weights())
+				it.Shortlist = len(base)
+			} else {
+				it.Weights = ens.Weights()
+			}
 			surrogate = ens
 			cons = ens.RescaledConstraints(defaultTheta)
 			if best, ok := h.BestFeasible(res.SLA); ok {
@@ -339,6 +378,9 @@ func (t *ResTune) Run(ev Evaluator, iters int) (*Result, error) {
 			}
 			if len(it.Weights) > 0 {
 				attrs = append(attrs, obs.Floats("weights", it.Weights))
+			}
+			if it.Shortlist > 0 {
+				attrs = append(attrs, obs.Int("shortlist", it.Shortlist))
 			}
 			iterSpan.SetAttrs(attrs...)
 			iterGauge.Set(float64(iter))

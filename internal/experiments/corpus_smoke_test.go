@@ -1,0 +1,16 @@
+package experiments
+
+import "testing"
+
+func TestCorpusScaleSmoke(t *testing.T) {
+	rep, err := CorpusScale([]int{34, 100}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range rep.Lines {
+		t.Log(l)
+	}
+	if len(rep.Series["ratio"]) != 2 {
+		t.Fatalf("series: %v", rep.Series)
+	}
+}

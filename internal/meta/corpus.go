@@ -1,0 +1,397 @@
+package meta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// CorpusTask is one base task held lazily by a Corpus: its identity and
+// meta-feature are resident (they drive shortlisting), while the fitted
+// surrogate is produced on demand by Fit — typically decoding an on-disk
+// history segment and running the GP hyperparameter search — only when the
+// task makes a target's shortlist.
+type CorpusTask struct {
+	// ID identifies the task (repo task id).
+	ID string
+	// MetaFeature is the workload-characterization embedding used for
+	// nearest-neighbor shortlisting and static weights.
+	MetaFeature []float64
+	// Fit materializes the fitted base-learner. It must be deterministic:
+	// re-fitting after an LRU eviction has to reproduce the identical
+	// surrogate, or session traces would depend on cache pressure.
+	Fit func() (*BaseLearner, error)
+}
+
+// CorpusOptions configures a Corpus.
+type CorpusOptions struct {
+	// ShortlistK is how many base tasks participate in weighting per
+	// target, picked by meta-feature nearest-neighbor search. 0 selects
+	// DefaultShortlistK.
+	ShortlistK int
+	// ExactThreshold is the corpus size at or below which shortlisting is
+	// bypassed entirely: every task participates and the session behaves
+	// bit-identically to the eager all-learners path (the paper's 34-task
+	// corpus stays on this path). 0 selects DefaultBruteForceThreshold;
+	// negative forces shortlisting at any size.
+	ExactThreshold int
+	// PruneAfter drops a shortlisted learner — and releases its fitted
+	// surrogate — once dynamic weights pin it at zero for this many
+	// consecutive iterations. 0 disables pruning. Pruning only applies in
+	// shortlist mode, never on the exact path.
+	PruneAfter int
+	// MaxResident caps how many fitted learners stay in memory (LRU,
+	// evicting the least recently used non-active learner). It is always
+	// at least the current active-set size, so one session never thrashes
+	// its own shortlist; the cap matters when a Corpus outlives a session
+	// and serves several targets. 0 means no cap beyond the active set.
+	MaxResident int
+	// Recorder receives shortlist/materialization telemetry (nil records
+	// nothing). Telemetry only — shortlists and weights never depend on it.
+	Recorder obs.Recorder
+}
+
+// DefaultShortlistK is the default shortlist size.
+const DefaultShortlistK = 16
+
+// Corpus is a lazily materialized collection of base tasks with
+// nearest-neighbor shortlisting: the corpus-scale replacement for passing
+// every fitted base-learner to a session. Meta-features load eagerly;
+// surrogates fit on first shortlist hit; per-iteration weighting touches
+// only the shortlist, so meta-learning cost is sublinear in corpus size.
+//
+// A Corpus serves one session at a time (Activate fixes the target);
+// the fitted-learner cache persists across Activate calls, so a corpus
+// reused for several similar targets amortizes its fits. Methods are
+// internally locked only around the cache; concurrent sessions must not
+// share one Corpus yet.
+type Corpus struct {
+	tasks []CorpusTask
+	opts  CorpusOptions
+	rec   obs.Recorder
+
+	activated    bool
+	shortlisting bool
+	active       []int // ascending task indices, pruned learners removed
+	zeroStreak   map[int]int
+
+	mu       sync.Mutex
+	resident map[int]*BaseLearner
+	lastUse  map[int]uint64
+	useSeq   uint64
+
+	gShortlist obs.Gauge
+	gResident  obs.Gauge
+	cPrunes    obs.Counter
+	cFits      obs.Counter
+}
+
+// NewCorpus builds a corpus over the given tasks.
+func NewCorpus(tasks []CorpusTask, opts CorpusOptions) *Corpus {
+	rec := obs.OrNop(opts.Recorder)
+	return &Corpus{
+		tasks:      tasks,
+		opts:       opts,
+		rec:        rec,
+		zeroStreak: make(map[int]int),
+		resident:   make(map[int]*BaseLearner),
+		lastUse:    make(map[int]uint64),
+		gShortlist: rec.Gauge("meta.corpus_shortlist"),
+		gResident:  rec.Gauge("meta.corpus_resident"),
+		cPrunes:    rec.Counter("meta.corpus_prunes"),
+		cFits:      rec.Counter("meta.corpus_fits"),
+	}
+}
+
+// Len returns the corpus size.
+func (c *Corpus) Len() int { return len(c.tasks) }
+
+// Resident returns how many fitted learners are currently in memory.
+func (c *Corpus) Resident() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.resident)
+}
+
+// Shortlisting reports whether the last Activate chose the sublinear
+// shortlist path (false on the exact small-corpus fallback).
+func (c *Corpus) Shortlisting() bool { return c.shortlisting }
+
+// ActiveIDs returns the current active task indices, ascending.
+func (c *Corpus) ActiveIDs() []int { return append([]int(nil), c.active...) }
+
+func (c *Corpus) exactThreshold() int {
+	switch {
+	case c.opts.ExactThreshold > 0:
+		return c.opts.ExactThreshold
+	case c.opts.ExactThreshold < 0:
+		return -1
+	default:
+		return DefaultBruteForceThreshold
+	}
+}
+
+func (c *Corpus) shortlistK() int {
+	if c.opts.ShortlistK > 0 {
+		return c.opts.ShortlistK
+	}
+	return DefaultShortlistK
+}
+
+// Activate fixes the session target and computes the shortlist. On the
+// exact path (corpus size at or below ExactThreshold) every task is active,
+// in corpus order — the configuration the differential tests pin against
+// the eager path. Otherwise the top-ShortlistK tasks by meta-feature L2
+// distance are active (ascending task order, so downstream floating-point
+// accumulation order is stable). Tasks whose meta-feature dimensionality
+// differs from the target's — or contains non-finite components — are
+// treated as maximally distant and never shortlisted; if no task is
+// comparable to the target, the first ShortlistK tasks stand in, keeping
+// some transfer rather than none.
+func (c *Corpus) Activate(targetMeta []float64) error {
+	n := len(c.tasks)
+	c.activated = true
+	c.zeroStreak = make(map[int]int)
+	var sp obs.Span
+	if c.rec.Enabled() {
+		sp = c.rec.Span("meta.corpus_activate", obs.Int("n", n))
+	}
+	if thr := c.exactThreshold(); thr < 0 || n > thr {
+		c.shortlisting = true
+		if err := c.shortlist(targetMeta); err != nil {
+			return err
+		}
+	} else {
+		c.shortlisting = false
+		c.active = make([]int, n)
+		for i := range c.active {
+			c.active[i] = i
+		}
+	}
+	c.gShortlist.Set(float64(len(c.active)))
+	if sp != nil {
+		sp.SetAttrs(obs.Int("active", len(c.active)), obs.Bool("shortlisting", c.shortlisting))
+		sp.End()
+	}
+	return nil
+}
+
+func (c *Corpus) shortlist(targetMeta []float64) error {
+	k := c.shortlistK()
+	if k > len(c.tasks) {
+		k = len(c.tasks)
+	}
+	// Only tasks with a comparable, finite meta-feature are rankable.
+	comparable := make([]int, 0, len(c.tasks))
+	for i, t := range c.tasks {
+		if len(targetMeta) == 0 || len(t.MetaFeature) != len(targetMeta) {
+			continue
+		}
+		if !finiteVec(t.MetaFeature) {
+			continue
+		}
+		comparable = append(comparable, i)
+	}
+	if len(comparable) == 0 || !finiteVec(targetMeta) {
+		c.active = make([]int, k)
+		for i := range c.active {
+			c.active[i] = i
+		}
+		return nil
+	}
+	if len(comparable) <= k {
+		c.active = comparable
+		return nil
+	}
+	vecs := make([][]float64, len(comparable))
+	for j, id := range comparable {
+		vecs[j] = c.tasks[id].MetaFeature
+	}
+	ix, err := NewCorpusIndex(vecs, IndexOptions{Recorder: c.rec})
+	if err != nil {
+		return fmt.Errorf("meta: building corpus index: %w", err)
+	}
+	nn, err := ix.TopK(targetMeta, k)
+	if err != nil {
+		return fmt.Errorf("meta: corpus index query: %w", err)
+	}
+	ids := make([]int, len(nn))
+	for j, nb := range nn {
+		ids[j] = comparable[nb.ID]
+	}
+	sort.Ints(ids)
+	c.active = ids
+	return nil
+}
+
+func finiteVec(v []float64) bool {
+	if len(v) == 0 {
+		return false
+	}
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// ActiveLearners materializes the active tasks' base-learners, fitting any
+// not yet resident, and returns them in ascending task order together with
+// their task indices. Materialization is the only place fits happen: a
+// task outside every shortlist never pays its GP fit or history decode.
+func (c *Corpus) ActiveLearners() ([]*BaseLearner, []int, error) {
+	if !c.activated {
+		if err := c.Activate(nil); err != nil {
+			return nil, nil, err
+		}
+	}
+	learners := make([]*BaseLearner, len(c.active))
+	for j, id := range c.active {
+		bl, err := c.learner(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		learners[j] = bl
+	}
+	c.evictOverCap()
+	ids := append([]int(nil), c.active...)
+	return learners, ids, nil
+}
+
+func (c *Corpus) learner(id int) (*BaseLearner, error) {
+	c.mu.Lock()
+	if bl, ok := c.resident[id]; ok {
+		c.useSeq++
+		c.lastUse[id] = c.useSeq
+		c.mu.Unlock()
+		return bl, nil
+	}
+	c.mu.Unlock()
+	// Fit outside the lock: fits are deterministic per task, so a rare
+	// duplicate fit under future concurrent use would be identical.
+	var sp obs.Span
+	if c.rec.Enabled() {
+		sp = c.rec.Span("meta.corpus_fit", obs.String("task", c.tasks[id].ID))
+	}
+	bl, err := c.tasks[id].Fit()
+	if sp != nil {
+		sp.End()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("meta: materializing corpus task %s: %w", c.tasks[id].ID, err)
+	}
+	c.cFits.Add(1)
+	c.mu.Lock()
+	c.useSeq++
+	c.lastUse[id] = c.useSeq
+	c.resident[id] = bl
+	c.gResident.Set(float64(len(c.resident)))
+	c.mu.Unlock()
+	return bl, nil
+}
+
+// evictOverCap enforces MaxResident, never evicting a currently active
+// learner (the cap is effectively max(MaxResident, len(active))).
+func (c *Corpus) evictOverCap() {
+	cap := c.opts.MaxResident
+	if cap <= 0 {
+		cap = len(c.tasks) // unbounded
+	}
+	if cap < len(c.active) {
+		cap = len(c.active)
+	}
+	isActive := make(map[int]bool, len(c.active))
+	for _, id := range c.active {
+		isActive[id] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.resident) > cap {
+		victim, victimSeq := -1, uint64(math.MaxUint64)
+		for id := range c.resident {
+			if isActive[id] {
+				continue
+			}
+			if seq := c.lastUse[id]; seq < victimSeq || (seq == victimSeq && (victim < 0 || id < victim)) {
+				victim, victimSeq = id, seq
+			}
+		}
+		if victim < 0 {
+			return // everything resident is active; nothing evictable
+		}
+		delete(c.resident, victim)
+		delete(c.lastUse, victim)
+	}
+	c.gResident.Set(float64(len(c.resident)))
+}
+
+// ObserveDynamicWeights feeds one iteration's dynamic weights (aligned with
+// ids; any trailing target entry is ignored) into the pruning bookkeeping:
+// a learner at exactly zero weight for PruneAfter consecutive iterations is
+// dropped from the active set and its fitted surrogate released, so later
+// iterations stop paying even its weight computation. No-op on the exact
+// path or with pruning disabled.
+func (c *Corpus) ObserveDynamicWeights(ids []int, w []float64) {
+	if !c.shortlisting || c.opts.PruneAfter <= 0 {
+		return
+	}
+	var pruned []int
+	for j, id := range ids {
+		if j >= len(w) {
+			break
+		}
+		if w[j] != 0 {
+			c.zeroStreak[id] = 0
+			continue
+		}
+		c.zeroStreak[id]++
+		if c.zeroStreak[id] >= c.opts.PruneAfter {
+			pruned = append(pruned, id)
+		}
+	}
+	if len(pruned) == 0 {
+		return
+	}
+	isPruned := make(map[int]bool, len(pruned))
+	for _, id := range pruned {
+		isPruned[id] = true
+		delete(c.zeroStreak, id)
+	}
+	next := c.active[:0]
+	for _, id := range c.active {
+		if !isPruned[id] {
+			next = append(next, id)
+		}
+	}
+	c.active = next
+	c.mu.Lock()
+	for _, id := range pruned {
+		delete(c.resident, id)
+		delete(c.lastUse, id)
+	}
+	c.gResident.Set(float64(len(c.resident)))
+	c.mu.Unlock()
+	c.cPrunes.Add(uint64(len(pruned)))
+	c.gShortlist.Set(float64(len(c.active)))
+}
+
+// ScatterWeights expands weights over the active learners (ids, target
+// last) into a full corpus-length+1 vector with zeros for every task off
+// the shortlist — the fixed-shape view session traces record. On the exact
+// path this is the identity.
+func (c *Corpus) ScatterWeights(ids []int, w []float64) []float64 {
+	out := make([]float64, len(c.tasks)+1)
+	for j, id := range ids {
+		if j < len(w) {
+			out[id] = w[j]
+		}
+	}
+	if len(w) == len(ids)+1 {
+		out[len(c.tasks)] = w[len(ids)]
+	}
+	return out
+}

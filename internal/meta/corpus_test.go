@@ -1,0 +1,247 @@
+package meta
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/bo"
+)
+
+// testCorpus builds n tasks with 2-D meta-features spread along a line, and
+// fit closures that count invocations.
+func testCorpus(t *testing.T, n int, fits *[]int) []CorpusTask {
+	t.Helper()
+	if *fits == nil {
+		*fits = make([]int, n)
+	}
+	tasks := make([]CorpusTask, n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = CorpusTask{
+			ID:          fmt.Sprintf("task-%03d", i),
+			MetaFeature: []float64{float64(i) / float64(n), 1 - float64(i)/float64(n)},
+			Fit: func() (*BaseLearner, error) {
+				(*fits)[i]++
+				h := synthHistory(8, 0.3+0.01*float64(i), 10, 0, int64(i)+1)
+				return NewBaseLearner(fmt.Sprintf("task-%03d", i), "w", "A",
+					[]float64{float64(i) / float64(n), 1 - float64(i)/float64(n)}, h, 1, int64(i)+1)
+			},
+		}
+	}
+	return tasks
+}
+
+func TestCorpusExactFallback(t *testing.T) {
+	var fits []int
+	tasks := testCorpus(t, 5, &fits)
+	c := NewCorpus(tasks, CorpusOptions{ShortlistK: 2})
+	if err := c.Activate([]float64{0.1, 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Shortlisting() {
+		t.Fatal("5 tasks should take the exact fallback")
+	}
+	if got := c.ActiveIDs(); !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("exact path must activate every task in order, got %v", got)
+	}
+	for _, n := range fits {
+		if n != 0 {
+			t.Fatal("Activate must not fit any learner")
+		}
+	}
+	learners, ids, err := c.ActiveLearners()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(learners) != 5 || !reflect.DeepEqual(ids, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("got %d learners, ids %v", len(learners), ids)
+	}
+	for i, bl := range learners {
+		if bl.TaskID != tasks[i].ID {
+			t.Fatalf("learner %d is %s", i, bl.TaskID)
+		}
+	}
+	if _, _, err := c.ActiveLearners(); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range fits {
+		if n != 1 {
+			t.Fatalf("task %d fitted %d times, want exactly once", i, n)
+		}
+	}
+}
+
+func TestCorpusShortlistNearest(t *testing.T) {
+	var fits []int
+	tasks := testCorpus(t, 40, &fits)
+	c := NewCorpus(tasks, CorpusOptions{ShortlistK: 4, ExactThreshold: -1})
+	if err := c.Activate(tasks[10].MetaFeature); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Shortlisting() {
+		t.Fatal("negative threshold must force shortlisting")
+	}
+	// Neighbors of task 10 by distance: 10, then {9,11} tied, then {8,12}
+	// tied — the last slot breaks toward the lower id, 8.
+	if got := c.ActiveIDs(); !reflect.DeepEqual(got, []int{8, 9, 10, 11}) {
+		t.Fatalf("shortlist around task 10: got %v", got)
+	}
+	if _, _, err := c.ActiveLearners(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range fits {
+		total += n
+	}
+	if total != 4 {
+		t.Fatalf("%d fits, want 4 (only the shortlist)", total)
+	}
+}
+
+func TestCorpusShortlistSkipsIncomparable(t *testing.T) {
+	var fits []int
+	tasks := testCorpus(t, 10, &fits)
+	tasks[2].MetaFeature = []float64{1}                // wrong dim
+	tasks[3].MetaFeature = []float64{math.NaN(), 0}    // non-finite
+	tasks[4].MetaFeature = []float64{0.4, math.Inf(1)} // non-finite
+	c := NewCorpus(tasks, CorpusOptions{ShortlistK: 8, ExactThreshold: -1})
+	if err := c.Activate([]float64{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	// 7 comparable tasks <= K=8: all comparable tasks active, none of the
+	// incomparable ones.
+	if got := c.ActiveIDs(); !reflect.DeepEqual(got, []int{0, 1, 5, 6, 7, 8, 9}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCorpusNoComparableTargetFallsBackToFirstK(t *testing.T) {
+	var fits []int
+	tasks := testCorpus(t, 10, &fits)
+	c := NewCorpus(tasks, CorpusOptions{ShortlistK: 3, ExactThreshold: -1})
+	if err := c.Activate(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ActiveIDs(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("nil target should fall back to the first K tasks, got %v", got)
+	}
+}
+
+func TestCorpusLRUCap(t *testing.T) {
+	var fits []int
+	tasks := testCorpus(t, 30, &fits)
+	c := NewCorpus(tasks, CorpusOptions{ShortlistK: 3, ExactThreshold: -1, MaxResident: 4})
+	for trial, target := range [][]float64{
+		tasks[5].MetaFeature, tasks[20].MetaFeature, tasks[12].MetaFeature, tasks[27].MetaFeature,
+	} {
+		if err := c.Activate(target); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.ActiveLearners(); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Resident(); got > 4 {
+			t.Fatalf("trial %d: %d resident learners, cap 4", trial, got)
+		}
+	}
+	// Re-activating an earlier target re-fits evicted learners.
+	if err := c.Activate(tasks[5].MetaFeature); err != nil {
+		t.Fatal(err)
+	}
+	learners, _, err := c.ActiveLearners()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evict-then-refit must reproduce the identical surrogate: pick a probe
+	// point and compare bit patterns against a fresh fit.
+	fresh, err := tasks[4].Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cached *BaseLearner
+	for _, bl := range learners {
+		if bl.TaskID == fresh.TaskID {
+			cached = bl
+		}
+	}
+	if cached == nil {
+		t.Fatal("task 4 should be on the shortlist around task 5")
+	}
+	m1, v1 := cached.Surrogate.Predict(bo.Res, []float64{0.37})
+	m2, v2 := fresh.Surrogate.Predict(bo.Res, []float64{0.37})
+	if math.Float64bits(m1) != math.Float64bits(m2) || math.Float64bits(v1) != math.Float64bits(v2) {
+		t.Fatalf("refit diverged: (%v,%v) vs (%v,%v)", m1, v1, m2, v2)
+	}
+}
+
+func TestCorpusPrune(t *testing.T) {
+	var fits []int
+	tasks := testCorpus(t, 20, &fits)
+	c := NewCorpus(tasks, CorpusOptions{ShortlistK: 4, ExactThreshold: -1, PruneAfter: 2})
+	if err := c.Activate(tasks[10].MetaFeature); err != nil {
+		t.Fatal(err)
+	}
+	_, ids, err := c.ActiveLearners()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []int{8, 9, 10, 11}) {
+		t.Fatalf("ids %v", ids)
+	}
+	// Task 8 at zero once: streak 1, still active.
+	c.ObserveDynamicWeights(ids, []float64{0, 0.5, 0.3, 0.2, 0.1})
+	if got := c.ActiveIDs(); !reflect.DeepEqual(got, []int{8, 9, 10, 11}) {
+		t.Fatalf("after one zero: %v", got)
+	}
+	// Task 8 recovers: streak resets.
+	c.ObserveDynamicWeights(ids, []float64{0.1, 0.5, 0.3, 0.1, 0.1})
+	// Two consecutive zeros for tasks 8 and 11: both pruned.
+	c.ObserveDynamicWeights(ids, []float64{0, 0.5, 0.3, 0, 0.1})
+	c.ObserveDynamicWeights(ids, []float64{0, 0.5, 0.3, 0, 0.1})
+	if got := c.ActiveIDs(); !reflect.DeepEqual(got, []int{9, 10}) {
+		t.Fatalf("after prune: %v", got)
+	}
+	if got := c.Resident(); got != 2 {
+		t.Fatalf("pruned learners must be released, %d resident", got)
+	}
+	// Next Activate starts fresh.
+	if err := c.Activate(tasks[10].MetaFeature); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ActiveIDs(); !reflect.DeepEqual(got, []int{8, 9, 10, 11}) {
+		t.Fatalf("re-activation must reset pruning: %v", got)
+	}
+}
+
+func TestCorpusPruneNoopOnExactPath(t *testing.T) {
+	var fits []int
+	tasks := testCorpus(t, 5, &fits)
+	c := NewCorpus(tasks, CorpusOptions{PruneAfter: 1})
+	if err := c.Activate(tasks[2].MetaFeature); err != nil {
+		t.Fatal(err)
+	}
+	ids := c.ActiveIDs()
+	c.ObserveDynamicWeights(ids, make([]float64, len(ids)+1))
+	c.ObserveDynamicWeights(ids, make([]float64, len(ids)+1))
+	if got := c.ActiveIDs(); !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("exact path must never prune: %v", got)
+	}
+}
+
+func TestCorpusScatterWeights(t *testing.T) {
+	var fits []int
+	tasks := testCorpus(t, 6, &fits)
+	c := NewCorpus(tasks, CorpusOptions{})
+	got := c.ScatterWeights([]int{1, 4}, []float64{0.25, 0.5, 0.25})
+	want := []float64{0, 0.25, 0, 0, 0.5, 0, 0.25}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scatter %v, want %v", got, want)
+	}
+	// Exact path: scatter over the full id set is the identity.
+	full := c.ScatterWeights([]int{0, 1, 2, 3, 4, 5}, []float64{1, 2, 3, 4, 5, 6, 7})
+	if !reflect.DeepEqual(full, []float64{1, 2, 3, 4, 5, 6, 7}) {
+		t.Fatalf("identity scatter: %v", full)
+	}
+}

@@ -1,0 +1,197 @@
+package repo
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The v2 on-disk format splits the repository into an eagerly-loaded index
+// and per-task history segments decoded on demand:
+//
+//	restune-repo v2\n
+//	{"tasks":[{index entry}, ...]}\n
+//	<task 0 segment><task 1 segment>...
+//
+// The index holds everything shortlisting needs — task id, meta-feature,
+// knob names (plus an order-insensitive set hash), observation count — with
+// each entry's segment offset (relative to the byte after the index line)
+// and length. Segments are the familiar v1 TaskRecord JSON, so a lazy open
+// reads header+index only and decodes a task's observations the first time
+// the task makes a shortlist. v1 files (a bare JSON object) still load: Load
+// and OpenLazy sniff the header and fall back to the eager v1 decode.
+const formatHeader = "restune-repo v2\n"
+
+// IndexEntry is one task's row in the v2 index segment.
+type IndexEntry struct {
+	TaskID      string    `json:"task_id"`
+	Workload    string    `json:"workload"`
+	Hardware    string    `json:"hardware"`
+	KnobNames   []string  `json:"knob_names"`
+	MetaFeature []float64 `json:"meta_feature"`
+	KnobSetHash uint64    `json:"knob_set_hash"`
+	ObsCount    int       `json:"obs_count"`
+	// Offset/Length locate the task's segment relative to the start of the
+	// data section (the byte after the index line's newline).
+	Offset int64 `json:"offset"`
+	Length int64 `json:"length"`
+}
+
+type indexSegment struct {
+	Tasks []IndexEntry `json:"tasks"`
+}
+
+// encodeV2 renders tasks in the v2 format.
+func encodeV2(tasks []TaskRecord) ([]byte, error) {
+	segments := make([][]byte, len(tasks))
+	entries := make([]IndexEntry, len(tasks))
+	off := int64(0)
+	for i, t := range tasks {
+		seg, err := json.Marshal(t)
+		if err != nil {
+			return nil, fmt.Errorf("encoding task %s: %w", t.TaskID, err)
+		}
+		segments[i] = seg
+		entries[i] = IndexEntry{
+			TaskID:      t.TaskID,
+			Workload:    t.Workload,
+			Hardware:    t.Hardware,
+			KnobNames:   t.KnobNames,
+			MetaFeature: t.MetaFeature,
+			KnobSetHash: KnobSetHash(t.KnobNames),
+			ObsCount:    len(t.Observations),
+			Offset:      off,
+			Length:      int64(len(seg)),
+		}
+		off += int64(len(seg))
+	}
+	index, err := json.Marshal(indexSegment{Tasks: entries})
+	if err != nil {
+		return nil, fmt.Errorf("encoding index: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(formatHeader) + len(index) + 1 + int(off))
+	buf.WriteString(formatHeader)
+	buf.Write(index)
+	buf.WriteByte('\n')
+	for _, seg := range segments {
+		buf.Write(seg)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeIndexLine decodes the JSON index line (without its newline).
+func decodeIndexLine(line []byte) ([]IndexEntry, error) {
+	var ix indexSegment
+	if err := json.Unmarshal(line, &ix); err != nil {
+		return nil, fmt.Errorf("decoding index segment: %w", err)
+	}
+	return ix.Tasks, nil
+}
+
+// checkSegmentBounds rejects index entries pointing outside the data
+// section — the shape a truncated or spliced v2 file takes.
+func checkSegmentBounds(entries []IndexEntry, dataLen int64) error {
+	for i, e := range entries {
+		if e.Offset < 0 || e.Length < 0 || e.Offset+e.Length > dataLen {
+			return fmt.Errorf("task %d (%s): segment [%d,+%d) outside data section of %d bytes",
+				i, e.TaskID, e.Offset, e.Length, dataLen)
+		}
+	}
+	return nil
+}
+
+// parseV2Index splits a v2 file into its index entries and data section.
+func parseV2Index(data []byte) ([]IndexEntry, []byte, error) {
+	body := data[len(formatHeader):]
+	nl := bytes.IndexByte(body, '\n')
+	if nl < 0 {
+		return nil, nil, fmt.Errorf("truncated index segment")
+	}
+	entries, err := decodeIndexLine(body[:nl])
+	if err != nil {
+		return nil, nil, err
+	}
+	payload := body[nl+1:]
+	if err := checkSegmentBounds(entries, int64(len(payload))); err != nil {
+		return nil, nil, err
+	}
+	return entries, payload, nil
+}
+
+// decodeTasks decodes a repository from either format.
+func decodeTasks(data []byte) ([]TaskRecord, error) {
+	if !bytes.HasPrefix(data, []byte(formatHeader)) {
+		// v1: one JSON object holding every task eagerly.
+		var r struct {
+			Tasks []TaskRecord `json:"tasks"`
+		}
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, err
+		}
+		return r.Tasks, nil
+	}
+	entries, payload, err := parseV2Index(data)
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]TaskRecord, len(entries))
+	for i, e := range entries {
+		if err := decodeSegment(payload[e.Offset:e.Offset+e.Length], e, &tasks[i]); err != nil {
+			return nil, err
+		}
+	}
+	return tasks, nil
+}
+
+// decodeSegment decodes one task segment and cross-checks it against its
+// index entry, so index/segment disagreement (a corrupt or spliced file)
+// surfaces as an error rather than silently wrong transfer data.
+func decodeSegment(seg []byte, e IndexEntry, out *TaskRecord) error {
+	if err := json.Unmarshal(seg, out); err != nil {
+		return fmt.Errorf("decoding task %s segment: %w", e.TaskID, err)
+	}
+	if out.TaskID != e.TaskID || len(out.Observations) != e.ObsCount {
+		return fmt.Errorf("task %s segment disagrees with index (id %q, %d observations, index says %d)",
+			e.TaskID, out.TaskID, len(out.Observations), e.ObsCount)
+	}
+	return nil
+}
+
+// atomicWrite writes data to path atomically: the bytes go to a temp file
+// in the destination directory, which is fsynced and then renamed over the
+// live file — the same discipline as the engine's catalog — so a crash
+// mid-save leaves either the old repository or the new one, never a
+// truncated mix.
+func atomicWrite(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("repo: creating temp file: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(step string, err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("repo: %s %s: %w", step, tmp, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail("writing", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail("syncing", err)
+	}
+	if err := f.Chmod(0o644); err != nil {
+		return fail("setting mode on", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("repo: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("repo: renaming %s over %s: %w", tmp, path, err)
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+package repo
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/knobs"
+	"repro/internal/meta"
+)
+
+// TaskMeta is the eagerly-resident view of one task in a lazily-opened
+// repository: everything shortlisting and knob-set matching need, without
+// the observation history.
+type TaskMeta struct {
+	TaskID      string
+	Workload    string
+	Hardware    string
+	KnobNames   []string
+	MetaFeature []float64
+	KnobSetHash uint64
+	ObsCount    int
+}
+
+// LazyRepository is a repository opened without decoding task histories:
+// only the v2 index segment is resident, and each task's observations are
+// read and decoded on demand — the corpus-scale complement to Load, whose
+// eager decode is proportional to total stored observations. v1 files are
+// accepted too (they decode eagerly at open; laziness needs the v2 index).
+//
+// The underlying file stays open for positioned reads until Close; Save
+// replaces files by rename, so a concurrent save never corrupts reads
+// through an already-open LazyRepository (it keeps reading the old inode).
+type LazyRepository struct {
+	f         *os.File // nil for the v1 eager fallback
+	dataStart int64
+	dataLen   int64
+	entries   []IndexEntry
+	metas     []TaskMeta
+	eager     []TaskRecord // v1 fallback only
+}
+
+// OpenLazy opens a repository file, reading only its index. For v1 files
+// there is no index segment, so the whole file is decoded eagerly and
+// served from memory behind the same interface.
+func OpenLazy(path string) (*LazyRepository, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("repo: opening %s: %w", path, err)
+	}
+	head := make([]byte, len(formatHeader))
+	n, err := io.ReadFull(f, head)
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		f.Close()
+		return nil, fmt.Errorf("repo: reading %s: %w", path, err)
+	}
+	if !bytes.Equal(head[:n], []byte(formatHeader)) {
+		// v1: no index to page against — decode eagerly.
+		f.Close()
+		r, err := Load(path)
+		if err != nil {
+			return nil, err
+		}
+		l := &LazyRepository{eager: r.Tasks}
+		l.metas = make([]TaskMeta, len(r.Tasks))
+		for i, t := range r.Tasks {
+			l.metas[i] = TaskMeta{
+				TaskID:      t.TaskID,
+				Workload:    t.Workload,
+				Hardware:    t.Hardware,
+				KnobNames:   t.KnobNames,
+				MetaFeature: t.MetaFeature,
+				KnobSetHash: KnobSetHash(t.KnobNames),
+				ObsCount:    len(t.Observations),
+			}
+		}
+		return l, nil
+	}
+	br := bufio.NewReader(f)
+	indexLine, err := br.ReadBytes('\n')
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("repo: %s: truncated index segment: %w", path, err)
+	}
+	entries, err := decodeIndexLine(bytes.TrimSuffix(indexLine, []byte("\n")))
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("repo: %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("repo: %s: %w", path, err)
+	}
+	l := &LazyRepository{
+		f:         f,
+		dataStart: int64(len(formatHeader) + len(indexLine)),
+		entries:   entries,
+	}
+	l.dataLen = st.Size() - l.dataStart
+	if err := checkSegmentBounds(entries, l.dataLen); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("repo: %s: %w", path, err)
+	}
+	l.metas = make([]TaskMeta, len(entries))
+	for i, e := range entries {
+		l.metas[i] = TaskMeta{
+			TaskID:      e.TaskID,
+			Workload:    e.Workload,
+			Hardware:    e.Hardware,
+			KnobNames:   e.KnobNames,
+			MetaFeature: e.MetaFeature,
+			KnobSetHash: e.KnobSetHash,
+			ObsCount:    e.ObsCount,
+		}
+	}
+	return l, nil
+}
+
+// Len returns the task count.
+func (l *LazyRepository) Len() int { return len(l.metas) }
+
+// Meta returns task i's resident metadata.
+func (l *LazyRepository) Meta(i int) TaskMeta { return l.metas[i] }
+
+// Task decodes task i's full record, reading its segment on demand. Each
+// call re-reads and re-decodes; callers wanting residency cache the result
+// (Corpus caches fitted learners, which subsumes caching records).
+func (l *LazyRepository) Task(i int) (TaskRecord, error) {
+	if l.f == nil {
+		return l.eager[i], nil
+	}
+	e := l.entries[i]
+	seg := make([]byte, e.Length)
+	if _, err := l.f.ReadAt(seg, l.dataStart+e.Offset); err != nil {
+		return TaskRecord{}, fmt.Errorf("repo: reading task %s segment: %w", e.TaskID, err)
+	}
+	var t TaskRecord
+	if err := decodeSegment(seg, e, &t); err != nil {
+		return TaskRecord{}, fmt.Errorf("repo: %w", err)
+	}
+	return t, nil
+}
+
+// Close releases the underlying file. The v1 fallback holds no file and
+// Close is a no-op.
+func (l *LazyRepository) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	return l.f.Close()
+}
+
+// Corpus builds a lazily-fitting meta.Corpus over the repository's tasks
+// matching the predicate (nil selects all) whose knob set matches the
+// space. Fit closures decode the task's history segment and fit its TriGP
+// on first shortlist hit, with the same per-task seed (base seed + task
+// file index) the eager BaseLearners assigns — so the exact-fallback path
+// reproduces eager sessions bit for bit.
+func (l *LazyRepository) Corpus(space *knobs.Space, seed int64, pred func(TaskMeta) bool, opts meta.CorpusOptions) (*meta.Corpus, error) {
+	perms := make(map[string][]int) // keyed by joined stored-name order
+	tasks := make([]meta.CorpusTask, 0, len(l.metas))
+	for i, m := range l.metas {
+		if pred != nil && !pred(m) {
+			continue
+		}
+		key := joinNames(m.KnobNames)
+		perm, hit := perms[key]
+		if !hit {
+			p, ok := knobPermutation(m.KnobNames, space)
+			if !ok {
+				perms[key] = nil
+				continue
+			}
+			if p == nil {
+				p = []int{} // memoized identity marker, distinct from "no match"
+			}
+			perms[key] = p
+			perm = p
+		} else if perm == nil {
+			continue
+		}
+		i, m, perm := i, m, perm
+		tasks = append(tasks, meta.CorpusTask{
+			ID:          m.TaskID,
+			MetaFeature: m.MetaFeature,
+			Fit: func() (*meta.BaseLearner, error) {
+				rec, err := l.Task(i)
+				if err != nil {
+					return nil, err
+				}
+				var p []int
+				if len(perm) > 0 {
+					p = perm
+				}
+				h, err := rec.historyInOrder(p)
+				if err != nil {
+					return nil, fmt.Errorf("repo: task %s: %w", m.TaskID, err)
+				}
+				return meta.NewBaseLearner(m.TaskID, m.Workload, m.Hardware,
+					m.MetaFeature, h, space.Dim(), seed+int64(i))
+			},
+		})
+	}
+	return meta.NewCorpus(tasks, opts), nil
+}
+
+// Corpus is the eager Repository's counterpart of LazyRepository.Corpus:
+// histories are already in memory, but surrogate fits are still deferred to
+// first shortlist hit and seeded identically to BaseLearners.
+func (r *Repository) Corpus(space *knobs.Space, seed int64, pred func(TaskRecord) bool, opts meta.CorpusOptions) (*meta.Corpus, error) {
+	tasks := make([]meta.CorpusTask, 0, len(r.Tasks))
+	for i, t := range r.Tasks {
+		if pred != nil && !pred(t) {
+			continue
+		}
+		perm, ok := r.cachedPermutation(t.KnobNames, space)
+		if !ok {
+			continue
+		}
+		i, t, perm := i, t, perm
+		tasks = append(tasks, meta.CorpusTask{
+			ID:          t.TaskID,
+			MetaFeature: t.MetaFeature,
+			Fit: func() (*meta.BaseLearner, error) {
+				h, err := t.historyInOrder(perm)
+				if err != nil {
+					return nil, fmt.Errorf("repo: task %s: %w", t.TaskID, err)
+				}
+				return meta.NewBaseLearner(t.TaskID, t.Workload, t.Hardware,
+					t.MetaFeature, h, space.Dim(), seed+int64(i))
+			},
+		})
+	}
+	return meta.NewCorpus(tasks, opts), nil
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for _, n := range names {
+		out += n + "\x1f"
+	}
+	return out
+}

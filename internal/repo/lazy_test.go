@@ -1,0 +1,224 @@
+package repo
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/bo"
+	"repro/internal/meta"
+)
+
+// writeV1 writes the repository in the pre-index v1 format (one indented
+// JSON object), as old saves did.
+func writeV1(t *testing.T, r *Repository, path string) {
+	t.Helper()
+	data, err := json.MarshalIndent(r, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func twoTaskRepo(t *testing.T) *Repository {
+	t.Helper()
+	res, space := sampleResult(t, 11)
+	var r Repository
+	r.Add(FromResult("a", "twitter", "A", []float64{1, 0, 0, 0, 0}, space, res))
+	r.Add(FromResult("b", "twitter", "B", []float64{0, 1, 0, 0, 0}, space, res))
+	return &r
+}
+
+func TestV1FilesStillLoad(t *testing.T) {
+	r := twoTaskRepo(t)
+	path := filepath.Join(t.TempDir(), "repo.json")
+	writeV1(t, r, path)
+
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Tasks, r.Tasks) {
+		t.Fatal("v1 load lost data")
+	}
+
+	// Old→new round trip: a v1 file re-saved comes back in v2, identical.
+	if err := loaded.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	head, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(head), formatHeader) {
+		t.Fatal("re-save should write the v2 header")
+	}
+	again, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Tasks, r.Tasks) {
+		t.Fatal("v1→v2 round trip lost data")
+	}
+}
+
+func TestOpenLazyV2(t *testing.T) {
+	r := twoTaskRepo(t)
+	path := filepath.Join(t.TempDir(), "repo.json")
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenLazy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Len() != 2 {
+		t.Fatalf("len %d", l.Len())
+	}
+	for i, want := range r.Tasks {
+		m := l.Meta(i)
+		if m.TaskID != want.TaskID || m.Workload != want.Workload || m.Hardware != want.Hardware ||
+			m.ObsCount != len(want.Observations) ||
+			!reflect.DeepEqual(m.KnobNames, want.KnobNames) ||
+			!reflect.DeepEqual(m.MetaFeature, want.MetaFeature) {
+			t.Fatalf("meta %d: %+v vs record %+v", i, m, want)
+		}
+		if m.KnobSetHash != KnobSetHash(want.KnobNames) {
+			t.Fatalf("meta %d: knob hash mismatch", i)
+		}
+		got, err := l.Task(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("task %d: lazy decode differs", i)
+		}
+	}
+}
+
+func TestOpenLazyV1Fallback(t *testing.T) {
+	r := twoTaskRepo(t)
+	path := filepath.Join(t.TempDir(), "repo.json")
+	writeV1(t, r, path)
+	l, err := OpenLazy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Len() != 2 || l.Meta(1).TaskID != "b" {
+		t.Fatalf("v1 fallback: len %d", l.Len())
+	}
+	got, err := l.Task(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r.Tasks[0]) {
+		t.Fatal("v1 fallback task differs")
+	}
+}
+
+func TestOpenLazyRejectsTruncation(t *testing.T) {
+	r := twoTaskRepo(t)
+	path := filepath.Join(t.TempDir(), "repo.json")
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		cut := int(float64(len(data)) * frac)
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if l, err := OpenLazy(path); err == nil {
+			l.Close()
+			t.Fatalf("truncation at %d/%d bytes: expected an open error", cut, len(data))
+		}
+	}
+}
+
+func TestLazyCorpusMatchesEagerBaseLearners(t *testing.T) {
+	res, space := sampleResult(t, 12)
+	var r Repository
+	r.Add(FromResult("a", "twitter", "A", []float64{1, 0, 0, 0, 0}, space, res))
+	r.Add(FromResult("b", "twitter", "B", []float64{0, 1, 0, 0, 0}, space, res))
+	// A knob-space mismatch in the middle shifts later tasks' file indices
+	// relative to their learner indices: seeds must follow file indices.
+	mismatched := FromResult("c", "twitter", "A", []float64{0, 0, 1, 0, 0}, space, res)
+	mismatched.KnobNames = append([]string(nil), mismatched.KnobNames...)
+	mismatched.KnobNames[0] = "not_a_real_knob"
+	r.Tasks = append(r.Tasks[:1], append([]TaskRecord{mismatched}, r.Tasks[1:]...)...)
+
+	path := filepath.Join(t.TempDir(), "repo.json")
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	eager, err := r.BaseLearners(space, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eager) != 2 {
+		t.Fatalf("eager learners: %d", len(eager))
+	}
+
+	l, err := OpenLazy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, err := l.Corpus(space, 7, nil, meta.CorpusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("corpus tasks: %d (mismatched knob set must be excluded)", c.Len())
+	}
+	lazy, ids, err := c.ActiveLearners()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []int{0, 1}) || len(lazy) != 2 {
+		t.Fatalf("active: %v", ids)
+	}
+	probe := []float64{0.25, 0.5, 0.75}
+	for i := range eager {
+		if eager[i].TaskID != lazy[i].TaskID {
+			t.Fatalf("task order: %s vs %s", eager[i].TaskID, lazy[i].TaskID)
+		}
+		for _, m := range bo.Metrics {
+			me, ve := eager[i].Predict(m, probe)
+			ml, vl := lazy[i].Predict(m, probe)
+			if math.Float64bits(me) != math.Float64bits(ml) || math.Float64bits(ve) != math.Float64bits(vl) {
+				t.Fatalf("task %s metric %v: lazy fit diverges: (%g,%g) vs (%g,%g)",
+					eager[i].TaskID, m, me, ve, ml, vl)
+			}
+		}
+	}
+
+	// The eager Repository.Corpus path must agree as well.
+	ce, err := r.Corpus(space, 7, nil, meta.CorpusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eagerCorpus, _, err := ce.ActiveLearners()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range eager {
+		me, ve := eager[i].Predict(bo.Res, probe)
+		mc, vc := eagerCorpus[i].Predict(bo.Res, probe)
+		if math.Float64bits(me) != math.Float64bits(mc) || math.Float64bits(ve) != math.Float64bits(vc) {
+			t.Fatalf("task %s: eager corpus fit diverges", eager[i].TaskID)
+		}
+	}
+}

@@ -7,10 +7,12 @@
 package repo
 
 import (
-	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
-	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/bo"
 	"repro/internal/core"
@@ -51,6 +53,62 @@ func (t TaskRecord) History() bo.History {
 // Repository is a collection of task records.
 type Repository struct {
 	Tasks []TaskRecord `json:"tasks"`
+
+	// permCache memoizes knob-set matching per (stored names, space) pair:
+	// in a corpus the same knob set recurs across most tasks and across
+	// repeated BaseLearners/Corpus calls, so each distinct pairing is
+	// matched once instead of per task per call.
+	permMu    sync.Mutex
+	permCache map[string]permResult
+}
+
+type permResult struct {
+	perm []int
+	ok   bool
+}
+
+// cachedPermutation is knobPermutation with memoization on the repository.
+// The key includes the stored name order (the permutation depends on it) and
+// the space's knob names, not just a set hash — hash collisions must never
+// alias two different matches.
+func (r *Repository) cachedPermutation(names []string, space *knobs.Space) ([]int, bool) {
+	var sb strings.Builder
+	for _, n := range names {
+		sb.WriteString(n)
+		sb.WriteByte(0x1f)
+	}
+	sb.WriteByte(0)
+	for _, k := range space.Knobs() {
+		sb.WriteString(k.Name)
+		sb.WriteByte(0x1f)
+	}
+	key := sb.String()
+	r.permMu.Lock()
+	defer r.permMu.Unlock()
+	if res, hit := r.permCache[key]; hit {
+		return res.perm, res.ok
+	}
+	perm, ok := knobPermutation(names, space)
+	if r.permCache == nil {
+		r.permCache = make(map[string]permResult)
+	}
+	r.permCache[key] = permResult{perm: perm, ok: ok}
+	return perm, ok
+}
+
+// KnobSetHash is an order-insensitive FNV-1a hash of a knob-name set, stored
+// in the v2 index segment so tools can group tasks by configuration space
+// without decoding histories. Matching still compares full name sets —
+// the hash is a grouping key, never a proof of equality.
+func KnobSetHash(names []string) uint64 {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	h := fnv.New64a()
+	for _, n := range sorted {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
 }
 
 // Add appends a task record.
@@ -67,7 +125,7 @@ func (r *Repository) Observations() int {
 
 // Filter returns the tasks matching the predicate.
 func (r *Repository) Filter(pred func(TaskRecord) bool) []TaskRecord {
-	var out []TaskRecord
+	out := make([]TaskRecord, 0, len(r.Tasks))
 	for _, t := range r.Tasks {
 		if pred(t) {
 			out = append(out, t)
@@ -82,12 +140,12 @@ func (r *Repository) Filter(pred func(TaskRecord) bool) []TaskRecord {
 // space. Knob order is immaterial — a task stored under a different knob
 // ordering has its Theta vectors permuted into the space's order.
 func (r *Repository) BaseLearners(space *knobs.Space, seed int64, pred func(TaskRecord) bool) ([]*meta.BaseLearner, error) {
-	var out []*meta.BaseLearner
+	out := make([]*meta.BaseLearner, 0, len(r.Tasks))
 	for i, t := range r.Tasks {
 		if pred != nil && !pred(t) {
 			continue
 		}
-		perm, ok := knobPermutation(t.KnobNames, space)
+		perm, ok := r.cachedPermutation(t.KnobNames, space)
 		if !ok {
 			continue
 		}
@@ -184,55 +242,29 @@ func FromResult(taskID, workloadName, hardwareName string, metaFeature []float64
 	return t
 }
 
-// Save writes the repository as JSON, atomically: the bytes go to a temp
-// file in the destination directory, which is fsynced and then renamed over
-// the live file — the same discipline as the engine's catalog — so a crash
+// Save writes the repository in the v2 indexed format (see format.go),
+// atomically via the temp-file + fsync + rename discipline, so a crash
 // mid-save leaves either the old repository or the new one, never a
 // truncated mix.
 func (r *Repository) Save(path string) error {
-	data, err := json.MarshalIndent(r, "", " ")
+	data, err := encodeV2(r.Tasks)
 	if err != nil {
 		return fmt.Errorf("repo: encoding: %w", err)
 	}
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("repo: creating temp file: %w", err)
-	}
-	tmp := f.Name()
-	fail := func(step string, err error) error {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("repo: %s %s: %w", step, tmp, err)
-	}
-	if _, err := f.Write(data); err != nil {
-		return fail("writing", err)
-	}
-	if err := f.Sync(); err != nil {
-		return fail("syncing", err)
-	}
-	if err := f.Chmod(0o644); err != nil {
-		return fail("setting mode on", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("repo: closing %s: %w", tmp, err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("repo: renaming %s over %s: %w", tmp, path, err)
-	}
-	return nil
+	return atomicWrite(path, data)
 }
 
-// Load reads a repository from JSON.
+// Load reads a repository eagerly, accepting both the v2 indexed format and
+// v1 bare-JSON files (older saves keep loading; see OpenLazy for the
+// demand-paged open).
 func Load(path string) (*Repository, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("repo: reading %s: %w", path, err)
 	}
-	var r Repository
-	if err := json.Unmarshal(data, &r); err != nil {
+	tasks, err := decodeTasks(data)
+	if err != nil {
 		return nil, fmt.Errorf("repo: decoding %s: %w", path, err)
 	}
-	return &r, nil
+	return &Repository{Tasks: tasks}, nil
 }

@@ -85,8 +85,24 @@ type (
 	Repository = repo.Repository
 	// TaskRecord is one stored tuning task.
 	TaskRecord = repo.TaskRecord
+	// LazyRepository is a repository opened index-first: task histories are
+	// decoded on demand, so open cost is proportional to the index, not the
+	// corpus.
+	LazyRepository = repo.LazyRepository
+	// TaskMeta is the eagerly-resident metadata of one lazily-opened task.
+	TaskMeta = repo.TaskMeta
 	// BaseLearner is a fitted per-task surrogate used by the meta-learner.
 	BaseLearner = meta.BaseLearner
+	// Corpus manages base tasks at scale: ANN shortlisting, lazy surrogate
+	// fits with an LRU residency cap, and pruning of persistently
+	// zero-weighted learners (Config.Corpus).
+	Corpus = meta.Corpus
+	// CorpusTask is one shortlistable task: identity, meta-feature and a
+	// deterministic deferred fit.
+	CorpusTask = meta.CorpusTask
+	// CorpusOptions tunes shortlist size, exact-fallback threshold, pruning
+	// patience and surrogate residency.
+	CorpusOptions = meta.CorpusOptions
 	// AcquisitionConfig tunes acquisition-function optimization.
 	AcquisitionConfig = bo.OptimizerConfig
 	// WeightSchema selects the ensemble weight-assignment schema.
@@ -263,6 +279,21 @@ func NewRepository() *Repository { return &Repository{} }
 // LoadRepository reads a repository from JSON.
 func LoadRepository(path string) (*Repository, error) { return repo.Load(path) }
 
+// OpenLazyRepository opens a repository reading only its index segment;
+// task histories decode on demand (v1 files fall back to an eager decode
+// behind the same interface). Close it when the session is done.
+func OpenLazyRepository(path string) (*LazyRepository, error) { return repo.OpenLazy(path) }
+
+// NewCorpus builds a shortlisting corpus over explicit tasks. Repositories
+// build one directly via (*Repository).Corpus / (*LazyRepository).Corpus.
+func NewCorpus(tasks []CorpusTask, opts CorpusOptions) *Corpus { return meta.NewCorpus(tasks, opts) }
+
+// SyntheticCorpus generates n deterministic synthetic base tasks — the
+// corpus behind restune-bench -corpus-size and BenchmarkMetaIteration.
+func SyntheticCorpus(n, metaDim, dim, histLen int, seed int64) []CorpusTask {
+	return meta.SyntheticCorpus(n, metaDim, dim, histLen, seed)
+}
+
 // TaskFromResult converts a finished session into a repository record.
 func TaskFromResult(taskID, workloadName, hardwareName string, metaFeature []float64, space *Space, res *Result) TaskRecord {
 	return repo.FromResult(taskID, workloadName, hardwareName, metaFeature, space, res)
@@ -353,6 +384,14 @@ func RunExperiment(id string, p ExperimentParams) (*ExperimentReport, error) {
 
 // ExperimentIDs lists the available experiment ids.
 func ExperimentIDs() []string { return experiments.IDs() }
+
+// CorpusScale measures per-iteration meta-learning cost against synthetic
+// corpus size for the shortlisted and all-learners paths (restune-bench
+// -corpus-size). It is not part of ExperimentIDs: the corpus sizes the
+// scaling argument needs would dominate an -all run.
+func CorpusScale(sizes []int, seed int64, iters int) (*ExperimentReport, error) {
+	return experiments.CorpusScale(sizes, seed, iters)
+}
 
 // ExperimentTitle returns an experiment's description.
 func ExperimentTitle(id string) string { return experiments.Title(id) }

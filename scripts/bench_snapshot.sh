@@ -1,11 +1,20 @@
 #!/usr/bin/env sh
-# bench_snapshot.sh — snapshot the math-core microbenchmarks into
-# BENCH_mathcore.json at the repository root: one JSON object mapping
-# benchmark name -> { "ns_per_op": ..., "allocs_per_op": ... }.
+# bench_snapshot.sh [mathcore|corpus] — snapshot a benchmark family into a
+# JSON file at the repository root: one JSON object mapping benchmark name ->
+# { "ns_per_op": ..., "allocs_per_op": ... }.
 #
-# Covers the Cholesky, GP-predict, acquisition and meta-weight kernels plus
-# the batched-inference benchmarks (PredictBatch, and the point-wise vs
-# batched OptimizeAcq pair whose ratio is the batching speedup).
+# Targets:
+#   mathcore (default)  Cholesky, GP-predict, acquisition and meta-weight
+#                       kernels plus the batched-inference benchmarks
+#                       (PredictBatch, and the point-wise vs batched
+#                       OptimizeAcq pair whose ratio is the batching
+#                       speedup) -> BENCH_mathcore.json
+#   corpus              BenchmarkMetaIteration: shortlisted corpus path vs
+#                       all-learners baseline at N in {34, 100, 1000, 4000}
+#                       -> BENCH_corpus.json. The committed snapshot is the
+#                       acceptance record for the sublinear-meta gate
+#                       (corpus/N=1000 <= 25% of baseline/N=1000); run
+#                       scripts/benchcheck against it to re-verify.
 #
 # Environment:
 #   BENCHTIME=2s   per-benchmark budget (any go test -benchtime value)
@@ -17,19 +26,34 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2s}"
 COUNT="${COUNT:-1}"
-OUT="BENCH_mathcore.json"
+TARGET="${1:-mathcore}"
 
-PATTERN='^(BenchmarkCholAppend|BenchmarkCholFullRefactor|BenchmarkGPFitIncremental|BenchmarkGPPredict|BenchmarkGPPredictNoAlloc|BenchmarkPredictBatch|BenchmarkCEI|BenchmarkOptimizeAcqParallel|BenchmarkOptimizeAcqPointwise|BenchmarkOptimizeAcqBatched|BenchmarkDynamicWeights)$'
+case "$TARGET" in
+mathcore)
+    OUT="BENCH_mathcore.json"
+    PATTERN='^(BenchmarkCholAppend|BenchmarkCholFullRefactor|BenchmarkGPFitIncremental|BenchmarkGPPredict|BenchmarkGPPredictNoAlloc|BenchmarkPredictBatch|BenchmarkCEI|BenchmarkOptimizeAcqParallel|BenchmarkOptimizeAcqPointwise|BenchmarkOptimizeAcqBatched|BenchmarkDynamicWeights)$'
+    ;;
+corpus)
+    OUT="BENCH_corpus.json"
+    PATTERN='^BenchmarkMetaIteration$'
+    ;;
+*)
+    echo "usage: $0 [mathcore|corpus]" >&2
+    exit 2
+    ;;
+esac
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-echo "==> go test -bench (benchtime=$BENCHTIME, count=$COUNT)"
+echo "==> go test -bench $TARGET (benchtime=$BENCHTIME, count=$COUNT)"
 go test -run '^$' -bench "$PATTERN" -benchmem \
     -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$raw"
 
 # Parse `BenchmarkName-N  iters  X ns/op [ Y B/op  Z allocs/op ]` lines into
-# a JSON object. Benchmarks without -benchmem columns report allocs as null.
+# a JSON object. Sub-benchmark names (Benchmark/sub/N=k) are kept whole, only
+# the trailing -GOMAXPROCS suffix is stripped. Benchmarks without -benchmem
+# columns report allocs as null.
 awk '
 /^Benchmark/ {
     name = $1

@@ -1,0 +1,83 @@
+// Command benchcheck validates a committed benchmark snapshot
+// (BENCH_corpus.json, written by scripts/bench_snapshot.sh corpus) and
+// enforces the sublinear-meta acceptance gate: at N=1000 synthetic tasks the
+// shortlisted corpus path must cost at most 25% of the all-learners baseline
+// per iteration.
+//
+//	go run ./scripts/benchcheck BENCH_corpus.json
+//
+// Exit 1 on a malformed snapshot, a missing benchmark entry, or a gate
+// violation.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// maxRatio is the acceptance ceiling for corpus/baseline at gateN.
+const (
+	gateN    = 1000
+	maxRatio = 0.25
+)
+
+type entry struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck <BENCH_corpus.json>")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap map[string]entry
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if len(snap) == 0 {
+		return fmt.Errorf("%s: snapshot is empty", path)
+	}
+	for name, e := range snap {
+		if e.NsPerOp <= 0 {
+			return fmt.Errorf("%s: %s has non-positive ns_per_op %g", path, name, e.NsPerOp)
+		}
+	}
+
+	corpus, err := lookup(snap, fmt.Sprintf("BenchmarkMetaIteration/corpus/N=%d", gateN))
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	baseline, err := lookup(snap, fmt.Sprintf("BenchmarkMetaIteration/baseline/N=%d", gateN))
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	ratio := corpus / baseline
+	fmt.Printf("%s: %d entries OK; N=%d corpus/baseline = %.0f/%.0f ns = %.3f (gate %.2f)\n",
+		path, len(snap), gateN, corpus, baseline, ratio, maxRatio)
+	if ratio > maxRatio {
+		return fmt.Errorf("N=%d corpus iteration is %.1f%% of baseline, gate is %.0f%%",
+			gateN, ratio*100, maxRatio*100)
+	}
+	return nil
+}
+
+func lookup(snap map[string]entry, name string) (float64, error) {
+	e, ok := snap[name]
+	if !ok {
+		return 0, fmt.Errorf("missing benchmark entry %q", name)
+	}
+	return e.NsPerOp, nil
+}

@@ -10,11 +10,15 @@
 #                                     regression suites)
 #   5. go test -race ./...           (short mode: the crash harness strides
 #                                     its boundary enumeration under -short)
-#   6. a benchmark smoke pass: the batched math-core benchmarks run once
-#      (-benchtime=1x) so a broken benchmark cannot land silently
-#   7. a telemetry smoke run: restune-tune -trace must emit a non-empty,
+#   6. a benchmark smoke pass: the batched math-core benchmarks and the
+#      corpus-scale meta-iteration benchmark run once (-benchtime=1x) so a
+#      broken benchmark cannot land silently
+#   7. a snapshot guard: the committed BENCH_corpus.json must parse and its
+#      N=1000 corpus/baseline ratio must satisfy the <= 25% gate
+#      (scripts/benchcheck)
+#   8. a telemetry smoke run: restune-tune -trace must emit a non-empty,
 #      schema-valid JSONL artifact
-#   8. a fuzz smoke pass: every Fuzz target runs for FUZZTIME (default 30s)
+#   9. a fuzz smoke pass: every Fuzz target runs for FUZZTIME (default 30s)
 #
 # Environment:
 #   FUZZTIME=30s   per-target fuzz budget; set FUZZTIME=0 to skip fuzzing
@@ -49,8 +53,11 @@ go test -race -short ./...
 
 echo "==> benchmark smoke (-benchtime=1x)"
 go test -run '^$' \
-    -bench 'PredictBatch$|OptimizeAcqPointwise$|OptimizeAcqBatched$' \
+    -bench 'PredictBatch$|OptimizeAcqPointwise$|OptimizeAcqBatched$|^BenchmarkMetaIteration$' \
     -benchtime 1x .
+
+echo "==> corpus snapshot guard (scripts/benchcheck)"
+go run ./scripts/benchcheck BENCH_corpus.json
 
 echo "==> telemetry smoke (restune-tune -trace)"
 tracedir="$(mktemp -d)"
@@ -81,5 +88,6 @@ fuzz ./internal/minidb FuzzBTreeOperations
 fuzz ./internal/minidb FuzzWALReplay
 fuzz ./internal/replay FuzzExtractTemplate
 fuzz ./internal/gp FuzzPredictBatch
+fuzz ./internal/meta FuzzCorpusIndex
 
 echo "==> verify OK"
