@@ -1,10 +1,14 @@
 package core
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/bo"
@@ -132,6 +136,159 @@ func TestSessionUsesBatchedAcquisition(t *testing.T) {
 				want = got
 			} else if fmt.Sprintf("%x", got) != fmt.Sprintf("%x", want) {
 				t.Fatalf("%s: batched recommendation varies with GOMAXPROCS", name)
+			}
+		}
+	}
+}
+
+// canonicalJSONL re-serializes a JSONL trace with wall-clock fields removed
+// (event timestamps, span durations, and *_ms timing attributes): everything
+// left — event kinds, order, names, thetas, weights, metric values — is part
+// of the deterministic trace contract. Map re-marshaling sorts keys, so the
+// canonical form is byte-comparable.
+func canonicalJSONL(t *testing.T, raw []byte) string {
+	t.Helper()
+	var out strings.Builder
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		delete(m, "ts")
+		delete(m, "dur_us")
+		if attrs, ok := m["attrs"].(map[string]any); ok {
+			for k := range attrs {
+				if strings.HasSuffix(k, "_ms") || strings.HasSuffix(k, "_per_sec") {
+					delete(attrs, k)
+				}
+			}
+			if len(attrs) == 0 {
+				delete(m, "attrs")
+			}
+		}
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Write(b)
+		out.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+// TestFleetSessionTracesBitIdenticalSoloVsConcurrent is the ISSUE's fleet
+// determinism gate: each session's full JSONL telemetry stream (canonicalized
+// modulo wall-clock fields) must be bit-identical whether the session runs
+// solo on one goroutine or interleaved with N concurrent sessions on the
+// fleet's worker pool — at GOMAXPROCS 1 and 8. The sessions share one
+// SharedCorpus (per-session views), so this also pins that the single-flight
+// fit cache is trace-invisible: which session pays a fit never shows up in
+// any session's stream.
+func TestFleetSessionTracesBitIdenticalSoloVsConcurrent(t *testing.T) {
+	const nTasks, nSessions, iters = 5, 3, 6
+
+	hists := make([]bo.History, nTasks)
+	metas := make([][]float64, nTasks)
+	for i := 0; i < nTasks; i++ {
+		off := float64(i) / float64(nTasks)
+		hists[i] = sampleHistory(twitterEvaluator(int64(100+i)), 8, off)
+		metas[i] = []float64{off, 1 - off}
+	}
+	newTasks := func() []meta.CorpusTask {
+		tasks := make([]meta.CorpusTask, nTasks)
+		for i := 0; i < nTasks; i++ {
+			i := i
+			tasks[i] = meta.CorpusTask{
+				ID:          fmt.Sprintf("task%02d", i),
+				MetaFeature: metas[i],
+				Fit: func() (*meta.BaseLearner, error) {
+					return meta.NewBaseLearner(fmt.Sprintf("task%02d", i), "w", "A",
+						metas[i], hists[i], 3, int64(200+i))
+				},
+			}
+		}
+		return tasks
+	}
+	newSpec := func(sc *meta.SharedCorpus, s int, rec obs.Recorder) SessionSpec {
+		cfg := DefaultConfig(int64(7 + s))
+		cfg.InitIters = 3
+		cfg.Acq = fastAcq()
+		cfg.TargetMetaFeature = []float64{0.25, 0.75}
+		cfg.DynamicSamples = 30
+		cfg.DilutionGuard = true
+		cfg.Corpus = sc.NewSession(meta.CorpusOptions{Recorder: rec})
+		cfg.Recorder = rec
+		return SessionSpec{
+			Name:      fmt.Sprintf("s%d", s),
+			Config:    cfg,
+			Evaluator: twitterEvaluator(int64(7 + s)),
+			Iters:     iters,
+		}
+	}
+
+	soloTraces := func() []string {
+		traces := make([]string, nSessions)
+		for s := 0; s < nSessions; s++ {
+			var buf bytes.Buffer
+			rec := obs.NewJSONL(&buf)
+			spec := newSpec(meta.NewSharedCorpus(newTasks(), nil), s, rec)
+			if _, err := New(spec.Config).Run(spec.Evaluator, spec.Iters); err != nil {
+				t.Fatal(err)
+			}
+			if err := rec.Close(); err != nil {
+				t.Fatal(err)
+			}
+			traces[s] = canonicalJSONL(t, buf.Bytes())
+		}
+		return traces
+	}
+
+	fleetTraces := func(workers int) []string {
+		sc := meta.NewSharedCorpus(newTasks(), nil)
+		bufs := make([]*bytes.Buffer, nSessions)
+		recs := make([]*obs.JSONL, nSessions)
+		specs := make([]SessionSpec, nSessions)
+		for s := 0; s < nSessions; s++ {
+			bufs[s] = &bytes.Buffer{}
+			recs[s] = obs.NewJSONL(bufs[s])
+			specs[s] = newSpec(sc, s, recs[s])
+		}
+		for _, r := range NewFleet(FleetConfig{Workers: workers}).Run(specs) {
+			if r.Err != nil {
+				t.Fatalf("session %s: %v", r.Name, r.Err)
+			}
+		}
+		traces := make([]string, nSessions)
+		for s := 0; s < nSessions; s++ {
+			if err := recs[s].Close(); err != nil {
+				t.Fatal(err)
+			}
+			traces[s] = canonicalJSONL(t, bufs[s].Bytes())
+		}
+		if hr := sc.HitRate(); hr <= 0.5 {
+			t.Fatalf("shared-fit hit rate = %.3f, want > 0.5", hr)
+		}
+		return traces
+	}
+
+	solo := soloTraces()
+	for _, procs := range []int{1, 8} {
+		old := runtime.GOMAXPROCS(procs)
+		fleet := fleetTraces(nSessions)
+		runtime.GOMAXPROCS(old)
+		for s := 0; s < nSessions; s++ {
+			if fleet[s] != solo[s] {
+				t.Fatalf("GOMAXPROCS=%d: session %d trace differs solo vs %d-concurrent:\n--- solo\n%s\n--- fleet\n%s",
+					procs, s, nSessions, solo[s], fleet[s])
 			}
 		}
 	}

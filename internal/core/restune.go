@@ -1,9 +1,7 @@
 package core
 
 import (
-	"fmt"
 	"math"
-	"time"
 
 	"repro/internal/bo"
 	"repro/internal/dbsim"
@@ -166,240 +164,16 @@ func (t *ResTune) Name() string {
 	return "ResTune"
 }
 
-// Run implements Tuner, executing the Section 4 iteration pipeline.
+// Run implements Tuner, executing the Section 4 iteration pipeline. It is a
+// thin wrapper over Session — one session created and stepped to completion
+// on the calling goroutine; a Fleet drives the same Session machinery for
+// many concurrent sessions.
 func (t *ResTune) Run(ev Evaluator, iters int) (*Result, error) {
-	cfg := t.cfg
-	space := ev.Space()
-	dim := space.Dim()
-	r := rng.Derive(cfg.Seed, "restune:"+t.Name())
-	if len(cfg.Base) > 0 && cfg.Corpus != nil {
-		return nil, fmt.Errorf("core: Config.Base and Config.Corpus are mutually exclusive")
+	s, err := t.NewSession(ev, iters)
+	if err != nil {
+		return nil, err
 	}
-	useMeta := len(cfg.Base) > 0 || cfg.Corpus != nil
-	if cfg.Corpus != nil {
-		// One shortlist per session: the target meta-feature is fixed, so
-		// the index query happens once, not per iteration.
-		if err := cfg.Corpus.Activate(cfg.TargetMetaFeature); err != nil {
-			return nil, fmt.Errorf("core: activating corpus: %w", err)
-		}
-	}
-
-	// Telemetry is injected, never global; Nop turns all of it off. The
-	// per-layer configs below carry the same recorder downward.
-	rec := obs.OrNop(cfg.Recorder)
-	cfg.Acq.Recorder = rec
-	iterGauge := rec.Gauge("core.iterations")
-	bestGauge := rec.Gauge("core.best_feasible_res")
-	sessionSpan := rec.Span("core.session",
-		obs.String("method", t.Name()), obs.Int("budget", iters))
-	defer sessionSpan.End()
-
-	// Iteration 0: measure the DBA default; its throughput and latency
-	// become the SLA thresholds λ_tps, λ_lat (Section 3).
-	defaultNative := ev.DefaultNative()
-	defaultTheta := space.Normalize(defaultNative)
-	res := &Result{Method: t.Name()}
-	m0 := ev.Measure(defaultNative)
-	res.DefaultMeasurement = m0
-	res.SLA = bo.SLA{LambdaTps: m0.TPS, LambdaLat: m0.LatencyP99Ms, Tolerance: cfg.SLATolerance}
-	res.Iterations = append(res.Iterations, Iteration{
-		Index:       0,
-		Phase:       "default",
-		Observation: observe(defaultTheta, m0, ev),
-		Measurement: m0,
-		Feasible:    true,
-	})
-	h := bo.History{res.Iterations[0].Observation}
-
-	// Pre-compute the LHS fallback design once. The target surrogate
-	// persists across iterations so hyperparameter search warm-starts.
-	lhsDesign := lhs.Maximin(cfg.InitIters, dim, 10, rng.Derive(cfg.Seed, "lhs"))
-	var tri *bo.TriGP
-
-	for iter := 1; iter <= iters; iter++ {
-		iterSpan := rec.Span("core.iteration")
-		it := Iteration{Index: iter}
-
-		// --- Meta-data processing: scale unification of the target track
-		// happens inside the TriGP fit; here we account the bookkeeping the
-		// paper's client performs per iteration.
-		tMeta := time.Now()
-		staticPhase := useMeta && cfg.UseWorkloadChar && iter <= cfg.InitIters
-		lhsPhase := !useMeta && iter <= cfg.InitIters ||
-			(useMeta && !cfg.UseWorkloadChar && iter <= cfg.InitIters)
-		it.MetaProcessing = time.Since(tMeta)
-
-		// --- Model update: fit the target base-learner and ensemble weights.
-		tModel := time.Now()
-		var target *meta.BaseLearner
-		var surrogate bo.Surrogate
-		var cons bo.Constraints
-		var bestVal = math.NaN()
-
-		if !lhsPhase {
-			if tri == nil {
-				tri = bo.NewTriGP(dim, cfg.Seed)
-				tri.SetRecorder(rec)
-			}
-			// Warm-started hyperparameter search: full budget every
-			// RefitEvery-th iteration, a small budget otherwise (the
-			// incumbent hyperparameters are always retained).
-			budget := 0
-			if cfg.RefitEvery > 1 && iter%cfg.RefitEvery != 0 {
-				budget = 6
-			}
-			hist := cloneHistory(h)
-			if err := tri.FitWithBudget(hist, budget); err != nil {
-				return nil, fmt.Errorf("core: target model at iter %d: %w", iter, err)
-			}
-			target = meta.NewBaseLearnerFromSurrogate("target", "target", "target",
-				cfg.TargetMetaFeature, hist, tri)
-		}
-
-		if useMeta && !lhsPhase {
-			base := cfg.Base
-			var activeIDs []int
-			if cfg.Corpus != nil {
-				var err error
-				base, activeIDs, err = cfg.Corpus.ActiveLearners()
-				if err != nil {
-					return nil, fmt.Errorf("core: corpus learners at iter %d: %w", iter, err)
-				}
-			}
-			var w []float64
-			useStatic := staticPhase
-			switch cfg.Schema {
-			case StaticOnlySchema:
-				useStatic = true
-			case DynamicOnlySchema:
-				useStatic = false
-			}
-			if useStatic {
-				w = meta.StaticWeights(base, cfg.TargetMetaFeature, true, cfg.StaticBandwidth)
-				it.Phase = "static"
-			} else {
-				w = meta.DynamicWeightsOpts(base, target,
-					meta.DynamicOptions{Samples: cfg.DynamicSamples, DilutionGuard: cfg.DilutionGuard, Recorder: rec},
-					rng.Derive(cfg.Seed, fmt.Sprintf("dyn:%d", iter)))
-				it.Phase = "dynamic"
-				if cfg.Corpus != nil {
-					// Pruning bookkeeping: takes effect from the next
-					// iteration's shortlist, never this ensemble.
-					cfg.Corpus.ObserveDynamicWeights(activeIDs, w)
-				}
-			}
-			ens := meta.NewEnsemble(base, target, w)
-			if cfg.WeightedVariance {
-				ens = ens.WithWeightedVariance()
-			}
-			if cfg.Corpus != nil {
-				// Fixed-shape weight vector over the whole corpus (zeros off
-				// the shortlist) so fig6-style weight traces keep one column
-				// per base task. On the exact path this is the identity.
-				it.Weights = cfg.Corpus.ScatterWeights(activeIDs, ens.Weights())
-				it.Shortlist = len(base)
-			} else {
-				it.Weights = ens.Weights()
-			}
-			surrogate = ens
-			cons = ens.RescaledConstraints(defaultTheta)
-			if best, ok := h.BestFeasible(res.SLA); ok {
-				mu, _ := ens.Predict(bo.Res, best.Theta)
-				bestVal = mu
-			}
-		} else if !lhsPhase {
-			surrogate = tri
-			cons = tri.RawConstraints(res.SLA)
-			if best, ok := h.BestFeasible(res.SLA); ok {
-				bestVal = tri.Standardizer(bo.Res).Apply(best.Res)
-			}
-			it.Phase = "cbo"
-		}
-		it.ModelUpdate = time.Since(tModel)
-
-		// --- Knobs recommendation: optimize the constrained acquisition.
-		tRec := time.Now()
-		var theta []float64
-		var acqFn bo.AcqFunc
-		if lhsPhase {
-			theta = lhsDesign[iter-1]
-			it.Phase = "lhs"
-		} else {
-			acq := func(x []float64) float64 {
-				return bo.CEI(surrogate, x, bestVal, cons)
-			}
-			acqFn = acq
-			// Every surrogate in this repository (TriGP and the meta
-			// ensemble) batches, so probes are scored block-at-a-time; the
-			// batch path is bit-identical to acq, keeping traces unchanged.
-			var acqBatch bo.BatchAcqFunc
-			if bs, ok := surrogate.(bo.BatchSurrogate); ok {
-				acqBatch = func(X [][]float64, out []float64) {
-					bo.CEIBatch(bs, X, bestVal, cons, out)
-				}
-			}
-			incumbents := incumbentSet(h, res.SLA, defaultTheta)
-			theta = bo.OptimizeAcqBatch(acq, acqBatch, dim, cfg.Acq, incumbents, r)
-		}
-		theta = space.Quantize(theta)
-		it.Recommend = time.Since(tRec)
-
-		// --- Target workload replay.
-		tRep := time.Now()
-		native := space.Denormalize(theta)
-		meas := ev.Measure(native)
-		it.Replay = time.Since(tRep)
-
-		it.Measurement = meas
-		it.Observation = observe(theta, meas, ev)
-		it.Feasible = res.SLA.Feasible(it.Observation)
-		res.Iterations = append(res.Iterations, it)
-		h = append(h, it.Observation)
-
-		if rec.Enabled() {
-			attrs := []obs.Attr{
-				obs.Int("iter", iter),
-				obs.String("phase", it.Phase),
-				obs.Floats("theta", theta),
-				obs.Bool("feasible", it.Feasible),
-				obs.Float("res", it.Observation.Res),
-				obs.Float("tps", it.Observation.Tps),
-				obs.Float("lat", it.Observation.Lat),
-				obs.Float("model_update_ms", float64(it.ModelUpdate.Microseconds())/1e3),
-				obs.Float("recommend_ms", float64(it.Recommend.Microseconds())/1e3),
-				obs.Float("replay_ms", float64(it.Replay.Microseconds())/1e3),
-			}
-			if acqFn != nil {
-				// One extra pure acquisition evaluation at the chosen point.
-				// No RNG is consumed, so the tuning trace is unchanged.
-				if v := acqFn(theta); !math.IsNaN(v) && !math.IsInf(v, 0) {
-					attrs = append(attrs, obs.Float("cei", v))
-				}
-			}
-			if len(it.Weights) > 0 {
-				attrs = append(attrs, obs.Floats("weights", it.Weights))
-			}
-			if it.Shortlist > 0 {
-				attrs = append(attrs, obs.Int("shortlist", it.Shortlist))
-			}
-			iterSpan.SetAttrs(attrs...)
-			iterGauge.Set(float64(iter))
-			if best, ok := h.BestFeasible(res.SLA); ok {
-				bestGauge.Set(best.Res)
-			}
-		}
-		iterSpan.End()
-
-		if cfg.TargetImprovementPct > 0 && res.ImprovementPct() >= cfg.TargetImprovementPct {
-			res.Converged = true
-			break
-		}
-		if t.converged(res) {
-			res.Converged = true
-			break
-		}
-	}
-	return res, nil
+	return s.Run()
 }
 
 // observe packs a measurement into the (θ, res, tps, lat) four-tuple, with
@@ -413,34 +187,6 @@ func observe(theta []float64, m dbsim.Measurement, ev Evaluator) bo.Observation 
 	}
 }
 
-// converged applies the stopping rule: best-feasible res/tps/lat all stable
-// within ConvergenceEps for ConvergenceWindow consecutive iterations.
-func (t *ResTune) converged(res *Result) bool {
-	w := t.cfg.ConvergenceWindow
-	if w <= 0 || len(res.Iterations) < w+1 {
-		return false
-	}
-	h := res.History()
-	type triple struct{ r, tp, l float64 }
-	var prev *triple
-	for i := len(res.Iterations) - w - 1; i < len(res.Iterations); i++ {
-		best, ok := h[:i+1].BestFeasible(res.SLA)
-		if !ok {
-			return false
-		}
-		cur := triple{best.Res, best.Tps, best.Lat}
-		if prev != nil {
-			if relChange(prev.r, cur.r) > t.cfg.ConvergenceEps ||
-				relChange(prev.tp, cur.tp) > t.cfg.ConvergenceEps ||
-				relChange(prev.l, cur.l) > t.cfg.ConvergenceEps {
-				return false
-			}
-		}
-		prev = &cur
-	}
-	return true
-}
-
 func relChange(a, b float64) float64 {
 	if a == 0 {
 		if b == 0 {
@@ -449,26 +195,6 @@ func relChange(a, b float64) float64 {
 		return math.Inf(1)
 	}
 	return math.Abs(b-a) / math.Abs(a)
-}
-
-// incumbentSet picks start points for acquisition optimization: the best
-// feasible configuration, the default, and the most recent probe.
-func incumbentSet(h bo.History, sla bo.SLA, defaultTheta []float64) [][]float64 {
-	var inc [][]float64
-	if best, ok := h.BestFeasible(sla); ok {
-		inc = append(inc, best.Theta)
-	}
-	inc = append(inc, defaultTheta)
-	if len(h) > 0 {
-		inc = append(inc, h[len(h)-1].Theta)
-	}
-	return inc
-}
-
-func cloneHistory(h bo.History) bo.History {
-	out := make(bo.History, len(h))
-	copy(out, h)
-	return out
 }
 
 // LHSInit exposes the session's initial design for tests.

@@ -1,0 +1,452 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/bo"
+	"repro/internal/knobs"
+	"repro/internal/lhs"
+	"repro/internal/meta"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// Session is one resumable tuning session as a value: all the state
+// ResTune.Run used to keep on its goroutine's stack — the RNG stream, the
+// observation history, the persistent target surrogate, the recorder handles
+// and the iteration cursor — extracted so a scheduler can interleave many
+// sessions on a bounded worker pool. A Session is single-owner: exactly one
+// goroutine may call Step at a time, but ownership may migrate between
+// goroutines across Step calls (the Fleet hands sessions off through a
+// channel, whose happens-before edge publishes the state).
+//
+// The session's trace is a pure function of (Config, Evaluator, budget):
+// whether its Step calls run back-to-back on one goroutine or interleaved
+// with hundreds of concurrent sessions, the recorded iterations are
+// bit-identical. Per-iteration scratch (the history track, incumbent set and
+// iteration slice) is preallocated at Start so steady-state stepping
+// allocates only what the model layers below pool themselves.
+type Session struct {
+	cfg    Config
+	method string
+	ev     Evaluator
+	space  *knobs.Space
+	dim    int
+
+	useMeta bool
+	r       *rand.Rand
+
+	rec       obs.Recorder
+	iterGauge obs.Gauge
+	bestGauge obs.Gauge
+	span      obs.Span
+
+	res          *Result
+	h            bo.History
+	defaultTheta []float64
+	lhsDesign    [][]float64
+	tri          *bo.TriGP
+
+	budget  int
+	iter    int
+	started bool
+	done    bool
+	err     error
+
+	// incBuf backs the per-iteration incumbent set so acquisition start
+	// points stop allocating each step.
+	incBuf [][]float64
+}
+
+// NewSession validates the configuration and binds a session to an
+// evaluator and iteration budget without doing any work: the default-config
+// probe, corpus activation and model fitting all happen inside Step, so a
+// scheduler can enqueue hundreds of sessions cheaply and pay their cost on
+// the worker pool.
+func (t *ResTune) NewSession(ev Evaluator, iters int) (*Session, error) {
+	cfg := t.cfg
+	if len(cfg.Base) > 0 && cfg.Corpus != nil {
+		return nil, fmt.Errorf("core: Config.Base and Config.Corpus are mutually exclusive")
+	}
+	space := ev.Space()
+	rec := obs.OrNop(cfg.Recorder)
+	cfg.Acq.Recorder = rec
+	return &Session{
+		cfg:       cfg,
+		method:    t.Name(),
+		ev:        ev,
+		space:     space,
+		dim:       space.Dim(),
+		useMeta:   len(cfg.Base) > 0 || cfg.Corpus != nil,
+		r:         rng.Derive(cfg.Seed, "restune:"+t.Name()),
+		rec:       rec,
+		iterGauge: rec.Gauge("core.iterations"),
+		bestGauge: rec.Gauge("core.best_feasible_res"),
+		budget:    iters,
+	}, nil
+}
+
+// NewSession builds a session directly from a config (the Fleet entry
+// point); it is New(cfg).NewSession(ev, iters).
+func NewSession(cfg Config, ev Evaluator, iters int) (*Session, error) {
+	return New(cfg).NewSession(ev, iters)
+}
+
+// Name returns the session's method name.
+func (s *Session) Name() string { return s.method }
+
+// Done reports whether the session has finished (successfully or not).
+func (s *Session) Done() bool { return s.done || s.err != nil }
+
+// Err returns the error that stopped the session, if any.
+func (s *Session) Err() error { return s.err }
+
+// Result returns the session's result so far. It is only complete once
+// Done reports true with a nil Err; a scheduler may still read it
+// mid-session for progress displays.
+func (s *Session) Result() *Result { return s.res }
+
+// start runs iteration 0: corpus activation, the DBA-default probe that
+// fixes the SLA thresholds, and the LHS fallback design.
+func (s *Session) start() error {
+	cfg := &s.cfg
+	if cfg.Corpus != nil {
+		// One shortlist per session: the target meta-feature is fixed, so
+		// the index query happens once, not per iteration.
+		if err := cfg.Corpus.Activate(cfg.TargetMetaFeature); err != nil {
+			return fmt.Errorf("core: activating corpus: %w", err)
+		}
+	}
+	s.span = s.rec.Span("core.session",
+		obs.String("method", s.method), obs.Int("budget", s.budget))
+
+	// Iteration 0: measure the DBA default; its throughput and latency
+	// become the SLA thresholds λ_tps, λ_lat (Section 3).
+	defaultNative := s.ev.DefaultNative()
+	s.defaultTheta = s.space.Normalize(defaultNative)
+	s.res = &Result{Method: s.method}
+	m0 := s.ev.Measure(defaultNative)
+	s.res.DefaultMeasurement = m0
+	s.res.SLA = bo.SLA{LambdaTps: m0.TPS, LambdaLat: m0.LatencyP99Ms, Tolerance: cfg.SLATolerance}
+	s.res.Iterations = make([]Iteration, 0, s.budget+1)
+	s.res.Iterations = append(s.res.Iterations, Iteration{
+		Index:       0,
+		Phase:       "default",
+		Observation: observe(s.defaultTheta, m0, s.ev),
+		Measurement: m0,
+		Feasible:    true,
+	})
+	// The history track is preallocated for the whole budget, so appends
+	// never move it: slices of it handed to the model layer (the target
+	// surrogate and base-learner) stay valid as the session grows.
+	s.h = make(bo.History, 0, s.budget+1)
+	s.h = append(s.h, s.res.Iterations[0].Observation)
+
+	// Pre-compute the LHS fallback design once. The target surrogate
+	// persists across iterations so hyperparameter search warm-starts.
+	s.lhsDesign = lhs.Maximin(cfg.InitIters, s.dim, 10, rng.Derive(cfg.Seed, "lhs"))
+	return nil
+}
+
+// Step advances the session by one unit of work — iteration 0 (the default
+// probe) on the first call, one tuning iteration per call after — and
+// reports whether the session is finished. After an error every further
+// Step returns (true, sameError).
+func (s *Session) Step() (bool, error) {
+	if s.err != nil || s.done {
+		return true, s.err
+	}
+	if !s.started {
+		if err := s.start(); err != nil {
+			s.fail(err)
+			return true, s.err
+		}
+		s.started = true
+		if s.budget < 1 {
+			s.finish()
+			return true, nil
+		}
+		return false, nil
+	}
+	s.iter++
+	if err := s.runIteration(s.iter); err != nil {
+		s.fail(err)
+		return true, s.err
+	}
+	cfg := &s.cfg
+	if cfg.TargetImprovementPct > 0 && s.res.ImprovementPct() >= cfg.TargetImprovementPct {
+		s.res.Converged = true
+		s.finish()
+		return true, nil
+	}
+	if sessionConverged(s.res, cfg.ConvergenceWindow, cfg.ConvergenceEps) {
+		s.res.Converged = true
+		s.finish()
+		return true, nil
+	}
+	if s.iter >= s.budget {
+		s.finish()
+		return true, nil
+	}
+	return false, nil
+}
+
+func (s *Session) finish() {
+	s.done = true
+	if s.span != nil {
+		s.span.End()
+		s.span = nil
+	}
+}
+
+func (s *Session) fail(err error) {
+	s.err = err
+	if s.span != nil {
+		s.span.End()
+		s.span = nil
+	}
+}
+
+// Run steps the session to completion — the single-session path ResTune.Run
+// delegates to.
+func (s *Session) Run() (*Result, error) {
+	for {
+		done, err := s.Step()
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return s.res, nil
+		}
+	}
+}
+
+// runIteration executes the Section 4 iteration pipeline for iteration iter
+// (1-based; iteration 0 is the default probe run by start).
+func (s *Session) runIteration(iter int) error {
+	cfg := &s.cfg
+	rec := s.rec
+	iterSpan := rec.Span("core.iteration")
+	it := Iteration{Index: iter}
+
+	// --- Meta-data processing: scale unification of the target track
+	// happens inside the TriGP fit; here we account the bookkeeping the
+	// paper's client performs per iteration.
+	tMeta := time.Now()
+	staticPhase := s.useMeta && cfg.UseWorkloadChar && iter <= cfg.InitIters
+	lhsPhase := !s.useMeta && iter <= cfg.InitIters ||
+		(s.useMeta && !cfg.UseWorkloadChar && iter <= cfg.InitIters)
+	it.MetaProcessing = time.Since(tMeta)
+
+	// --- Model update: fit the target base-learner and ensemble weights.
+	tModel := time.Now()
+	var target *meta.BaseLearner
+	var surrogate bo.Surrogate
+	var cons bo.Constraints
+	var bestVal = math.NaN()
+
+	if !lhsPhase {
+		if s.tri == nil {
+			s.tri = bo.NewTriGP(s.dim, cfg.Seed)
+			s.tri.SetRecorder(rec)
+		}
+		// Warm-started hyperparameter search: full budget every
+		// RefitEvery-th iteration, a small budget otherwise (the
+		// incumbent hyperparameters are always retained).
+		budget := 0
+		if cfg.RefitEvery > 1 && iter%cfg.RefitEvery != 0 {
+			budget = 6
+		}
+		// s.h is preallocated for the whole budget and append-only, so the
+		// snapshot handed to the model layer is just the current slice
+		// header — no per-iteration clone (the old cloneHistory hot path).
+		hist := s.h
+		if err := s.tri.FitWithBudget(hist, budget); err != nil {
+			return fmt.Errorf("core: target model at iter %d: %w", iter, err)
+		}
+		target = meta.NewBaseLearnerFromSurrogate("target", "target", "target",
+			cfg.TargetMetaFeature, hist, s.tri)
+	}
+
+	if s.useMeta && !lhsPhase {
+		base := cfg.Base
+		var activeIDs []int
+		if cfg.Corpus != nil {
+			var err error
+			base, activeIDs, err = cfg.Corpus.ActiveLearners()
+			if err != nil {
+				return fmt.Errorf("core: corpus learners at iter %d: %w", iter, err)
+			}
+		}
+		var w []float64
+		useStatic := staticPhase
+		switch cfg.Schema {
+		case StaticOnlySchema:
+			useStatic = true
+		case DynamicOnlySchema:
+			useStatic = false
+		}
+		if useStatic {
+			w = meta.StaticWeights(base, cfg.TargetMetaFeature, true, cfg.StaticBandwidth)
+			it.Phase = "static"
+		} else {
+			w = meta.DynamicWeightsOpts(base, target,
+				meta.DynamicOptions{Samples: cfg.DynamicSamples, DilutionGuard: cfg.DilutionGuard, Recorder: rec},
+				rng.Derive(cfg.Seed, fmt.Sprintf("dyn:%d", iter)))
+			it.Phase = "dynamic"
+			if cfg.Corpus != nil {
+				// Pruning bookkeeping: takes effect from the next
+				// iteration's shortlist, never this ensemble.
+				cfg.Corpus.ObserveDynamicWeights(activeIDs, w)
+			}
+		}
+		ens := meta.NewEnsemble(base, target, w)
+		if cfg.WeightedVariance {
+			ens = ens.WithWeightedVariance()
+		}
+		if cfg.Corpus != nil {
+			// Fixed-shape weight vector over the whole corpus (zeros off
+			// the shortlist) so fig6-style weight traces keep one column
+			// per base task. On the exact path this is the identity.
+			it.Weights = cfg.Corpus.ScatterWeights(activeIDs, ens.Weights())
+			it.Shortlist = len(base)
+		} else {
+			it.Weights = ens.Weights()
+		}
+		surrogate = ens
+		cons = ens.RescaledConstraints(s.defaultTheta)
+		if best, ok := s.h.BestFeasible(s.res.SLA); ok {
+			mu, _ := ens.Predict(bo.Res, best.Theta)
+			bestVal = mu
+		}
+	} else if !lhsPhase {
+		surrogate = s.tri
+		cons = s.tri.RawConstraints(s.res.SLA)
+		if best, ok := s.h.BestFeasible(s.res.SLA); ok {
+			bestVal = s.tri.Standardizer(bo.Res).Apply(best.Res)
+		}
+		it.Phase = "cbo"
+	}
+	it.ModelUpdate = time.Since(tModel)
+
+	// --- Knobs recommendation: optimize the constrained acquisition.
+	tRec := time.Now()
+	var theta []float64
+	var acqFn bo.AcqFunc
+	if lhsPhase {
+		theta = s.lhsDesign[iter-1]
+		it.Phase = "lhs"
+	} else {
+		acq := func(x []float64) float64 {
+			return bo.CEI(surrogate, x, bestVal, cons)
+		}
+		acqFn = acq
+		// Every surrogate in this repository (TriGP and the meta
+		// ensemble) batches, so probes are scored block-at-a-time; the
+		// batch path is bit-identical to acq, keeping traces unchanged.
+		var acqBatch bo.BatchAcqFunc
+		if bs, ok := surrogate.(bo.BatchSurrogate); ok {
+			acqBatch = func(X [][]float64, out []float64) {
+				bo.CEIBatch(bs, X, bestVal, cons, out)
+			}
+		}
+		incumbents := s.incumbents()
+		theta = bo.OptimizeAcqBatch(acq, acqBatch, s.dim, cfg.Acq, incumbents, s.r)
+	}
+	theta = s.space.Quantize(theta)
+	it.Recommend = time.Since(tRec)
+
+	// --- Target workload replay.
+	tRep := time.Now()
+	native := s.space.Denormalize(theta)
+	meas := s.ev.Measure(native)
+	it.Replay = time.Since(tRep)
+
+	it.Measurement = meas
+	it.Observation = observe(theta, meas, s.ev)
+	it.Feasible = s.res.SLA.Feasible(it.Observation)
+	s.res.Iterations = append(s.res.Iterations, it)
+	s.h = append(s.h, it.Observation)
+
+	if rec.Enabled() {
+		attrs := []obs.Attr{
+			obs.Int("iter", iter),
+			obs.String("phase", it.Phase),
+			obs.Floats("theta", theta),
+			obs.Bool("feasible", it.Feasible),
+			obs.Float("res", it.Observation.Res),
+			obs.Float("tps", it.Observation.Tps),
+			obs.Float("lat", it.Observation.Lat),
+			obs.Float("model_update_ms", float64(it.ModelUpdate.Microseconds())/1e3),
+			obs.Float("recommend_ms", float64(it.Recommend.Microseconds())/1e3),
+			obs.Float("replay_ms", float64(it.Replay.Microseconds())/1e3),
+		}
+		if acqFn != nil {
+			// One extra pure acquisition evaluation at the chosen point.
+			// No RNG is consumed, so the tuning trace is unchanged.
+			if v := acqFn(theta); !math.IsNaN(v) && !math.IsInf(v, 0) {
+				attrs = append(attrs, obs.Float("cei", v))
+			}
+		}
+		if len(it.Weights) > 0 {
+			attrs = append(attrs, obs.Floats("weights", it.Weights))
+		}
+		if it.Shortlist > 0 {
+			attrs = append(attrs, obs.Int("shortlist", it.Shortlist))
+		}
+		iterSpan.SetAttrs(attrs...)
+		s.iterGauge.Set(float64(iter))
+		if best, ok := s.h.BestFeasible(s.res.SLA); ok {
+			s.bestGauge.Set(best.Res)
+		}
+	}
+	iterSpan.End()
+	return nil
+}
+
+// incumbents assembles acquisition start points — the best feasible
+// configuration, the default, and the most recent probe — into the
+// session's reusable buffer (the slices appended are views of history
+// entries, so no copying happens either).
+func (s *Session) incumbents() [][]float64 {
+	inc := s.incBuf[:0]
+	if best, ok := s.h.BestFeasible(s.res.SLA); ok {
+		inc = append(inc, best.Theta)
+	}
+	inc = append(inc, s.defaultTheta)
+	if len(s.h) > 0 {
+		inc = append(inc, s.h[len(s.h)-1].Theta)
+	}
+	s.incBuf = inc
+	return inc
+}
+
+// sessionConverged applies the stopping rule: best-feasible res/tps/lat all
+// stable within eps for window consecutive iterations.
+func sessionConverged(res *Result, window int, eps float64) bool {
+	if window <= 0 || len(res.Iterations) < window+1 {
+		return false
+	}
+	h := res.History()
+	type triple struct{ r, tp, l float64 }
+	var prev *triple
+	for i := len(res.Iterations) - window - 1; i < len(res.Iterations); i++ {
+		best, ok := h[:i+1].BestFeasible(res.SLA)
+		if !ok {
+			return false
+		}
+		cur := triple{best.Res, best.Tps, best.Lat}
+		if prev != nil {
+			if relChange(prev.r, cur.r) > eps ||
+				relChange(prev.tp, cur.tp) > eps ||
+				relChange(prev.l, cur.l) > eps {
+				return false
+			}
+		}
+		prev = &cur
+	}
+	return true
+}

@@ -67,11 +67,18 @@ const DefaultShortlistK = 16
 // the fitted-learner cache persists across Activate calls, so a corpus
 // reused for several similar targets amortizes its fits. Methods are
 // internally locked only around the cache; concurrent sessions must not
-// share one Corpus yet.
+// share one Corpus — instead, build one SharedCorpus over the task list
+// and hand each session its own view via SharedCorpus.NewSession, which
+// keeps shortlist/pruning/LRU state private while routing fits through
+// the shared single-flight cache.
 type Corpus struct {
 	tasks []CorpusTask
 	opts  CorpusOptions
 	rec   obs.Recorder
+
+	// shared, when non-nil, is the fleet-wide fit cache this view
+	// delegates materialization to (set by SharedCorpus.NewSession).
+	shared *SharedCorpus
 
 	activated    bool
 	shortlisting bool
@@ -272,14 +279,24 @@ func (c *Corpus) learner(id int) (*BaseLearner, error) {
 	}
 	c.mu.Unlock()
 	// Fit outside the lock: fits are deterministic per task, so a rare
-	// duplicate fit under future concurrent use would be identical.
-	var sp obs.Span
-	if c.rec.Enabled() {
-		sp = c.rec.Span("meta.corpus_fit", obs.String("task", c.tasks[id].ID))
-	}
-	bl, err := c.tasks[id].Fit()
-	if sp != nil {
-		sp.End()
+	// duplicate fit under future concurrent use would be identical. A view
+	// attached to a SharedCorpus routes the fit through the fleet-wide
+	// single-flight cache instead, so N sessions pay ~1 fit per task; the
+	// session-local resident map above still provides lock-free-ish reuse
+	// and LRU semantics within the session.
+	var bl *BaseLearner
+	var err error
+	if c.shared != nil {
+		bl, err = c.shared.fit(id)
+	} else {
+		var sp obs.Span
+		if c.rec.Enabled() {
+			sp = c.rec.Span("meta.corpus_fit", obs.String("task", c.tasks[id].ID))
+		}
+		bl, err = c.tasks[id].Fit()
+		if sp != nil {
+			sp.End()
+		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("meta: materializing corpus task %s: %w", c.tasks[id].ID, err)

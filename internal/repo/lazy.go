@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"repro/internal/knobs"
 	"repro/internal/meta"
@@ -33,6 +34,14 @@ type TaskMeta struct {
 // The underlying file stays open for positioned reads until Close; Save
 // replaces files by rename, so a concurrent save never corrupts reads
 // through an already-open LazyRepository (it keeps reading the old inode).
+//
+// A LazyRepository is safe for concurrent readers: Task segments are read
+// with ReadAt (pread — each call carries its own offset, so the OS file
+// position is never shared, seeks cannot interleave) into a per-call
+// buffer, and decoding touches no shared mutable state. Many fleet
+// sessions may therefore materialize corpus tasks from one open
+// repository at once; the close guard makes a Task racing Close fail with
+// a clean error instead of hitting a recycled file descriptor.
 type LazyRepository struct {
 	f         *os.File // nil for the v1 eager fallback
 	dataStart int64
@@ -40,6 +49,12 @@ type LazyRepository struct {
 	entries   []IndexEntry
 	metas     []TaskMeta
 	eager     []TaskRecord // v1 fallback only
+
+	// mu guards closed: readers (Task) hold it shared for the duration of
+	// their positioned read, Close holds it exclusive, so a file descriptor
+	// is never released mid-read.
+	mu     sync.RWMutex
+	closed bool
 }
 
 // OpenLazy opens a repository file, reading only its index. For v1 files
@@ -127,14 +142,23 @@ func (l *LazyRepository) Meta(i int) TaskMeta { return l.metas[i] }
 
 // Task decodes task i's full record, reading its segment on demand. Each
 // call re-reads and re-decodes; callers wanting residency cache the result
-// (Corpus caches fitted learners, which subsumes caching records).
+// (Corpus caches fitted learners, which subsumes caching records). Safe
+// for concurrent callers: the segment read is positioned (pread) into a
+// fresh buffer, so parallel sessions never interleave file offsets.
 func (l *LazyRepository) Task(i int) (TaskRecord, error) {
 	if l.f == nil {
 		return l.eager[i], nil
 	}
 	e := l.entries[i]
 	seg := make([]byte, e.Length)
-	if _, err := l.f.ReadAt(seg, l.dataStart+e.Offset); err != nil {
+	l.mu.RLock()
+	if l.closed {
+		l.mu.RUnlock()
+		return TaskRecord{}, fmt.Errorf("repo: reading task %s segment: repository closed", e.TaskID)
+	}
+	_, err := l.f.ReadAt(seg, l.dataStart+e.Offset)
+	l.mu.RUnlock()
+	if err != nil {
 		return TaskRecord{}, fmt.Errorf("repo: reading task %s segment: %w", e.TaskID, err)
 	}
 	var t TaskRecord
@@ -144,12 +168,19 @@ func (l *LazyRepository) Task(i int) (TaskRecord, error) {
 	return t, nil
 }
 
-// Close releases the underlying file. The v1 fallback holds no file and
-// Close is a no-op.
+// Close releases the underlying file; in-flight Task reads complete first
+// and later ones fail cleanly. Idempotent. The v1 fallback holds no file
+// and Close is a no-op.
 func (l *LazyRepository) Close() error {
 	if l.f == nil {
 		return nil
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
 	return l.f.Close()
 }
 
@@ -160,6 +191,19 @@ func (l *LazyRepository) Close() error {
 // file index) the eager BaseLearners assigns — so the exact-fallback path
 // reproduces eager sessions bit for bit.
 func (l *LazyRepository) Corpus(space *knobs.Space, seed int64, pred func(TaskMeta) bool, opts meta.CorpusOptions) (*meta.Corpus, error) {
+	tasks, err := l.CorpusTasks(space, seed, pred)
+	if err != nil {
+		return nil, err
+	}
+	return meta.NewCorpus(tasks, opts), nil
+}
+
+// CorpusTasks builds the task list Corpus wraps, exposed separately so a
+// fleet can feed one repository into a meta.SharedCorpus: the Fit closures
+// are concurrency-safe (positioned reads, no shared decode state), letting
+// hundreds of sessions share one open repository behind a single-flight fit
+// cache.
+func (l *LazyRepository) CorpusTasks(space *knobs.Space, seed int64, pred func(TaskMeta) bool) ([]meta.CorpusTask, error) {
 	perms := make(map[string][]int) // keyed by joined stored-name order
 	tasks := make([]meta.CorpusTask, 0, len(l.metas))
 	for i, m := range l.metas {
@@ -204,13 +248,25 @@ func (l *LazyRepository) Corpus(space *knobs.Space, seed int64, pred func(TaskMe
 			},
 		})
 	}
-	return meta.NewCorpus(tasks, opts), nil
+	return tasks, nil
 }
 
 // Corpus is the eager Repository's counterpart of LazyRepository.Corpus:
 // histories are already in memory, but surrogate fits are still deferred to
 // first shortlist hit and seeded identically to BaseLearners.
 func (r *Repository) Corpus(space *knobs.Space, seed int64, pred func(TaskRecord) bool, opts meta.CorpusOptions) (*meta.Corpus, error) {
+	tasks, err := r.CorpusTasks(space, seed, pred)
+	if err != nil {
+		return nil, err
+	}
+	return meta.NewCorpus(tasks, opts), nil
+}
+
+// CorpusTasks is the eager counterpart of LazyRepository.CorpusTasks.
+// Note the eager path's knob-permutation cache is not synchronized; build
+// the task list once and share the resulting SharedCorpus rather than
+// calling this concurrently.
+func (r *Repository) CorpusTasks(space *knobs.Space, seed int64, pred func(TaskRecord) bool) ([]meta.CorpusTask, error) {
 	tasks := make([]meta.CorpusTask, 0, len(r.Tasks))
 	for i, t := range r.Tasks {
 		if pred != nil && !pred(t) {
@@ -234,7 +290,7 @@ func (r *Repository) Corpus(space *knobs.Space, seed int64, pred func(TaskRecord
 			},
 		})
 	}
-	return meta.NewCorpus(tasks, opts), nil
+	return tasks, nil
 }
 
 func joinNames(names []string) string {

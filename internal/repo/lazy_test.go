@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/bo"
@@ -144,6 +145,99 @@ func TestOpenLazyRejectsTruncation(t *testing.T) {
 			t.Fatalf("truncation at %d/%d bytes: expected an open error", cut, len(data))
 		}
 	}
+}
+
+// TestLazyRepositoryConcurrentLoadTask is the fleet concurrency gate for
+// the repository layer: 8 goroutines hammer Task across every index (the
+// ISSUE's "8 concurrent LoadTask callers"), each decode compared against
+// the eagerly-loaded truth, under -race in tier-1. Positioned reads mean no
+// shared file offset; a final racing Close must fail residual reads cleanly
+// rather than handing them a recycled descriptor.
+func TestLazyRepositoryConcurrentLoadTask(t *testing.T) {
+	r := twoTaskRepo(t)
+	path := filepath.Join(t.TempDir(), "repo.json")
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenLazy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	const callers, rounds = 8, 25
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				i := (c + round) % l.Len()
+				got, err := l.Task(i)
+				if err != nil {
+					t.Errorf("caller %d round %d: %v", c, round, err)
+					return
+				}
+				if !reflect.DeepEqual(got, r.Tasks[i]) {
+					t.Errorf("caller %d round %d: task %d decode differs", c, round, i)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Close is idempotent and flips Task to a clean error.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := l.Task(0); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("Task after Close: err = %v, want repository-closed error", err)
+	}
+}
+
+// TestLazyRepositoryCloseRacesTask drives Task callers against a
+// mid-stream Close: every call must either succeed with a correct decode
+// or fail with an error — never crash or return a torn record.
+func TestLazyRepositoryCloseRacesTask(t *testing.T) {
+	r := twoTaskRepo(t)
+	path := filepath.Join(t.TempDir(), "repo.json")
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenLazy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			for round := 0; round < 50; round++ {
+				i := (c + round) % l.Len()
+				got, err := l.Task(i)
+				if err != nil {
+					continue // closed underneath us: acceptable
+				}
+				if !reflect.DeepEqual(got, r.Tasks[i]) {
+					t.Errorf("caller %d: torn decode for task %d", c, i)
+					return
+				}
+			}
+		}(c)
+	}
+	close(start)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
 }
 
 func TestLazyCorpusMatchesEagerBaseLearners(t *testing.T) {

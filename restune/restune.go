@@ -103,6 +103,24 @@ type (
 	// CorpusOptions tunes shortlist size, exact-fallback threshold, pruning
 	// patience and surrogate residency.
 	CorpusOptions = meta.CorpusOptions
+	// SharedCorpus is the fleet-wide copy-on-write fit cache: one immutable
+	// task list whose surrogate fits are computed once (single-flight) and
+	// shared read-only across every session holding a view from NewSession.
+	SharedCorpus = meta.SharedCorpus
+	// Session is one resumable tuning session as a value: NewSession binds
+	// it, Step advances it one iteration, Run steps it to completion. A
+	// Fleet multiplexes many of them over a bounded worker pool.
+	Session = core.Session
+	// SessionSpec declares one fleet session: name, config, evaluator,
+	// iteration budget.
+	SessionSpec = core.SessionSpec
+	// SessionResult is one fleet session's outcome, in spec order.
+	SessionResult = core.SessionResult
+	// Fleet runs many tuning sessions concurrently over a bounded worker
+	// pool with deterministic per-session traces.
+	Fleet = core.Fleet
+	// FleetConfig sizes the fleet's worker pool and attaches its telemetry.
+	FleetConfig = core.FleetConfig
 	// AcquisitionConfig tunes acquisition-function optimization.
 	AcquisitionConfig = bo.OptimizerConfig
 	// WeightSchema selects the ensemble weight-assignment schema.
@@ -287,6 +305,28 @@ func OpenLazyRepository(path string) (*LazyRepository, error) { return repo.Open
 // NewCorpus builds a shortlisting corpus over explicit tasks. Repositories
 // build one directly via (*Repository).Corpus / (*LazyRepository).Corpus.
 func NewCorpus(tasks []CorpusTask, opts CorpusOptions) *Corpus { return meta.NewCorpus(tasks, opts) }
+
+// NewSharedCorpus builds the fleet-wide single-flight fit cache over a task
+// list (from SyntheticCorpus or a repository's CorpusTasks). Hand each
+// concurrent session its own view via SharedCorpus.NewSession so N sessions
+// over similar workloads pay ~1 surrogate fit per base task instead of N.
+func NewSharedCorpus(tasks []CorpusTask, rec Recorder) *SharedCorpus {
+	return meta.NewSharedCorpus(tasks, rec)
+}
+
+// NewSession binds a resumable tuning session without running anything: the
+// probe, corpus activation and model fits all happen inside Step, so a
+// scheduler can enqueue hundreds of sessions cheaply.
+func NewSession(cfg Config, ev Evaluator, iters int) (*Session, error) {
+	return core.NewSession(cfg, ev, iters)
+}
+
+// NewFleet returns the bounded-worker scheduler that multiplexes many
+// sessions concurrently (cmd/restune-server is its CLI face). Sessions are
+// stepped one iteration at a time and requeued, so a small worker pool
+// overlaps many sessions' workload-replay waits; per-session traces stay
+// bit-identical to solo runs.
+func NewFleet(cfg FleetConfig) *Fleet { return core.NewFleet(cfg) }
 
 // SyntheticCorpus generates n deterministic synthetic base tasks — the
 // corpus behind restune-bench -corpus-size and BenchmarkMetaIteration.

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# bench_snapshot.sh [mathcore|corpus] — snapshot a benchmark family into a
-# JSON file at the repository root: one JSON object mapping benchmark name ->
-# { "ns_per_op": ..., "allocs_per_op": ... }.
+# bench_snapshot.sh [mathcore|corpus|fleet] — snapshot a benchmark family
+# into a JSON file at the repository root: one JSON object mapping benchmark
+# name -> { "ns_per_op": ..., "allocs_per_op": ... } plus any custom metrics
+# the benchmark reports ("sessions_per_sec", "hit_rate").
 #
 # Targets:
 #   mathcore (default)  Cholesky, GP-predict, acquisition and meta-weight
@@ -15,6 +16,13 @@
 #                       acceptance record for the sublinear-meta gate
 #                       (corpus/N=1000 <= 25% of baseline/N=1000); run
 #                       scripts/benchcheck against it to re-verify.
+#   fleet               BenchmarkFleetSessions: 8 replay-bound sessions over
+#                       one shared corpus at 1, 4 and 8 workers
+#                       -> BENCH_fleet.json. The committed snapshot is the
+#                       acceptance record for the fleet-scaling gate
+#                       (>= 3x session throughput at 8 workers vs 1, shared
+#                       fit-cache hit rate > 50%); run
+#                       `scripts/benchcheck -fleet` against it to re-verify.
 #
 # Environment:
 #   BENCHTIME=2s   per-benchmark budget (any go test -benchtime value)
@@ -37,8 +45,12 @@ corpus)
     OUT="BENCH_corpus.json"
     PATTERN='^BenchmarkMetaIteration$'
     ;;
+fleet)
+    OUT="BENCH_fleet.json"
+    PATTERN='^BenchmarkFleetSessions$'
+    ;;
 *)
-    echo "usage: $0 [mathcore|corpus]" >&2
+    echo "usage: $0 [mathcore|corpus|fleet]" >&2
     exit 2
     ;;
 esac
@@ -53,19 +65,27 @@ go test -run '^$' -bench "$PATTERN" -benchmem \
 # Parse `BenchmarkName-N  iters  X ns/op [ Y B/op  Z allocs/op ]` lines into
 # a JSON object. Sub-benchmark names (Benchmark/sub/N=k) are kept whole, only
 # the trailing -GOMAXPROCS suffix is stripped. Benchmarks without -benchmem
-# columns report allocs as null.
+# columns report allocs as null. Custom b.ReportMetric units (sessions/sec,
+# hit_rate) are carried through when present.
 awk '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
     ns = ""
     allocs = "null"
+    sps = ""
+    hr = ""
     for (i = 2; i <= NF; i++) {
-        if ($i == "ns/op")     ns = $(i - 1)
-        if ($i == "allocs/op") allocs = $(i - 1)
+        if ($i == "ns/op")        ns = $(i - 1)
+        if ($i == "allocs/op")    allocs = $(i - 1)
+        if ($i == "sessions/sec") sps = $(i - 1)
+        if ($i == "hit_rate")     hr = $(i - 1)
     }
     if (ns != "") {
-        vals[name] = sprintf("{\"ns_per_op\": %s, \"allocs_per_op\": %s}", ns, allocs)
+        v = sprintf("{\"ns_per_op\": %s, \"allocs_per_op\": %s", ns, allocs)
+        if (sps != "") v = v sprintf(", \"sessions_per_sec\": %s", sps)
+        if (hr != "")  v = v sprintf(", \"hit_rate\": %s", hr)
+        vals[name] = v "}"
         if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
     }
 }

@@ -1,10 +1,17 @@
-// Command benchcheck validates a committed benchmark snapshot
-// (BENCH_corpus.json, written by scripts/bench_snapshot.sh corpus) and
-// enforces the sublinear-meta acceptance gate: at N=1000 synthetic tasks the
-// shortlisted corpus path must cost at most 25% of the all-learners baseline
-// per iteration.
+// Command benchcheck validates committed benchmark snapshots (written by
+// scripts/bench_snapshot.sh) and enforces the acceptance gates they record.
+//
+// Default mode checks BENCH_corpus.json against the sublinear-meta gate: at
+// N=1000 synthetic tasks the shortlisted corpus path must cost at most 25%
+// of the all-learners baseline per iteration.
 //
 //	go run ./scripts/benchcheck BENCH_corpus.json
+//
+// -fleet checks BENCH_fleet.json against the fleet-scaling gates: 8 workers
+// must deliver at least 3x the session throughput of 1 worker over the same
+// replay-bound fleet, and the shared-fit cache hit rate must exceed 50%.
+//
+//	go run ./scripts/benchcheck -fleet BENCH_fleet.json
 //
 // Exit 1 on a malformed snapshot, a missing benchmark entry, or a gate
 // violation.
@@ -12,33 +19,42 @@ package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 )
 
-// maxRatio is the acceptance ceiling for corpus/baseline at gateN.
+// Acceptance gates. maxRatio is the ceiling for corpus/baseline ns at gateN;
+// minFleetScaling is the floor for workers=1/workers=8 ns (session throughput
+// scaling); minHitRate is the floor for the shared-fit cache hit rate.
 const (
-	gateN    = 1000
-	maxRatio = 0.25
+	gateN           = 1000
+	maxRatio        = 0.25
+	minFleetScaling = 3.0
+	minHitRate      = 0.5
 )
 
 type entry struct {
-	NsPerOp     float64  `json:"ns_per_op"`
-	AllocsPerOp *float64 `json:"allocs_per_op"`
+	NsPerOp        float64  `json:"ns_per_op"`
+	AllocsPerOp    *float64 `json:"allocs_per_op"`
+	SessionsPerSec *float64 `json:"sessions_per_sec"`
+	HitRate        *float64 `json:"hit_rate"`
 }
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck <BENCH_corpus.json>")
+	fleet := flag.Bool("fleet", false, "validate a BENCH_fleet.json snapshot against the fleet-scaling gates")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-fleet] <BENCH_*.json>")
 		os.Exit(2)
 	}
-	if err := run(os.Args[1]); err != nil {
+	if err := run(flag.Arg(0), *fleet); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string) error {
+func run(path string, fleet bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -55,7 +71,13 @@ func run(path string) error {
 			return fmt.Errorf("%s: %s has non-positive ns_per_op %g", path, name, e.NsPerOp)
 		}
 	}
+	if fleet {
+		return checkFleet(path, snap)
+	}
+	return checkCorpus(path, snap)
+}
 
+func checkCorpus(path string, snap map[string]entry) error {
 	corpus, err := lookup(snap, fmt.Sprintf("BenchmarkMetaIteration/corpus/N=%d", gateN))
 	if err != nil {
 		return fmt.Errorf("%s: %v", path, err)
@@ -64,9 +86,9 @@ func run(path string) error {
 	if err != nil {
 		return fmt.Errorf("%s: %v", path, err)
 	}
-	ratio := corpus / baseline
+	ratio := corpus.NsPerOp / baseline.NsPerOp
 	fmt.Printf("%s: %d entries OK; N=%d corpus/baseline = %.0f/%.0f ns = %.3f (gate %.2f)\n",
-		path, len(snap), gateN, corpus, baseline, ratio, maxRatio)
+		path, len(snap), gateN, corpus.NsPerOp, baseline.NsPerOp, ratio, maxRatio)
 	if ratio > maxRatio {
 		return fmt.Errorf("N=%d corpus iteration is %.1f%% of baseline, gate is %.0f%%",
 			gateN, ratio*100, maxRatio*100)
@@ -74,10 +96,40 @@ func run(path string) error {
 	return nil
 }
 
-func lookup(snap map[string]entry, name string) (float64, error) {
+// checkFleet enforces the fleet-scaling gates on BENCH_fleet.json: the
+// scaling factor is the whole-fleet wall-time ratio workers=1 / workers=8
+// (equivalently the session-throughput ratio), and the hit-rate gate reads
+// the shared-fit cache rate the 8-worker run reported.
+func checkFleet(path string, snap map[string]entry) error {
+	serial, err := lookup(snap, "BenchmarkFleetSessions/workers=1")
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	wide, err := lookup(snap, "BenchmarkFleetSessions/workers=8")
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	scaling := serial.NsPerOp / wide.NsPerOp
+	fmt.Printf("%s: %d entries OK; workers=1/workers=8 = %.0f/%.0f ns = %.2fx scaling (gate %.1fx)\n",
+		path, len(snap), serial.NsPerOp, wide.NsPerOp, scaling, minFleetScaling)
+	if scaling < minFleetScaling {
+		return fmt.Errorf("8-worker fleet is only %.2fx faster than 1 worker, gate is %.1fx",
+			scaling, minFleetScaling)
+	}
+	if wide.HitRate == nil {
+		return fmt.Errorf("%s: workers=8 entry has no hit_rate metric", path)
+	}
+	fmt.Printf("%s: workers=8 shared-fit hit rate %.3f (gate > %.2f)\n", path, *wide.HitRate, minHitRate)
+	if *wide.HitRate <= minHitRate {
+		return fmt.Errorf("shared-fit hit rate %.3f is at or below the %.2f gate", *wide.HitRate, minHitRate)
+	}
+	return nil
+}
+
+func lookup(snap map[string]entry, name string) (entry, error) {
 	e, ok := snap[name]
 	if !ok {
-		return 0, fmt.Errorf("missing benchmark entry %q", name)
+		return entry{}, fmt.Errorf("missing benchmark entry %q", name)
 	}
-	return e.NsPerOp, nil
+	return e, nil
 }

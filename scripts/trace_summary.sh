@@ -1,15 +1,19 @@
 #!/usr/bin/env sh
-# trace_summary.sh — validate and summarize a JSONL telemetry trace written
-# by `restune-tune -trace` or `restune-bench -trace` (schema: DESIGN.md §8).
+# trace_summary.sh — validate and summarize JSONL telemetry traces written
+# by `restune-tune -trace`, `restune-bench -trace`, or `restune-server
+# -trace-dir` (schema: DESIGN.md §8). With several traces (a fleet run's
+# per-session streams plus fleet.jsonl) a fleet aggregation is appended:
+# per-session iteration counts and the shared-fit cache totals.
 #
-# Usage: scripts/trace_summary.sh trace.jsonl
+# Usage: scripts/trace_summary.sh trace.jsonl [more.jsonl ...]
+#        scripts/trace_summary.sh traces/*.jsonl
 
 set -eu
 
-if [ "$#" -ne 1 ]; then
-    echo "usage: $0 <trace.jsonl>" >&2
+if [ "$#" -lt 1 ]; then
+    echo "usage: $0 <trace.jsonl> [more.jsonl ...]" >&2
     exit 2
 fi
 
 cd "$(dirname "$0")/.."
-exec go run ./scripts/tracecheck -summary "$1"
+exec go run ./scripts/tracecheck -summary "$@"

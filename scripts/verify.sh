@@ -10,14 +10,16 @@
 #                                     regression suites)
 #   5. go test -race ./...           (short mode: the crash harness strides
 #                                     its boundary enumeration under -short)
-#   6. a benchmark smoke pass: the batched math-core benchmarks and the
-#      corpus-scale meta-iteration benchmark run once (-benchtime=1x) so a
-#      broken benchmark cannot land silently
-#   7. a snapshot guard: the committed BENCH_corpus.json must parse and its
-#      N=1000 corpus/baseline ratio must satisfy the <= 25% gate
+#   6. a benchmark smoke pass: the batched math-core benchmarks, the
+#      corpus-scale meta-iteration benchmark and the fleet-scaling benchmark
+#      run once (-benchtime=1x) so a broken benchmark cannot land silently
+#   7. snapshot guards: the committed BENCH_corpus.json must satisfy the
+#      <= 25% sublinear-meta gate, and the committed BENCH_fleet.json must
+#      satisfy the >= 3x fleet-scaling / > 50% hit-rate gates
 #      (scripts/benchcheck)
-#   8. a telemetry smoke run: restune-tune -trace must emit a non-empty,
-#      schema-valid JSONL artifact
+#   8. telemetry smoke runs: restune-tune -trace must emit a non-empty,
+#      schema-valid JSONL artifact, and a 2-session restune-server fleet
+#      must emit schema-valid per-session and fleet streams
 #   9. a fuzz smoke pass: every Fuzz target runs for FUZZTIME (default 30s)
 #
 # Environment:
@@ -53,11 +55,14 @@ go test -race -short ./...
 
 echo "==> benchmark smoke (-benchtime=1x)"
 go test -run '^$' \
-    -bench 'PredictBatch$|OptimizeAcqPointwise$|OptimizeAcqBatched$|^BenchmarkMetaIteration$' \
+    -bench 'PredictBatch$|OptimizeAcqPointwise$|OptimizeAcqBatched$|^BenchmarkMetaIteration$|^BenchmarkFleetSessions$' \
     -benchtime 1x .
 
 echo "==> corpus snapshot guard (scripts/benchcheck)"
 go run ./scripts/benchcheck BENCH_corpus.json
+
+echo "==> fleet snapshot guard (scripts/benchcheck -fleet)"
+go run ./scripts/benchcheck -fleet BENCH_fleet.json
 
 echo "==> telemetry smoke (restune-tune -trace)"
 tracedir="$(mktemp -d)"
@@ -68,6 +73,17 @@ test -s "$tracedir/trace.jsonl" || {
     exit 1
 }
 go run ./scripts/tracecheck "$tracedir/trace.jsonl"
+
+echo "==> fleet smoke (restune-server, 2 sessions)"
+go run ./cmd/restune-server -sessions 2 -workers 2 -iters 3 \
+    -synthetic-corpus 6 -trace-dir "$tracedir/fleet" >/dev/null
+for f in "$tracedir"/fleet/*.jsonl; do
+    test -s "$f" || {
+        echo "fleet smoke: $f is empty" >&2
+        exit 1
+    }
+done
+go run ./scripts/tracecheck "$tracedir"/fleet/*.jsonl
 
 if [ "$FUZZTIME" = "0" ]; then
     echo "==> fuzz smoke skipped (FUZZTIME=0)"
