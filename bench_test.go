@@ -369,6 +369,46 @@ func BenchmarkMetaIteration(b *testing.B) {
 	}
 }
 
+// driftDayParams is the fixed budget of the simulated-day drift benchmark:
+// one 24h timeline compressed into 48 measurements (30-minute steps), the
+// same settings the committed BENCH_drift.json acceptance snapshot records.
+func driftDayParams() experiments.Params {
+	return experiments.Params{
+		Seed: 1, Iters: 48, RepoIters: 10, Runs: 1,
+		Acq: bo.OptimizerConfig{RandomCandidates: 64, LocalStarts: 2, LocalSteps: 8, StepScale: 0.1},
+	}
+}
+
+// BenchmarkDriftSimulatedDay runs the diurnal simulated day with the
+// drift-aware tuner and the stationary baseline (paired RNG streams; only
+// Config.Drift differs) and reports the SLA-violation count, the number of
+// drift events and the worst-case adaptation span as custom metrics. The
+// committed BENCH_drift.json snapshot is the acceptance record for the
+// drift gate: `scripts/benchcheck -drift` requires the aware tuner to
+// violate the load-scaled SLA strictly less often than the stationary one,
+// to fire at least one drift event, and to re-converge within a bounded
+// number of iterations after each event.
+func BenchmarkDriftSimulatedDay(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		aware bool
+	}{{"aware", true}, {"stationary", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var st *experiments.DayStats
+			for i := 0; i < b.N; i++ {
+				var err error
+				st, err = experiments.SimulatedDay("diurnal", driftDayParams(), mode.aware)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.Violations), "sla_violations")
+			b.ReportMetric(float64(st.DriftEvents), "drift_events")
+			b.ReportMetric(float64(st.AdaptMax), "max_adapt_iters")
+		})
+	}
+}
+
 // BenchmarkFullTuningIteration measures one complete ResTune-w/o-ML
 // iteration (model update + recommendation + replay) at a mid-session
 // history size.

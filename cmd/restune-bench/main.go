@@ -9,6 +9,8 @@
 //	restune-bench -id table4 -full
 //	restune-bench -all -iters 40 > results.txt
 //	restune-bench -corpus-size 34,100,1000 -corpus-seed 1
+//	restune-bench -timeline diurnal -iters 48
+//	restune-bench -timeline sched.csv
 package main
 
 import (
@@ -39,6 +41,8 @@ func main() {
 
 		corpusSize = flag.String("corpus-size", "", "run the corpus-scaling measurement over these synthetic corpus sizes (comma-separated, e.g. 34,100,1000) instead of a paper experiment")
 		corpusSeed = flag.Int64("corpus-seed", 1, "seed for the deterministic synthetic corpus (-corpus-size)")
+
+		timeline = flag.String("timeline", "", "run the simulated-day drift comparison (drift-aware vs stationary tuning) over this timeline: a profile name (diurnal, spike, ramp, flat), \"all\", or a CSV load file of offset_seconds,rate_mult[,write_boost] rows")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -55,6 +59,10 @@ func main() {
 	}
 	if *corpusSize != "" && (*all || *id != "") {
 		fmt.Fprintln(os.Stderr, "restune-bench: -corpus-size is mutually exclusive with -id/-all")
+		os.Exit(2)
+	}
+	if *timeline != "" && (*all || *id != "" || *corpusSize != "") {
+		fmt.Fprintln(os.Stderr, "restune-bench: -timeline is mutually exclusive with -id/-all/-corpus-size")
 		os.Exit(2)
 	}
 
@@ -133,11 +141,26 @@ func main() {
 		fmt.Printf("debug endpoint: http://%s/debug/vars (metrics at /debug/metrics, pprof at /debug/pprof/)\n", bound)
 	}
 
+	if *timeline != "" {
+		start := time.Now()
+		if err := runTimeline(*timeline, p); err != nil {
+			die("-timeline %s: %v", *timeline, err)
+		}
+		fmt.Printf("(simulated day completed in %s)\n", time.Since(start).Round(time.Millisecond))
+		if trace != nil {
+			if err := trace.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "restune-bench: writing trace %s: %v\n", *tracePath, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
 	ids := []string{*id}
 	if *all {
 		ids = restune.ExperimentIDs()
 	} else if *id == "" {
-		fmt.Fprintln(os.Stderr, "restune-bench: pass -id <experiment>, -all or -list")
+		fmt.Fprintln(os.Stderr, "restune-bench: pass -id <experiment>, -all, -list, -timeline or -corpus-size")
 		os.Exit(2)
 	}
 
@@ -163,6 +186,60 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runTimeline runs the -timeline simulated-day comparison: the drift-aware
+// tuner against the paired stationary baseline over each selected timeline,
+// reporting post-warmup SLA violations, drift events and adaptation speed.
+// arg is a built-in profile name, "all" for every profile, or the path of a
+// CSV load file (offset_seconds,rate_mult[,write_boost] rows).
+func runTimeline(arg string, p restune.ExperimentParams) error {
+	type day struct {
+		name string
+		run  func(aware bool) (*restune.DayStats, error)
+	}
+	var days []day
+	switch arg {
+	case "all":
+		for _, profile := range []string{"diurnal", "spike", "ramp", "flat"} {
+			profile := profile
+			days = append(days, day{profile, func(aware bool) (*restune.DayStats, error) {
+				return restune.SimulatedDay(profile, p, aware)
+			}})
+		}
+	case "diurnal", "spike", "ramp", "flat":
+		days = append(days, day{arg, func(aware bool) (*restune.DayStats, error) {
+			return restune.SimulatedDay(arg, p, aware)
+		}})
+	default:
+		f, err := os.Open(arg)
+		if err != nil {
+			return fmt.Errorf("not a built-in profile (diurnal, spike, ramp, flat, all) and unreadable as a CSV load file: %v", err)
+		}
+		tl, err := restune.TimelineFromCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		name := filepath.Base(arg)
+		days = append(days, day{name, func(aware bool) (*restune.DayStats, error) {
+			return restune.SimulatedDayTimeline(name, tl, p, aware)
+		}})
+	}
+	fmt.Printf("Simulated 24h day compressed into %d measurements (Twitter, 3 knobs, instance A):\n", p.Iters)
+	fmt.Printf("%-12s %-20s %12s %12s %10s %10s %10s\n",
+		"Timeline", "Method", "Violations", "DriftEvents", "AdaptMax", "AdaptMean", "Improve%")
+	for _, d := range days {
+		for _, aware := range []bool{true, false} {
+			st, err := d.run(aware)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-12s %-20s %12d %12d %10d %10.1f %10.1f\n",
+				st.Profile, st.Method, st.Violations, st.DriftEvents, st.AdaptMax, st.AdaptMean, st.Improvement)
+		}
+	}
+	return nil
 }
 
 // parseSizes parses the -corpus-size list ("34,100,1000") into sizes.

@@ -291,3 +291,68 @@ func TestQuickOptimizeBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestOptimizeAcqBox covers the trust-region bounds contract: a full-cube
+// box consumes the RNG stream identically to nil bounds (bit-identical
+// recommendation), a proper sub-box confines the search — random probes,
+// incumbent starts and local search alike — and a mis-sized box panics.
+func TestOptimizeAcqBox(t *testing.T) {
+	const dim = 3
+	acq := func(x []float64) float64 {
+		s := 0.0
+		for _, v := range x {
+			s += v
+		}
+		return s
+	}
+	cfg := OptimizerConfig{RandomCandidates: 32, LocalStarts: 2, LocalSteps: 10, StepScale: 0.3}
+
+	full := &Box{Lo: []float64{0, 0, 0}, Hi: []float64{1, 1, 1}}
+	plain := OptimizeAcq(acq, dim, cfg, nil, rand.New(rand.NewSource(9)))
+	cfgFull := cfg
+	cfgFull.Bounds = full
+	boxed := OptimizeAcq(acq, dim, cfgFull, nil, rand.New(rand.NewSource(9)))
+	for d := range plain {
+		if plain[d] != boxed[d] {
+			t.Fatalf("full-cube bounds changed the recommendation: %x vs %x", plain, boxed)
+		}
+	}
+
+	box := &Box{Lo: []float64{0.2, 0.4, 0.1}, Hi: []float64{0.5, 0.9, 0.3}}
+	cfgBox := cfg
+	cfgBox.Bounds = box
+	incumbent := []float64{0.95, 0.05, 0.99} // outside: must be clamped in
+	for seed := int64(0); seed < 20; seed++ {
+		x := OptimizeAcq(acq, dim, cfgBox, [][]float64{incumbent}, rand.New(rand.NewSource(seed)))
+		if !box.Contains(x, 1e-12) {
+			t.Fatalf("seed %d: recommendation %v escaped box [%v, %v]", seed, x, box.Lo, box.Hi)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bounds dimension mismatch")
+		}
+	}()
+	bad := cfg
+	bad.Bounds = &Box{Lo: []float64{0}, Hi: []float64{1}}
+	OptimizeAcq(acq, dim, bad, nil, rand.New(rand.NewSource(1)))
+}
+
+// TestBoxClampContains pins the Box primitives.
+func TestBoxClampContains(t *testing.T) {
+	b := &Box{Lo: []float64{0.2, 0.3}, Hi: []float64{0.6, 0.8}}
+	got := b.Clamp([]float64{0, 1})
+	if got[0] != 0.2 || got[1] != 0.8 {
+		t.Fatalf("clamp = %v", got)
+	}
+	if !b.Contains([]float64{0.4, 0.5}, 0) {
+		t.Fatal("interior point reported outside")
+	}
+	if b.Contains([]float64{0.61, 0.5}, 1e-6) {
+		t.Fatal("exterior point reported inside")
+	}
+	if !b.Contains([]float64{0.6 + 1e-9, 0.5}, 1e-6) {
+		t.Fatal("eps tolerance not honored")
+	}
+}

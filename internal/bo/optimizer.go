@@ -27,6 +27,35 @@ type BatchAcqFunc func(X [][]float64, out []float64)
 // cache-resident at mid-session history sizes.
 const DefaultBatchBlock = 64
 
+// Box is an axis-aligned search region inside the normalized [0,1]^m space —
+// the trust region a drift-aware session clamps exploration to. Lo and Hi
+// are per-dimension bounds with Lo[d] <= Hi[d].
+type Box struct {
+	Lo, Hi []float64
+}
+
+// Clamp projects x into the box in place and returns it.
+func (b *Box) Clamp(x []float64) []float64 {
+	for d := range x {
+		if x[d] < b.Lo[d] {
+			x[d] = b.Lo[d]
+		} else if x[d] > b.Hi[d] {
+			x[d] = b.Hi[d]
+		}
+	}
+	return x
+}
+
+// Contains reports whether x lies inside the box within tolerance eps.
+func (b *Box) Contains(x []float64, eps float64) bool {
+	for d := range x {
+		if x[d] < b.Lo[d]-eps || x[d] > b.Hi[d]+eps {
+			return false
+		}
+	}
+	return true
+}
+
 // OptimizerConfig controls acquisition maximization.
 type OptimizerConfig struct {
 	// RandomCandidates is the number of uniform random probes.
@@ -42,6 +71,13 @@ type OptimizerConfig struct {
 	// mechanical: candidates never interact, so any width yields the same
 	// recommendation.
 	BatchBlock int
+	// Bounds restricts the whole search — random probes, incumbent start
+	// points and local refinement — to an axis-aligned box within [0,1]^m
+	// (the trust region of a drift-aware session). Nil searches the full
+	// cube. The seeded stream is consumed identically either way: probes
+	// are drawn uniformly and affinely mapped into the box, so a full-cube
+	// box is bit-identical to no box at all.
+	Bounds *Box
 	// Recorder receives a per-optimization span (nil records nothing).
 	// Telemetry only — the recommendation never depends on it.
 	Recorder obs.Recorder
@@ -94,10 +130,25 @@ func OptimizeAcqBatch(f AcqFunc, batch BatchAcqFunc, dim int, cfg OptimizerConfi
 	// input for the batched cross-covariance pass. Draw order (candidate
 	// major, dimension minor) matches the per-candidate loop it replaces, so
 	// the seeded stream is consumed identically.
+	box := cfg.Bounds
+	if box != nil && (len(box.Lo) != dim || len(box.Hi) != dim) {
+		panic("bo: OptimizerConfig.Bounds dimension mismatch")
+	}
 	total := cfg.RandomCandidates + len(incumbents)
 	coords := make([]float64, total*dim)
 	for i := 0; i < cfg.RandomCandidates*dim; i++ {
 		coords[i] = r.Float64()
+	}
+	if box != nil {
+		// Affine map of the uniform draws into the box. With the full cube
+		// this is u*1.0 + 0 = u, so Bounds == [0,1]^m is bit-identical to
+		// Bounds == nil.
+		for i := 0; i < cfg.RandomCandidates; i++ {
+			row := coords[i*dim : (i+1)*dim]
+			for d := 0; d < dim; d++ {
+				row[d] = box.Lo[d] + row[d]*(box.Hi[d]-box.Lo[d])
+			}
+		}
 	}
 	xs := make([][]float64, 0, total)
 	for i := 0; i < cfg.RandomCandidates; i++ {
@@ -106,12 +157,20 @@ func OptimizeAcqBatch(f AcqFunc, batch BatchAcqFunc, dim int, cfg OptimizerConfi
 	for k, inc := range incumbents {
 		row := coords[(cfg.RandomCandidates+k)*dim : (cfg.RandomCandidates+k+1)*dim : (cfg.RandomCandidates+k+1)*dim]
 		copy(row, inc)
+		if box != nil {
+			box.Clamp(row)
+		}
 		xs = append(xs, row)
 	}
 	if len(xs) == 0 {
 		x := make([]float64, dim)
 		for d := range x {
 			x[d] = r.Float64()
+		}
+		if box != nil {
+			for d := range x {
+				x[d] = box.Lo[d] + x[d]*(box.Hi[d]-box.Lo[d])
+			}
 		}
 		return x
 	}
@@ -179,6 +238,9 @@ func OptimizeAcqBatch(f AcqFunc, batch BatchAcqFunc, dim int, cfg OptimizerConfi
 		for it := 0; it < cfg.LocalSteps; it++ {
 			for d := range cand {
 				cand[d] = clamp01(cur.x[d] + step*sr.NormFloat64())
+			}
+			if box != nil {
+				box.Clamp(cand)
 			}
 			if v := f(cand); v > cur.v {
 				cur.x, cand = cand, cur.x // swap buffers; old cur.x is scratch now

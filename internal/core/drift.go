@@ -1,0 +1,305 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/bo"
+	"repro/internal/dbsim"
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+// DriftingEvaluator is an Evaluator driven by a time-varying workload: it
+// exposes the regime it observed at its most recent Measure call — the load
+// multiplier relative to the timeline's unit load, and a meta-feature-style
+// signature of the effective workload (workload.Workload.Signature). A
+// session judges throughput-SLA feasibility against the load-scaled
+// threshold, and, when Config.Drift is set, streams the signature through
+// the drift detector.
+type DriftingEvaluator interface {
+	Evaluator
+	// CurrentLoad returns the rate multiplier in effect at the most recent
+	// Measure call (1 before any measurement).
+	CurrentLoad() float64
+	// CurrentMetaFeature returns the effective workload's signature at the
+	// most recent Measure call.
+	CurrentMetaFeature() []float64
+}
+
+// DriftConfig parameterizes drift detection and safe trust-region
+// exploration (ROADMAP item 1; OnlineTune's contextual-and-safe recipe).
+// The zero value of any field selects its default.
+type DriftConfig struct {
+	// Threshold is the meta-feature distance between the smoothed workload
+	// signature and the current regime anchor above which drift is
+	// suspected.
+	Threshold float64
+	// Hysteresis is how many consecutive suspicious iterations are required
+	// before a drift event fires — one noisy measurement never retriggers
+	// meta-learning.
+	Hysteresis int
+	// EWMAAlpha smooths the streaming signature before it is compared to
+	// the anchor (weight of the newest observation).
+	EWMAAlpha float64
+	// InitRadius is the trust region's half-width (L∞, normalized knob
+	// space) when it activates and after a drift event re-opens it.
+	InitRadius float64
+	// MinRadius and MaxRadius bound the radius.
+	MinRadius, MaxRadius float64
+	// Shrink scales the radius down after an SLA violation; Expand scales
+	// it up after a feasible iteration. The region never expands on an
+	// iteration that violated the SLA — including drift-event resets.
+	Shrink, Expand float64
+	// Warmup is the iteration index after which candidates are clamped to
+	// the trust region (0 defaults to the session's InitIters): the initial
+	// design must still cover the space for the surrogate to learn it.
+	Warmup int
+}
+
+// withDefaults fills zero fields.
+func (d DriftConfig) withDefaults(initIters int) DriftConfig {
+	if d.Threshold == 0 {
+		d.Threshold = 0.04
+	}
+	if d.Hysteresis == 0 {
+		d.Hysteresis = 2
+	}
+	if d.EWMAAlpha == 0 {
+		d.EWMAAlpha = 0.5
+	}
+	if d.InitRadius == 0 {
+		d.InitRadius = 0.25
+	}
+	if d.MinRadius == 0 {
+		d.MinRadius = 0.18
+	}
+	if d.MaxRadius == 0 {
+		d.MaxRadius = 0.5
+	}
+	if d.Shrink == 0 {
+		d.Shrink = 0.6
+	}
+	if d.Expand == 0 {
+		d.Expand = 1.25
+	}
+	if d.Warmup == 0 {
+		d.Warmup = initIters
+	}
+	return d
+}
+
+// driftState is a session's online drift detector and trust region.
+type driftState struct {
+	cfg DriftConfig
+
+	// anchor is the signature of the current regime (re-anchored on every
+	// drift event); smooth is the EWMA of the streaming signature.
+	anchor []float64
+	smooth []float64
+	over   int
+	events int
+
+	// center is the best known-safe configuration of the current regime
+	// (normalized); bestRes is its resource value; radius is the trust
+	// region's current half-width. def is the DBA default, the fallback
+	// center after a regime change.
+	center  []float64
+	bestRes float64
+	radius  float64
+	def     []float64
+}
+
+func newDriftState(cfg DriftConfig, defaultTheta []float64) *driftState {
+	return &driftState{
+		cfg:     cfg,
+		center:  append([]float64(nil), defaultTheta...),
+		bestRes: math.Inf(1),
+		radius:  cfg.InitRadius,
+		def:     append([]float64(nil), defaultTheta...),
+	}
+}
+
+// box returns the current trust region as acquisition bounds.
+func (d *driftState) box(dim int) *bo.Box {
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		lo[i] = clamp01(d.center[i] - d.radius)
+		hi[i] = clamp01(d.center[i] + d.radius)
+	}
+	return &bo.Box{Lo: lo, Hi: hi}
+}
+
+// observe processes one iteration's outcome: the trust-region update
+// (recentre on the best safe configuration seen this regime, expand on a
+// safe success, shrink on an SLA violation) and the drift detector update
+// over the workload signature. It returns the smoothed distance to the
+// regime anchor and whether a drift event fired.
+//
+// Centering on the best — not the latest — known-safe configuration matters:
+// the latest feasible point is often borderline (the SLA thresholds come
+// from the default probe, so its neighborhood flips feasibility under
+// measurement noise), while the best feasible point sits deep inside the
+// feasible region, so a box around it keeps exploration safe without
+// trapping the tuner at the boundary.
+//
+// Safety invariant: the radius never grows on an iteration that violated
+// the SLA. A drift event re-opens the region to at least InitRadius only
+// when the triggering iteration was itself feasible; after a violating
+// event the region stays shrunk and re-opens through subsequent safe
+// successes. An event also invalidates the best-feasible record and falls
+// the center back to the DBA default: the old regime's optimum is no
+// evidence of safety under the new one (a config that merely kept up with
+// the quiet night can be the worst possible anchor for business hours),
+// while the default is the one configuration whose SLA behaviour defined
+// the thresholds in the first place. Re-optimization then descends from
+// safety instead of clawing out of a stale corner.
+//
+// While warm is set (the initial design is still running) the radius is
+// frozen at InitRadius: those iterations explore the full space by design,
+// so growing or shrinking the region on their outcomes would only randomize
+// the half-width the region opens with. Recentering and drift detection
+// still run — the warm-up's best feasible point is the natural first center.
+func (d *driftState) observe(theta []float64, feasible bool, res float64, sig []float64, warm bool) (dist float64, event bool) {
+	if feasible {
+		if res <= d.bestRes {
+			d.bestRes = res
+			d.center = append(d.center[:0], theta...)
+		}
+		if !warm {
+			d.radius = min64(d.cfg.MaxRadius, d.radius*d.cfg.Expand)
+		}
+	} else if !warm {
+		d.radius = max64(d.cfg.MinRadius, d.radius*d.cfg.Shrink)
+	}
+
+	if len(sig) == 0 {
+		return 0, false
+	}
+	if d.anchor == nil {
+		d.anchor = append([]float64(nil), sig...)
+		d.smooth = append([]float64(nil), sig...)
+		return 0, false
+	}
+	a := d.cfg.EWMAAlpha
+	for i := range d.smooth {
+		d.smooth[i] = (1-a)*d.smooth[i] + a*sig[i]
+	}
+	dist = workload.MetaFeatureDistance(d.smooth, d.anchor)
+	if dist > d.cfg.Threshold {
+		d.over++
+	} else {
+		d.over = 0
+	}
+	if d.over >= d.cfg.Hysteresis {
+		event = true
+		d.events++
+		d.over = 0
+		d.anchor = append(d.anchor[:0], d.smooth...)
+		d.bestRes = math.Inf(1)
+		d.center = append(d.center[:0], d.def...)
+		if feasible && d.radius < d.cfg.InitRadius {
+			// Regime change: re-open exploration around the last safe
+			// config so the tuner can follow the moved optimum.
+			d.radius = d.cfg.InitRadius
+		}
+	}
+	return dist, event
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TimelineEvaluator drives a simulator through a workload.Timeline with
+// time-compressed playback: each Measure call advances the simulated clock
+// by one step (Total/StepsPerDay) and evaluates under the load of that
+// instant, so a whole 24h day plays out over a session's iteration budget.
+// It implements DriftingEvaluator: the load multiplier and the effective
+// workload's signature at the latest step are observable, which is what the
+// session's SLA scaling and drift detector consume.
+type TimelineEvaluator struct {
+	inner *SimEvaluator
+	w     workload.Workload
+	tl    *workload.Timeline
+	step  time.Duration
+
+	n   int
+	lp  workload.LoadPoint
+	sig []float64
+}
+
+// NewTimelineEvaluator builds a timeline evaluator over a simulator for the
+// given workload. stepsPerDay maps the session's measurement sequence onto
+// the timeline: step k evaluates at simulated time k*Total/stepsPerDay
+// (wrapping past a day).
+func NewTimelineEvaluator(sim *dbsim.Simulator, space *knobs.Space, kind dbsim.ResourceKind,
+	w workload.Workload, tl *workload.Timeline, stepsPerDay int) *TimelineEvaluator {
+	if stepsPerDay <= 0 {
+		stepsPerDay = 96 // 15-minute steps over a 24h day
+	}
+	return &TimelineEvaluator{
+		inner: NewSimEvaluator(sim, space, kind),
+		w:     w,
+		tl:    tl,
+		step:  tl.Total() / time.Duration(stepsPerDay),
+		lp:    workload.LoadPoint{RateMult: 1},
+		sig:   w.Signature(),
+	}
+}
+
+// Space implements Evaluator.
+func (e *TimelineEvaluator) Space() *knobs.Space { return e.inner.Space() }
+
+// DefaultNative implements Evaluator.
+func (e *TimelineEvaluator) DefaultNative() []float64 { return e.inner.DefaultNative() }
+
+// Resource implements Evaluator.
+func (e *TimelineEvaluator) Resource() dbsim.ResourceKind { return e.inner.Resource() }
+
+// Measure implements Evaluator: it advances the simulated clock one step
+// and evaluates the configuration under that instant's load.
+func (e *TimelineEvaluator) Measure(native []float64) dbsim.Measurement {
+	t := e.step * time.Duration(e.n)
+	e.n++
+	e.lp = e.tl.At(t)
+	e.sig = e.w.AtLoad(e.lp).Signature()
+	return e.inner.Sim.EvalAtLoad(e.inner.Knobs, native, e.lp.RateMult, e.lp.WriteBoost)
+}
+
+// CurrentLoad implements DriftingEvaluator.
+func (e *TimelineEvaluator) CurrentLoad() float64 { return e.lp.RateMult }
+
+// CurrentMetaFeature implements DriftingEvaluator.
+func (e *TimelineEvaluator) CurrentMetaFeature() []float64 {
+	return append([]float64(nil), e.sig...)
+}
+
+// SimTime returns the simulated time of the most recent Measure call.
+func (e *TimelineEvaluator) SimTime() time.Duration {
+	if e.n == 0 {
+		return 0
+	}
+	return e.step * time.Duration(e.n-1)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

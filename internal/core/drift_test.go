@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/dbsim"
+	"repro/internal/knobs"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// timelineEvaluator builds the canonical drift-test evaluator: the Twitter
+// workload driven through a named timeline profile, compressed into steps
+// measurements.
+func timelineEvaluator(t *testing.T, profile string, seed int64, steps int) *TimelineEvaluator {
+	t.Helper()
+	tl, err := workload.TimelineProfile(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.Twitter()
+	sim := dbsim.New(dbsim.Instance("A"), w.Profile, seed, dbsim.WithHalfRAMBufferPool())
+	return NewTimelineEvaluator(sim, knobs.CaseStudySpace(), dbsim.CPUPct, w, tl, steps)
+}
+
+// driftConfig is the drift sessions' shared test configuration.
+func driftConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.InitIters = 5
+	cfg.Acq = fastAcq()
+	cfg.Drift = &DriftConfig{}
+	return cfg
+}
+
+// driftTrace extends sessionTrace with every drift-layer output: detector
+// distances, events, trust-region radii and centers, all at full float
+// precision — the canonical trace the bit-identity test compares.
+func driftTrace(res *Result) string {
+	s := sessionTrace(res)
+	for _, it := range res.Iterations {
+		s += fmt.Sprintf("%d drift dist=%x event=%v r=%x c=%x load=%x feas=%v\n",
+			it.Index, it.DriftDistance, it.DriftEvent, it.TrustRadius, it.TrustCenter,
+			it.LoadMult, it.Feasible)
+	}
+	return s
+}
+
+// TestDriftSessionBitIdenticalAcrossGOMAXPROCS pins the deterministic-fan-out
+// contract for the drift-aware tuner: a session driven through a diurnal
+// timeline — drift detector, trust-region clamping, load-normalized SLA —
+// must produce a bit-identical canonical trace (thetas, measurements, drift
+// distances, events, radii, centers) at GOMAXPROCS=1 and oversubscribed, and
+// across repeated runs. A live recorder is attached so write-only telemetry
+// stays trace-invisible on this path too.
+func TestDriftSessionBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	const iters = 18
+	run := func(procs int) string {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		cfg := driftConfig(7)
+		rec := obs.NewJSONL(io.Discard)
+		cfg.Recorder = rec
+		res, err := New(cfg).Run(timelineEvaluator(t, "diurnal", 7, iters), iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatalf("telemetry sink: %v", err)
+		}
+		return driftTrace(res)
+	}
+
+	serial := run(1)
+	if again := run(1); again != serial {
+		t.Fatalf("drift session not deterministic at GOMAXPROCS=1:\n%s\nvs\n%s", serial, again)
+	}
+	procs := runtime.NumCPU()
+	if procs < 8 {
+		procs = 8 // oversubscribe so goroutines genuinely interleave
+	}
+	if parallel := run(procs); parallel != serial {
+		t.Fatalf("drift trace differs between GOMAXPROCS=1 and %d:\n%s\nvs\n%s",
+			procs, serial, parallel)
+	}
+}
+
+// TestTrustRegionSafetyProperties is the trust region's property suite,
+// table-driven over every timeline profile (the single-phase flat timeline is
+// the no-drift control). For each session it asserts:
+//
+//  1. every post-warmup evaluated configuration lies inside the trust region
+//     recorded for its iteration ([center±radius] clamped to [0,1]);
+//  2. the region never expands on an SLA-violating iteration — after a
+//     violation the next iteration's radius is no larger, including across
+//     drift-event resets;
+//  3. the flat control fires zero drift events.
+func TestTrustRegionSafetyProperties(t *testing.T) {
+	const iters = 24
+	for _, tc := range []struct {
+		profile   string
+		wantDrift bool
+	}{
+		{"diurnal", true},
+		{"spike", true},
+		{"ramp", true},
+		{"flat", false},
+	} {
+		t.Run(tc.profile, func(t *testing.T) {
+			cfg := driftConfig(3)
+			res, err := New(cfg).Run(timelineEvaluator(t, tc.profile, 3, iters), iters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events := 0
+			var prev *Iteration
+			for i := range res.Iterations {
+				it := &res.Iterations[i]
+				if it.DriftEvent {
+					events++
+				}
+				if it.Index <= cfg.InitIters {
+					if it.TrustRadius != 0 {
+						t.Errorf("iter %d: trust region active during warmup (r=%g)", it.Index, it.TrustRadius)
+					}
+					continue
+				}
+				if it.TrustRadius <= 0 || len(it.TrustCenter) == 0 {
+					t.Fatalf("iter %d: no trust region recorded post-warmup", it.Index)
+				}
+				for d, v := range it.Observation.Theta {
+					lo := max64(0, it.TrustCenter[d]-it.TrustRadius)
+					hi := min64(1, it.TrustCenter[d]+it.TrustRadius)
+					if v < lo-1e-12 || v > hi+1e-12 {
+						t.Errorf("iter %d dim %d: theta %g outside trust region [%g, %g]",
+							it.Index, d, v, lo, hi)
+					}
+				}
+				if prev != nil && !prev.Feasible && it.TrustRadius > prev.TrustRadius+1e-12 {
+					t.Errorf("iter %d: region expanded to %g after SLA violation at iter %d (r=%g)",
+						it.Index, it.TrustRadius, prev.Index, prev.TrustRadius)
+				}
+				prev = it
+			}
+			if tc.wantDrift && events == 0 {
+				t.Errorf("%s timeline fired no drift events", tc.profile)
+			}
+			if !tc.wantDrift && events != 0 {
+				t.Errorf("flat control fired %d drift events, want 0", events)
+			}
+		})
+	}
+}
+
+// TestDriftEventResetsTrustCenter asserts the regime-change contract on the
+// session's result: a drift event re-anchors the detector and invalidates the
+// previous regime's best-feasible record — the trust center recorded for the
+// next iteration is the DBA default, not the old regime's optimum.
+func TestDriftEventResetsTrustCenter(t *testing.T) {
+	const iters = 24
+	cfg := driftConfig(5)
+	ev := timelineEvaluator(t, "spike", 5, iters)
+	def := ev.Space().Normalize(ev.DefaultNative())
+	res, err := New(cfg).Run(ev, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := -1
+	for i, it := range res.Iterations {
+		if it.DriftEvent {
+			fired = i
+			break
+		}
+	}
+	if fired < 0 || fired+1 >= len(res.Iterations) {
+		t.Fatal("spike timeline fired no drift event with a following iteration")
+	}
+	next := res.Iterations[fired+1]
+	if len(next.TrustCenter) == 0 {
+		t.Fatal("no trust center recorded after the drift event")
+	}
+	for d := range def {
+		if next.TrustCenter[d] != def[d] {
+			t.Fatalf("post-event trust center %v is not the DBA default %v", next.TrustCenter, def)
+		}
+	}
+}

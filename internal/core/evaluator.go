@@ -81,6 +81,25 @@ type Iteration struct {
 	// Shortlist is how many base-learners participated in this iteration's
 	// ensemble when a corpus is active (0 otherwise).
 	Shortlist int
+	// DriftDistance is the smoothed meta-feature distance between the
+	// streaming workload signature and the current regime anchor (0 when
+	// drift detection is off).
+	DriftDistance float64
+	// DriftEvent reports whether this iteration's measurement fired the
+	// drift detector (hysteresis satisfied): the regime anchor moved and
+	// meta-learning was re-triggered.
+	DriftEvent bool
+	// TrustRadius is the trust-region half-width in effect when this
+	// iteration's candidate was chosen (0 while the region is inactive —
+	// before warm-up or with drift tuning disabled).
+	TrustRadius float64
+	// TrustCenter is the trust region's center (the last known-safe
+	// normalized configuration) when the candidate was chosen, nil while
+	// the region is inactive.
+	TrustCenter []float64
+	// LoadMult is the offered-load multiplier the evaluator reported for
+	// this iteration's measurement (1 for stationary evaluators).
+	LoadMult float64
 	// MetaProcessing, ModelUpdate, Recommend, Replay are the measured stage
 	// durations of this iteration.
 	MetaProcessing time.Duration

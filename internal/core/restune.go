@@ -72,6 +72,16 @@ type Config struct {
 	// window disables early stopping (experiments run fixed budgets).
 	ConvergenceWindow int
 	ConvergenceEps    float64
+	// Drift enables drift-aware online tuning: a detector over the
+	// evaluator's streaming workload signature (EWMA-smoothed, compared to
+	// the current regime anchor with hysteresis) that re-triggers
+	// meta-learning on regime change, plus a trust region that clamps
+	// exploration to a radius around the last known-safe configuration —
+	// shrinking on SLA violations, expanding on safe successes. Nil keeps
+	// the stationary tuner. Drift detection needs an evaluator that
+	// implements DriftingEvaluator; the trust region works with any
+	// evaluator.
+	Drift *DriftConfig
 	// Acq tunes acquisition optimization.
 	Acq bo.OptimizerConfig
 	// Recorder receives the session's telemetry (per-iteration spans with

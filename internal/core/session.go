@@ -56,6 +56,15 @@ type Session struct {
 	done    bool
 	err     error
 
+	// drift is the online drift detector + trust region (nil when
+	// Config.Drift is unset); loadAware sessions judge the throughput SLA
+	// against the load-scaled threshold reported by a DriftingEvaluator.
+	drift       *driftState
+	loadAware   bool
+	baseLoad    float64
+	driftEvents obs.Counter
+	radiusGauge obs.Gauge
+
 	// incBuf backs the per-iteration incumbent set so acquisition start
 	// points stop allocating each step.
 	incBuf [][]float64
@@ -148,6 +157,29 @@ func (s *Session) start() error {
 	// Pre-compute the LHS fallback design once. The target surrogate
 	// persists across iterations so hyperparameter search warm-starts.
 	s.lhsDesign = lhs.Maximin(cfg.InitIters, s.dim, 10, rng.Derive(cfg.Seed, "lhs"))
+
+	// Drift-aware setup: the default probe fixes the base load (the SLA's
+	// throughput threshold scales with the offered load relative to it) and
+	// anchors the drift detector's regime signature.
+	s.baseLoad = 1
+	dev, drifting := s.ev.(DriftingEvaluator)
+	if drifting {
+		s.loadAware = true
+		if l := dev.CurrentLoad(); l > 0 {
+			s.baseLoad = l
+		}
+	}
+	if cfg.Drift != nil {
+		s.drift = newDriftState(cfg.Drift.withDefaults(cfg.InitIters), s.defaultTheta)
+		if drifting {
+			sig := dev.CurrentMetaFeature()
+			s.drift.anchor = append([]float64(nil), sig...)
+			s.drift.smooth = append([]float64(nil), sig...)
+		}
+		s.driftEvents = s.rec.Counter("core.drift_events")
+		s.radiusGauge = s.rec.Gauge("core.trust_radius")
+		s.radiusGauge.Set(s.drift.radius)
+	}
 	return nil
 }
 
@@ -334,6 +366,17 @@ func (s *Session) runIteration(iter int) error {
 
 	// --- Knobs recommendation: optimize the constrained acquisition.
 	tRec := time.Now()
+	// Trust region: past warm-up every candidate — probes, incumbents and
+	// local refinements — is confined to a box of half-width radius around
+	// the last known-safe configuration.
+	acqCfg := cfg.Acq
+	var trustBox *bo.Box
+	if s.drift != nil && iter > s.drift.cfg.Warmup {
+		trustBox = s.drift.box(s.dim)
+		acqCfg.Bounds = trustBox
+		it.TrustRadius = s.drift.radius
+		it.TrustCenter = append([]float64(nil), s.drift.center...)
+	}
 	var theta []float64
 	var acqFn bo.AcqFunc
 	if lhsPhase {
@@ -354,9 +397,15 @@ func (s *Session) runIteration(iter int) error {
 			}
 		}
 		incumbents := s.incumbents()
-		theta = bo.OptimizeAcqBatch(acq, acqBatch, s.dim, cfg.Acq, incumbents, s.r)
+		theta = bo.OptimizeAcqBatch(acq, acqBatch, s.dim, acqCfg, incumbents, s.r)
 	}
 	theta = s.space.Quantize(theta)
+	if trustBox != nil {
+		// Quantization snaps to the knob grid and can step a hair outside
+		// the region; project back so the safety invariant holds exactly
+		// for every evaluated configuration.
+		theta = trustBox.Clamp(append([]float64(nil), theta...))
+	}
 	it.Recommend = time.Since(tRec)
 
 	// --- Target workload replay.
@@ -367,7 +416,40 @@ func (s *Session) runIteration(iter int) error {
 
 	it.Measurement = meas
 	it.Observation = observe(theta, meas, s.ev)
+	it.LoadMult = 1
+	var sig []float64
+	if dev, ok := s.ev.(DriftingEvaluator); ok {
+		it.LoadMult = dev.CurrentLoad()
+		sig = dev.CurrentMetaFeature()
+	}
+	if s.loadAware && it.LoadMult > 0 && s.baseLoad > 0 {
+		// Demand-normalize throughput: the recorded observation is the
+		// throughput relative to the offered load (scaled to the default
+		// probe's load), so λ_tps keeps meaning "serve the offered demand as
+		// well as the default did" at any point of the day — and the
+		// surrogate sees a load-invariant target instead of diurnal swing it
+		// can only treat as noise. A config that saturates under high load
+		// still shows a collapsed normalized value: that is real signal.
+		it.Observation.Tps /= it.LoadMult / s.baseLoad
+	}
 	it.Feasible = s.res.SLA.Feasible(it.Observation)
+	if s.drift != nil {
+		// Trust-region update (recentre/expand on safe success, shrink on
+		// violation) and drift detection over the workload signature; a
+		// drift event re-anchors the regime and re-triggers meta-learning:
+		// the corpus shortlist is recomputed against the new signature.
+		it.DriftDistance, it.DriftEvent = s.drift.observe(theta, it.Feasible, it.Observation.Res, sig, iter <= s.drift.cfg.Warmup)
+		if it.DriftEvent {
+			s.driftEvents.Add(1)
+			cfg.TargetMetaFeature = append([]float64(nil), s.drift.anchor...)
+			if cfg.Corpus != nil {
+				if err := cfg.Corpus.Activate(cfg.TargetMetaFeature); err != nil {
+					return fmt.Errorf("core: re-activating corpus after drift at iter %d: %w", iter, err)
+				}
+			}
+		}
+		s.radiusGauge.Set(s.drift.radius)
+	}
 	s.res.Iterations = append(s.res.Iterations, it)
 	s.h = append(s.h, it.Observation)
 
@@ -396,6 +478,15 @@ func (s *Session) runIteration(iter int) error {
 		}
 		if it.Shortlist > 0 {
 			attrs = append(attrs, obs.Int("shortlist", it.Shortlist))
+		}
+		if s.loadAware {
+			attrs = append(attrs, obs.Float("load", it.LoadMult))
+		}
+		if s.drift != nil {
+			attrs = append(attrs,
+				obs.Float("drift_dist", it.DriftDistance),
+				obs.Bool("drift_event", it.DriftEvent),
+				obs.Float("trust_radius", s.drift.radius))
 		}
 		iterSpan.SetAttrs(attrs...)
 		s.iterGauge.Set(float64(iter))

@@ -40,3 +40,21 @@ type WorkloadProfile struct {
 
 // WriteRatio returns 1 - ReadRatio.
 func (w WorkloadProfile) WriteRatio() float64 { return 1 - w.ReadRatio }
+
+// AtLoad returns the profile as it looks at one instant of a load timeline:
+// the offered request rate scaled by rateMult and the mix shifted toward
+// writes by writeBoost (added to the write fraction, capped so reads never
+// vanish entirely). Open-loop profiles (RequestRate 0) stay open-loop.
+func (w WorkloadProfile) AtLoad(rateMult, writeBoost float64) WorkloadProfile {
+	if rateMult > 0 {
+		w.RequestRate *= rateMult
+	}
+	if writeBoost > 0 {
+		wr := w.WriteRatio() + writeBoost
+		if wr > 0.99 {
+			wr = 0.99
+		}
+		w.ReadRatio = 1 - wr
+	}
+	return w
+}

@@ -162,6 +162,18 @@ func (s *Simulator) Eval(space *knobs.Space, native []float64) Measurement {
 	return m
 }
 
+// EvalAtLoad measures the configuration under a scaled workload profile —
+// one instant of a load timeline (see WorkloadProfile.AtLoad). The noise
+// stream advances exactly as in Eval, so a timeline session consumes the
+// same seeded stream as a stationary one and stays bit-reproducible.
+func (s *Simulator) EvalAtLoad(space *knobs.Space, native []float64, rateMult, writeBoost float64) Measurement {
+	saved := s.WL
+	s.WL = saved.AtLoad(rateMult, writeBoost)
+	m := s.Eval(space, native)
+	s.WL = saved
+	return m
+}
+
 // EvalDefault measures the DBA default configuration (used to establish the
 // SLA thresholds λ_tps, λ_lat).
 func (s *Simulator) EvalDefault() Measurement {

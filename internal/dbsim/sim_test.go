@@ -349,3 +349,69 @@ func TestQuickTPSMonotoneInRate(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEvalAtLoad pins the timeline-evaluation contract of the simulator:
+// unit load is exactly Eval (same seeded noise draw), heavier load pushes
+// the resource model harder, and the simulator's own workload profile is
+// restored after every scaled measurement.
+func TestEvalAtLoad(t *testing.T) {
+	w := workload.Twitter()
+
+	// rateMult 1 / writeBoost 0 must be indistinguishable from Eval: two
+	// fresh simulators with the same seed consume the same noise stream.
+	m1 := simA(w).Eval(nil, nil)
+	m2 := simA(w).EvalAtLoad(nil, nil, 1, 0)
+	if m1.TPS != m2.TPS || m1.CPUUtilPct != m2.CPUUtilPct ||
+		m1.LatencyP99Ms != m2.LatencyP99Ms || m1.IOPS != m2.IOPS {
+		t.Fatalf("EvalAtLoad(1, 0) diverges from Eval:\n%+v\nvs\n%+v", m1, m2)
+	}
+
+	// Heavier offered load must show up in the measurement: more demand,
+	// more CPU, no faster tail.
+	base := simA(w).Eval(nil, nil)
+	heavy := simA(w).EvalAtLoad(nil, nil, 1.6, 0.1)
+	if heavy.CPUUtilPct <= base.CPUUtilPct {
+		t.Fatalf("1.6x load did not raise CPU: %v -> %v", base.CPUUtilPct, heavy.CPUUtilPct)
+	}
+	if heavy.LatencyP99Ms < base.LatencyP99Ms {
+		t.Fatalf("1.6x load lowered p99 latency: %v -> %v", base.LatencyP99Ms, heavy.LatencyP99Ms)
+	}
+
+	// The scaled profile is transient: a follow-up Eval on the same
+	// simulator behaves as the stationary second draw.
+	s1, s2 := simA(w), simA(w)
+	s1.Eval(nil, nil)
+	s2.EvalAtLoad(nil, nil, 2.0, 0.2)
+	a, b := s1.Eval(nil, nil), s2.Eval(nil, nil)
+	if a.TPS != b.TPS || a.CPUUtilPct != b.CPUUtilPct {
+		t.Fatalf("EvalAtLoad leaked the scaled profile into later Evals:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestWorkloadProfileAtLoad covers the pure profile transform behind
+// EvalAtLoad.
+func TestWorkloadProfileAtLoad(t *testing.T) {
+	p := workload.Twitter().Profile
+	scaled := p.AtLoad(2, 0.1)
+	if scaled.RequestRate != 2*p.RequestRate {
+		t.Fatalf("rate %v, want doubled %v", scaled.RequestRate, 2*p.RequestRate)
+	}
+	if got, want := scaled.WriteRatio(), p.WriteRatio()+0.1; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("write ratio %v, want %v", got, want)
+	}
+	// The write share caps below 1 so reads never vanish.
+	capped := p.AtLoad(1, 0.95)
+	if capped.WriteRatio() > 0.99 {
+		t.Fatalf("write ratio uncapped: %v", capped.WriteRatio())
+	}
+	// Open-loop profiles (no request rate) stay open-loop, and the zero
+	// transform is the identity.
+	open := p
+	open.RequestRate = 0
+	if open.AtLoad(3, 0).RequestRate != 0 {
+		t.Fatal("open-loop profile gained a request rate")
+	}
+	if same := p.AtLoad(1, 0); same != p {
+		t.Fatalf("unit load changed the profile: %+v vs %+v", same, p)
+	}
+}

@@ -64,8 +64,20 @@ type Evaluator struct {
 	// the substrate for golden-trace regression tests. Real wall-clock
 	// behaviour is NOT measured in this mode.
 	Deterministic bool
+	// Timeline, when set, drives time-varying load: the k-th Measure call
+	// replays the workload scaled to the load point at simulated time
+	// k·Total/TimelineSteps (time-compressed playback, wrapping past the
+	// timeline's end). The evaluator then implements core.DriftingEvaluator,
+	// exposing the load multiplier and effective-workload signature of its
+	// latest measurement.
+	Timeline *workload.Timeline
+	// TimelineSteps maps the measurement sequence onto the timeline
+	// (0 defaults to 96 — 15-minute steps over a 24h day).
+	TimelineSteps int
 
 	runs int
+	lp   workload.LoadPoint
+	sig  []float64
 }
 
 // Space implements core.Evaluator.
@@ -90,11 +102,25 @@ func cpuTime() time.Duration {
 	return toDur(ru.Utime) + toDur(ru.Stime)
 }
 
-// Measure implements core.Evaluator with a real replay.
+// Measure implements core.Evaluator with a real replay. With a Timeline
+// set, the replayed workload is the configured one scaled to the load point
+// of this call's simulated instant.
 func (e *Evaluator) Measure(native []float64) dbsim.Measurement {
+	saved := e.Workload
+	if e.Timeline != nil {
+		steps := e.TimelineSteps
+		if steps <= 0 {
+			steps = 96
+		}
+		t := e.Timeline.Total() / time.Duration(steps) * time.Duration(e.runs)
+		e.lp = e.Timeline.At(t)
+		e.Workload = saved.AtLoad(e.lp)
+		e.sig = e.Workload.Signature()
+	}
 	e.runs++
 	dir := filepath.Join(e.BaseDir, fmt.Sprintf("run-%d", e.runs))
 	m, err := e.measure(dir, native)
+	e.Workload = saved
 	os.RemoveAll(dir)
 	if err != nil {
 		// A broken configuration (e.g. unopenable) measures as a stalled
@@ -387,6 +413,24 @@ func (e *Evaluator) measureDeterministic(db *DB, ex *Executor, cfg Config, strea
 		m.IOPS, m.IOBps, m.TPS, m.LatencyP99Ms, cpuPct,
 	}
 	return m, nil
+}
+
+// CurrentLoad implements core.DriftingEvaluator: the rate multiplier of the
+// most recent Measure call (1 before any, or without a Timeline).
+func (e *Evaluator) CurrentLoad() float64 {
+	if e.lp.RateMult == 0 {
+		return 1
+	}
+	return e.lp.RateMult
+}
+
+// CurrentMetaFeature implements core.DriftingEvaluator: the effective
+// workload's signature at the most recent Measure call.
+func (e *Evaluator) CurrentMetaFeature() []float64 {
+	if e.sig == nil {
+		return e.Workload.Signature()
+	}
+	return append([]float64(nil), e.sig...)
 }
 
 func maxDur(a, b time.Duration) time.Duration {

@@ -1,0 +1,360 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// LoadPoint is the instantaneous offered-load state of a timeline: a
+// multiplier on the workload's client request rate and an additive boost to
+// its write fraction (evening batch jobs, replication catch-up, ...). The
+// zero boost keeps the workload's own mix.
+type LoadPoint struct {
+	// RateMult scales the workload's RequestRate. Must be positive.
+	RateMult float64
+	// WriteBoost is added to the workload's write fraction, clamped so the
+	// resulting fraction stays below 1. Must be in [0, 0.95].
+	WriteBoost float64
+}
+
+// lerp interpolates between two load points.
+func lerpLoad(a, b LoadPoint, f float64) LoadPoint {
+	return LoadPoint{
+		RateMult:   a.RateMult + f*(b.RateMult-a.RateMult),
+		WriteBoost: a.WriteBoost + f*(b.WriteBoost-a.WriteBoost),
+	}
+}
+
+// TimelinePhase is one piece of a piecewise-linear load timeline: the load
+// ramps linearly from Start to End over Duration (equal endpoints make the
+// phase constant).
+type TimelinePhase struct {
+	// Label names the phase for reporting ("night", "evening-peak", ...).
+	Label string
+	// Duration is the phase's simulated length. Must be positive:
+	// zero-duration phases would make the piecewise map ambiguous at the
+	// boundary and are rejected.
+	Duration time.Duration
+	// Start and End are the loads at the phase boundaries.
+	Start, End LoadPoint
+}
+
+// Timeline is a piecewise-linear load profile over simulated time — the
+// time-varying half of a drifting workload. Playback is time-compressed: a
+// 24h timeline is traversed in however many evaluation steps the caller
+// maps onto it (dbsim evaluates a day in microseconds; the minidb evaluator
+// replays one step per measurement), in the spirit of pg_workload's
+// --time-scale simulation mode. Queries past Total wrap around, so a
+// timeline models a repeating day.
+type Timeline struct {
+	phases []TimelinePhase
+	total  time.Duration
+}
+
+// NewTimeline validates the phases and builds a timeline.
+func NewTimeline(phases []TimelinePhase) (*Timeline, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("workload: timeline needs at least one phase")
+	}
+	var total time.Duration
+	for i, p := range phases {
+		if p.Duration <= 0 {
+			return nil, fmt.Errorf("workload: timeline phase %d (%q) has non-positive duration %v",
+				i, p.Label, p.Duration)
+		}
+		for _, lp := range []LoadPoint{p.Start, p.End} {
+			if err := validLoad(lp); err != nil {
+				return nil, fmt.Errorf("workload: timeline phase %d (%q): %w", i, p.Label, err)
+			}
+		}
+		if total > math.MaxInt64-p.Duration {
+			return nil, fmt.Errorf("workload: timeline duration overflows at phase %d", i)
+		}
+		total += p.Duration
+	}
+	return &Timeline{phases: append([]TimelinePhase(nil), phases...), total: total}, nil
+}
+
+func validLoad(lp LoadPoint) error {
+	if math.IsNaN(lp.RateMult) || math.IsInf(lp.RateMult, 0) || lp.RateMult <= 0 {
+		return fmt.Errorf("rate multiplier %v out of range (must be finite and positive)", lp.RateMult)
+	}
+	if math.IsNaN(lp.WriteBoost) || lp.WriteBoost < 0 || lp.WriteBoost > 0.95 {
+		return fmt.Errorf("write boost %v out of range [0, 0.95]", lp.WriteBoost)
+	}
+	return nil
+}
+
+// Total returns the timeline's full simulated duration (one "day").
+func (tl *Timeline) Total() time.Duration { return tl.total }
+
+// Phases returns the timeline's phases.
+func (tl *Timeline) Phases() []TimelinePhase {
+	return append([]TimelinePhase(nil), tl.phases...)
+}
+
+// At returns the load at simulated time t. Time wraps modulo Total, so the
+// timeline models a repeating day; negative t wraps backwards.
+func (tl *Timeline) At(t time.Duration) LoadPoint {
+	lp, _ := tl.at(t)
+	return lp
+}
+
+// PhaseAt returns the index of the phase covering simulated time t.
+func (tl *Timeline) PhaseAt(t time.Duration) int {
+	_, i := tl.at(t)
+	return i
+}
+
+func (tl *Timeline) at(t time.Duration) (LoadPoint, int) {
+	t %= tl.total
+	if t < 0 {
+		t += tl.total
+	}
+	for i, p := range tl.phases {
+		if t < p.Duration {
+			f := float64(t) / float64(p.Duration)
+			return lerpLoad(p.Start, p.End, f), i
+		}
+		t -= p.Duration
+	}
+	// Unreachable for a validated timeline; keep the last phase's end as a
+	// defensive answer.
+	last := tl.phases[len(tl.phases)-1]
+	return last.End, len(tl.phases) - 1
+}
+
+// Bounds returns the component-wise extremes the timeline can yield: lo and
+// hi bound every At result (linear interpolation never exits the endpoint
+// hull). Playback is guaranteed to stay inside these declared bounds.
+func (tl *Timeline) Bounds() (lo, hi LoadPoint) {
+	lo = LoadPoint{RateMult: math.Inf(1), WriteBoost: math.Inf(1)}
+	hi = LoadPoint{RateMult: math.Inf(-1), WriteBoost: math.Inf(-1)}
+	for _, p := range tl.phases {
+		for _, e := range []LoadPoint{p.Start, p.End} {
+			lo.RateMult = math.Min(lo.RateMult, e.RateMult)
+			lo.WriteBoost = math.Min(lo.WriteBoost, e.WriteBoost)
+			hi.RateMult = math.Max(hi.RateMult, e.RateMult)
+			hi.WriteBoost = math.Max(hi.WriteBoost, e.WriteBoost)
+		}
+	}
+	return lo, hi
+}
+
+const hour = time.Hour
+
+// DiurnalTimeline is the canonical simulated 24h day: a quiet night, a
+// morning ramp into business hours, and a write-heavier evening peak — the
+// regime sequence under which a knob optimal at 2pm can violate SLA at 8pm.
+func DiurnalTimeline() *Timeline {
+	c := func(m, b float64) LoadPoint { return LoadPoint{RateMult: m, WriteBoost: b} }
+	tl, err := NewTimeline([]TimelinePhase{
+		{Label: "night", Duration: 6 * hour, Start: c(0.35, 0), End: c(0.35, 0)},
+		{Label: "morning-ramp", Duration: 2 * hour, Start: c(0.35, 0), End: c(1.0, 0.05)},
+		{Label: "business", Duration: 6 * hour, Start: c(1.0, 0.05), End: c(1.0, 0.05)},
+		{Label: "lunch-dip", Duration: 1 * hour, Start: c(0.8, 0.05), End: c(0.8, 0.05)},
+		{Label: "afternoon", Duration: 3 * hour, Start: c(1.1, 0.05), End: c(1.1, 0.05)},
+		{Label: "evening-peak", Duration: 3 * hour, Start: c(1.5, 0.15), End: c(1.5, 0.15)},
+		{Label: "wind-down", Duration: 3 * hour, Start: c(1.5, 0.15), End: c(0.4, 0)},
+	})
+	if err != nil {
+		panic(err) // static profile; unreachable
+	}
+	return tl
+}
+
+// SpikeTimeline is a 24h day with a sharp two-hour overload spike (a flash
+// sale): 2.5x the baseline rate with a write-heavier mix.
+func SpikeTimeline() *Timeline {
+	c := func(m, b float64) LoadPoint { return LoadPoint{RateMult: m, WriteBoost: b} }
+	tl, err := NewTimeline([]TimelinePhase{
+		{Label: "baseline", Duration: 10 * hour, Start: c(1, 0), End: c(1, 0)},
+		{Label: "spike", Duration: 2 * hour, Start: c(2.5, 0.10), End: c(2.5, 0.10)},
+		{Label: "recovery", Duration: 12 * hour, Start: c(1, 0), End: c(1, 0)},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return tl
+}
+
+// RampTimeline is a 24h day of steady organic growth: a single linear ramp
+// from half to nearly double the baseline rate — gradual drift with no step
+// boundary for the detector to key on.
+func RampTimeline() *Timeline {
+	tl, err := NewTimeline([]TimelinePhase{
+		{Label: "growth", Duration: 24 * hour,
+			Start: LoadPoint{RateMult: 0.5}, End: LoadPoint{RateMult: 1.8, WriteBoost: 0.08}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return tl
+}
+
+// FlatTimeline is a stationary 24h control: constant unit load. A drift
+// detector must record zero events over it.
+func FlatTimeline() *Timeline {
+	tl, err := NewTimeline([]TimelinePhase{
+		{Label: "flat", Duration: 24 * hour,
+			Start: LoadPoint{RateMult: 1}, End: LoadPoint{RateMult: 1}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return tl
+}
+
+// TimelineProfile returns a named built-in profile: "diurnal", "spike",
+// "ramp" or "flat".
+func TimelineProfile(name string) (*Timeline, error) {
+	switch name {
+	case "diurnal":
+		return DiurnalTimeline(), nil
+	case "spike":
+		return SpikeTimeline(), nil
+	case "ramp":
+		return RampTimeline(), nil
+	case "flat":
+		return FlatTimeline(), nil
+	}
+	return nil, fmt.Errorf("workload: unknown timeline profile %q (want diurnal, spike, ramp or flat)", name)
+}
+
+// TimelineFromCSV parses a load timeline from CSV rows of the form
+//
+//	offset_seconds,rate_mult[,write_boost]
+//
+// Each row is a breakpoint; consecutive rows bound a linear segment (the
+// pg_workload timeline format). At least two rows are required, the first
+// offset must be 0, and offsets must be strictly increasing — unsorted,
+// duplicate (overlapping) or zero-length segments are rejected. Lines that
+// are empty or start with '#' are skipped.
+func TimelineFromCSV(r io.Reader) (*Timeline, error) {
+	type row struct {
+		off time.Duration
+		lp  LoadPoint
+	}
+	var rows []row
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("workload: timeline CSV line %d: want offset,rate[,write_boost], got %d fields", line, len(fields))
+		}
+		off, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: timeline CSV line %d: bad offset: %v", line, err)
+		}
+		if math.IsNaN(off) || math.IsInf(off, 0) || off < 0 || off > 1e9 {
+			return nil, fmt.Errorf("workload: timeline CSV line %d: offset %v out of range [0, 1e9] seconds", line, off)
+		}
+		rate, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: timeline CSV line %d: bad rate: %v", line, err)
+		}
+		lp := LoadPoint{RateMult: rate}
+		if len(fields) == 3 {
+			wb, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: timeline CSV line %d: bad write boost: %v", line, err)
+			}
+			lp.WriteBoost = wb
+		}
+		if err := validLoad(lp); err != nil {
+			return nil, fmt.Errorf("workload: timeline CSV line %d: %w", line, err)
+		}
+		rows = append(rows, row{off: time.Duration(off * float64(time.Second)), lp: lp})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: timeline CSV: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("workload: timeline CSV needs at least two breakpoint rows, got %d", len(rows))
+	}
+	if rows[0].off != 0 {
+		return nil, fmt.Errorf("workload: timeline CSV must start at offset 0, got %v", rows[0].off)
+	}
+	phases := make([]TimelinePhase, 0, len(rows)-1)
+	for i := 1; i < len(rows); i++ {
+		if rows[i].off <= rows[i-1].off {
+			return nil, fmt.Errorf("workload: timeline CSV offsets must be strictly increasing (row %d: %v after %v)",
+				i+1, rows[i].off, rows[i-1].off)
+		}
+		phases = append(phases, TimelinePhase{
+			Label:    fmt.Sprintf("csv-%d", i),
+			Duration: rows[i].off - rows[i-1].off,
+			Start:    rows[i-1].lp,
+			End:      rows[i].lp,
+		})
+	}
+	return NewTimeline(phases)
+}
+
+// AtLoad returns a copy of the workload as it looks under the given load
+// point: the client request rate scaled by RateMult and the mix shifted
+// toward writes by WriteBoost (template weights rebalanced so the minidb
+// statement generator and the simulator profile agree on the new mix).
+func (w Workload) AtLoad(lp LoadPoint) Workload {
+	w.Profile = w.Profile.AtLoad(lp.RateMult, lp.WriteBoost)
+	if lp.WriteBoost > 0 && len(w.Templates) > 0 {
+		var readW, writeW float64
+		for _, t := range w.Templates {
+			if t.Kind == Update || t.Kind == Insert || t.Kind == Delete {
+				writeW += t.Weight
+			} else {
+				readW += t.Weight
+			}
+		}
+		if writeW > 0 && readW > 0 {
+			cur := writeW / (readW + writeW)
+			target := math.Min(cur+lp.WriteBoost, 0.99)
+			// Scale write-template weights so the write share of the mix
+			// becomes target: alpha*W/(R+alpha*W) = target.
+			alpha := target * readW / ((1 - target) * writeW)
+			tpl := make([]Template, len(w.Templates))
+			copy(tpl, w.Templates)
+			for i := range tpl {
+				if tpl[i].Kind == Update || tpl[i].Kind == Insert || tpl[i].Kind == Delete {
+					tpl[i].Weight *= alpha
+				}
+			}
+			w.Templates = tpl
+		}
+	}
+	return w
+}
+
+// Signature returns a compact meta-feature-style embedding of the workload
+// as observable at run time — offered rate, write fraction, per-transaction
+// CPU and page costs, data footprint — each log- or ratio-scaled into O(1)
+// range. It is the runtime stand-in for the characterizer's query-log
+// embedding: cheap enough to recompute every iteration, and comparable with
+// MetaFeatureDistance, which is what the drift detector streams over.
+func (w Workload) Signature() []float64 {
+	p := w.Profile
+	logs := func(v, scale float64) float64 {
+		if v < 1 {
+			v = 1
+		}
+		return math.Log10(v) / scale
+	}
+	return []float64{
+		logs(p.RequestRate, 6),
+		p.WriteRatio(),
+		logs(p.CPUMsPerTxn*1000, 6),
+		logs(p.PagesPerTxn, 4),
+		logs(float64(p.DataBytes), 12),
+	}
+}

@@ -179,11 +179,34 @@ func TestCharacterizerErrors(t *testing.T) {
 
 func TestMetaFeatureDistancePanics(t *testing.T) {
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("expected panic on dim mismatch")
+		}
+		const want = "workload: meta-feature dimension mismatch"
+		if msg, ok := r.(string); !ok || msg != want {
+			t.Fatalf("panic message = %v, want %q", r, want)
 		}
 	}()
 	MetaFeatureDistance([]float64{1}, []float64{1, 2})
+}
+
+func TestMetaFeatureDistanceEdgeCases(t *testing.T) {
+	// Two empty vectors agree on dimension (zero) and are at distance 0:
+	// degenerate, but not a dimension mismatch.
+	if d := MetaFeatureDistance(nil, []float64{}); d != 0 {
+		t.Fatalf("empty-vs-empty distance = %v, want 0", d)
+	}
+	// A NaN component poisons the distance rather than being masked — the
+	// drift detector's threshold comparison then fails closed (NaN > thr is
+	// false, so a corrupt signature can never fire a phantom drift event).
+	d := MetaFeatureDistance([]float64{0.5, math.NaN()}, []float64{0.5, 0.5})
+	if !math.IsNaN(d) {
+		t.Fatalf("NaN component gave distance %v, want NaN", d)
+	}
+	if d > 0.04 {
+		t.Fatal("NaN distance compared as exceeding a threshold; must fail closed")
+	}
 }
 
 func TestGenerateTransactions(t *testing.T) {

@@ -129,6 +129,22 @@ type (
 	ExperimentParams = experiments.Params
 	// ExperimentReport is a paper-experiment's output.
 	ExperimentReport = experiments.Report
+	// DriftConfig parameterizes drift detection and safe trust-region
+	// exploration for online tuning (Config.Drift).
+	DriftConfig = core.DriftConfig
+	// Timeline is a piecewise load schedule over a simulated day.
+	Timeline = workload.Timeline
+	// TimelinePhase is one named phase of a Timeline.
+	TimelinePhase = workload.TimelinePhase
+	// LoadPoint is the instantaneous load of a Timeline: a request-rate
+	// multiplier and an additive write-ratio boost.
+	LoadPoint = workload.LoadPoint
+	// TimelineEvaluator drives a simulator through a Timeline with
+	// time-compressed playback (implements Evaluator).
+	TimelineEvaluator = core.TimelineEvaluator
+	// DayStats summarizes one simulated-day tuning session: SLA violations,
+	// drift events and adaptation speed.
+	DayStats = experiments.DayStats
 )
 
 // Weight schemas (Config.Schema).
@@ -238,6 +254,42 @@ func NewCharacterizer(trainOn []Workload, seed int64) (*Characterizer, error) {
 // MetaFeatureDistance is the Euclidean distance between meta-features —
 // the similarity measure behind the static weights.
 func MetaFeatureDistance(a, b []float64) float64 { return workload.MetaFeatureDistance(a, b) }
+
+// ---------------------------------------------------------------------------
+// Timelines and drift-aware online tuning.
+
+// NewTimeline builds a validated Timeline from explicit phases.
+func NewTimeline(phases []TimelinePhase) (*Timeline, error) { return workload.NewTimeline(phases) }
+
+// TimelineProfile returns a named built-in timeline: "diurnal" (a 24h
+// night/ramp/business/peak day), "spike" (a flash-crowd burst), "ramp" (a
+// day-long linear climb) or "flat" (the stationary control).
+func TimelineProfile(name string) (*Timeline, error) { return workload.TimelineProfile(name) }
+
+// TimelineFromCSV parses a load schedule from CSV rows of
+// "offset_seconds,rate_mult[,write_boost]".
+func TimelineFromCSV(r io.Reader) (*Timeline, error) { return workload.TimelineFromCSV(r) }
+
+// NewTimelineEvaluator drives a simulator through a timeline with
+// time-compressed playback: measurement k evaluates under the load at
+// simulated time k*Total/stepsPerDay (wrapping past a day). Pair it with
+// Config.Drift for drift-aware online tuning.
+func NewTimelineEvaluator(sim *Simulator, space *Space, res Resource, w Workload, tl *Timeline, stepsPerDay int) *TimelineEvaluator {
+	return core.NewTimelineEvaluator(sim, space, res, w, tl, stepsPerDay)
+}
+
+// SimulatedDay runs one tuning session over a named timeline profile
+// compressed into p.Iters measurements — drift-aware when aware is set, the
+// stationary tuner otherwise (restune-bench -timeline).
+func SimulatedDay(profile string, p ExperimentParams, aware bool) (*DayStats, error) {
+	return experiments.SimulatedDay(profile, p, aware)
+}
+
+// SimulatedDayTimeline is SimulatedDay over an explicit (e.g. CSV-loaded)
+// timeline; name labels the timeline in the returned stats.
+func SimulatedDayTimeline(name string, tl *Timeline, p ExperimentParams, aware bool) (*DayStats, error) {
+	return experiments.SimulatedDayTimeline(name, tl, p, aware)
+}
 
 // ---------------------------------------------------------------------------
 // Replay.

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
-# bench_snapshot.sh [mathcore|corpus|fleet] — snapshot a benchmark family
-# into a JSON file at the repository root: one JSON object mapping benchmark
-# name -> { "ns_per_op": ..., "allocs_per_op": ... } plus any custom metrics
-# the benchmark reports ("sessions_per_sec", "hit_rate").
+# bench_snapshot.sh [mathcore|corpus|fleet|drift] — snapshot a benchmark
+# family into a JSON file at the repository root: one JSON object mapping
+# benchmark name -> { "ns_per_op": ..., "allocs_per_op": ... } plus any
+# custom metrics the benchmark reports ("sessions_per_sec", "hit_rate",
+# "sla_violations", "drift_events", "max_adapt_iters").
 #
 # Targets:
 #   mathcore (default)  Cholesky, GP-predict, acquisition and meta-weight
@@ -23,6 +24,14 @@
 #                       (>= 3x session throughput at 8 workers vs 1, shared
 #                       fit-cache hit rate > 50%); run
 #                       `scripts/benchcheck -fleet` against it to re-verify.
+#   drift               BenchmarkDriftSimulatedDay: the diurnal simulated
+#                       24h day with the drift-aware tuner vs the stationary
+#                       baseline -> BENCH_drift.json. The committed snapshot
+#                       is the acceptance record for the drift gate (aware
+#                       strictly fewer post-warmup SLA violations than
+#                       stationary, at least one drift event, bounded
+#                       re-convergence); run `scripts/benchcheck -drift`
+#                       against it to re-verify.
 #
 # Environment:
 #   BENCHTIME=2s   per-benchmark budget (any go test -benchtime value)
@@ -49,8 +58,12 @@ fleet)
     OUT="BENCH_fleet.json"
     PATTERN='^BenchmarkFleetSessions$'
     ;;
+drift)
+    OUT="BENCH_drift.json"
+    PATTERN='^BenchmarkDriftSimulatedDay$'
+    ;;
 *)
-    echo "usage: $0 [mathcore|corpus|fleet]" >&2
+    echo "usage: $0 [mathcore|corpus|fleet|drift]" >&2
     exit 2
     ;;
 esac
@@ -75,16 +88,25 @@ awk '
     allocs = "null"
     sps = ""
     hr = ""
+    viol = ""
+    devents = ""
+    adapt = ""
     for (i = 2; i <= NF; i++) {
-        if ($i == "ns/op")        ns = $(i - 1)
-        if ($i == "allocs/op")    allocs = $(i - 1)
-        if ($i == "sessions/sec") sps = $(i - 1)
-        if ($i == "hit_rate")     hr = $(i - 1)
+        if ($i == "ns/op")           ns = $(i - 1)
+        if ($i == "allocs/op")       allocs = $(i - 1)
+        if ($i == "sessions/sec")    sps = $(i - 1)
+        if ($i == "hit_rate")        hr = $(i - 1)
+        if ($i == "sla_violations")  viol = $(i - 1)
+        if ($i == "drift_events")    devents = $(i - 1)
+        if ($i == "max_adapt_iters") adapt = $(i - 1)
     }
     if (ns != "") {
         v = sprintf("{\"ns_per_op\": %s, \"allocs_per_op\": %s", ns, allocs)
-        if (sps != "") v = v sprintf(", \"sessions_per_sec\": %s", sps)
-        if (hr != "")  v = v sprintf(", \"hit_rate\": %s", hr)
+        if (sps != "")     v = v sprintf(", \"sessions_per_sec\": %s", sps)
+        if (hr != "")      v = v sprintf(", \"hit_rate\": %s", hr)
+        if (viol != "")    v = v sprintf(", \"sla_violations\": %s", viol)
+        if (devents != "") v = v sprintf(", \"drift_events\": %s", devents)
+        if (adapt != "")   v = v sprintf(", \"max_adapt_iters\": %s", adapt)
         vals[name] = v "}"
         if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
     }

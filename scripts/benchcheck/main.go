@@ -13,6 +13,15 @@
 //
 //	go run ./scripts/benchcheck -fleet BENCH_fleet.json
 //
+// -drift checks BENCH_drift.json against the drift-adaptation gates over the
+// diurnal simulated day: the drift-aware tuner must violate the load-scaled
+// SLA on strictly fewer post-warmup iterations than the paired stationary
+// tuner, must fire at least one drift event, and must re-converge to a
+// feasible configuration within a bounded number of iterations after every
+// event.
+//
+//	go run ./scripts/benchcheck -drift BENCH_drift.json
+//
 // Exit 1 on a malformed snapshot, a missing benchmark entry, or a gate
 // violation.
 package main
@@ -32,6 +41,9 @@ const (
 	maxRatio        = 0.25
 	minFleetScaling = 3.0
 	minHitRate      = 0.5
+	// maxAdaptIters bounds re-convergence after a drift event: the worst-case
+	// span from an event to the next SLA-feasible iteration on the diurnal day.
+	maxAdaptIters = 12
 )
 
 type entry struct {
@@ -39,22 +51,26 @@ type entry struct {
 	AllocsPerOp    *float64 `json:"allocs_per_op"`
 	SessionsPerSec *float64 `json:"sessions_per_sec"`
 	HitRate        *float64 `json:"hit_rate"`
+	SLAViolations  *float64 `json:"sla_violations"`
+	DriftEvents    *float64 `json:"drift_events"`
+	MaxAdaptIters  *float64 `json:"max_adapt_iters"`
 }
 
 func main() {
 	fleet := flag.Bool("fleet", false, "validate a BENCH_fleet.json snapshot against the fleet-scaling gates")
+	drift := flag.Bool("drift", false, "validate a BENCH_drift.json snapshot against the drift-adaptation gates")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck [-fleet] <BENCH_*.json>")
+	if flag.NArg() != 1 || (*fleet && *drift) {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-fleet|-drift] <BENCH_*.json>")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *fleet); err != nil {
+	if err := run(flag.Arg(0), *fleet, *drift); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, fleet bool) error {
+func run(path string, fleet, drift bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -73,6 +89,9 @@ func run(path string, fleet bool) error {
 	}
 	if fleet {
 		return checkFleet(path, snap)
+	}
+	if drift {
+		return checkDrift(path, snap)
 	}
 	return checkCorpus(path, snap)
 }
@@ -122,6 +141,43 @@ func checkFleet(path string, snap map[string]entry) error {
 	fmt.Printf("%s: workers=8 shared-fit hit rate %.3f (gate > %.2f)\n", path, *wide.HitRate, minHitRate)
 	if *wide.HitRate <= minHitRate {
 		return fmt.Errorf("shared-fit hit rate %.3f is at or below the %.2f gate", *wide.HitRate, minHitRate)
+	}
+	return nil
+}
+
+// checkDrift enforces the drift-adaptation gates on BENCH_drift.json: the
+// aware and stationary arms of BenchmarkDriftSimulatedDay share every random
+// draw (paired sessions), so their SLA-violation counts are directly
+// comparable — the aware arm must be strictly lower, must have detected at
+// least one regime change, and must have re-converged within maxAdaptIters
+// iterations of its worst event.
+func checkDrift(path string, snap map[string]entry) error {
+	aware, err := lookup(snap, "BenchmarkDriftSimulatedDay/aware")
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	stationary, err := lookup(snap, "BenchmarkDriftSimulatedDay/stationary")
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if aware.SLAViolations == nil || aware.DriftEvents == nil || aware.MaxAdaptIters == nil {
+		return fmt.Errorf("%s: aware entry is missing a drift metric (need sla_violations, drift_events, max_adapt_iters)", path)
+	}
+	if stationary.SLAViolations == nil {
+		return fmt.Errorf("%s: stationary entry has no sla_violations metric", path)
+	}
+	fmt.Printf("%s: %d entries OK; diurnal violations aware/stationary = %.0f/%.0f (gate: strictly fewer), events %.0f (gate >= 1), max adapt %.0f iters (gate <= %d)\n",
+		path, len(snap), *aware.SLAViolations, *stationary.SLAViolations,
+		*aware.DriftEvents, *aware.MaxAdaptIters, maxAdaptIters)
+	if *aware.SLAViolations >= *stationary.SLAViolations {
+		return fmt.Errorf("drift-aware tuner violated the SLA %.0f times vs stationary %.0f, gate requires strictly fewer",
+			*aware.SLAViolations, *stationary.SLAViolations)
+	}
+	if *aware.DriftEvents < 1 {
+		return fmt.Errorf("drift-aware tuner fired %.0f drift events on the diurnal day, gate requires at least 1", *aware.DriftEvents)
+	}
+	if *aware.MaxAdaptIters > maxAdaptIters {
+		return fmt.Errorf("worst-case re-convergence took %.0f iterations, gate is %d", *aware.MaxAdaptIters, maxAdaptIters)
 	}
 	return nil
 }

@@ -8,6 +8,10 @@
 // every file is validated and a fleet aggregation is printed: per-session
 // iteration counts and the fleet-wide shared-fit cache totals.
 //
+// Drift-aware sessions are aggregated from their core.iteration span attrs:
+// the digest and the fleet aggregation report how many iterations fired a
+// drift event and the range the trust-region radius covered.
+//
 //	go run ./scripts/tracecheck trace.jsonl              # validate, exit 1 on violation
 //	go run ./scripts/tracecheck -summary trace.jsonl     # validate + summarize
 //	go run ./scripts/tracecheck traces/*.jsonl           # validate all + fleet aggregation
@@ -58,6 +62,14 @@ type traceStats struct {
 	counters map[string]float64
 	gauges   map[string]float64
 	hists    map[string]histStat
+
+	// Drift/trust-region aggregation over core.iteration span attrs: how
+	// many iterations fired a drift event, and the range the trust-region
+	// radius covered (trustN counts iterations that carried a radius).
+	driftEvents int
+	trustN      int
+	trustMin    float64
+	trustMax    float64
 }
 
 func main() {
@@ -142,6 +154,20 @@ func parse(path string) (*traceStats, error) {
 			if e.DurUS > s.max {
 				s.max = e.DurUS
 			}
+			if e.Name == "core.iteration" {
+				if fired, ok := e.Attrs["drift_event"].(bool); ok && fired {
+					st.driftEvents++
+				}
+				if r, ok := e.Attrs["trust_radius"].(float64); ok {
+					if st.trustN == 0 || r < st.trustMin {
+						st.trustMin = r
+					}
+					if st.trustN == 0 || r > st.trustMax {
+						st.trustMax = r
+					}
+					st.trustN++
+				}
+			}
 		case "counter":
 			st.counters[e.Name] = e.Value
 		case "gauge":
@@ -189,6 +215,10 @@ func (st *traceStats) printDigest() {
 				float64(s.total)/1e3, float64(s.total)/float64(s.n)/1e3, float64(s.max)/1e3)
 		}
 		fmt.Println()
+	}
+	if st.trustN > 0 || st.driftEvents > 0 {
+		fmt.Printf("drift: %d events; trust radius [%.3f, %.3f] over %d iterations\n\n",
+			st.driftEvents, st.trustMin, st.trustMax, st.trustN)
 	}
 	if len(st.counters) > 0 {
 		fmt.Printf("%-40s %14s\n", "counter", "value")
@@ -245,6 +275,25 @@ func printFleetAggregation(stats []*traceStats) {
 	if hits+misses > 0 {
 		fmt.Printf("  shared-fit cache: %.0f hits / %.0f misses (%.1f%% hit rate)\n",
 			hits, misses, 100*hits/(hits+misses))
+	}
+	driftEvents, trustN := 0, 0
+	trustMin, trustMax := 0.0, 0.0
+	for _, st := range stats {
+		driftEvents += st.driftEvents
+		if st.trustN == 0 {
+			continue
+		}
+		if trustN == 0 || st.trustMin < trustMin {
+			trustMin = st.trustMin
+		}
+		if trustN == 0 || st.trustMax > trustMax {
+			trustMax = st.trustMax
+		}
+		trustN += st.trustN
+	}
+	if driftEvents > 0 || trustN > 0 {
+		fmt.Printf("  drift: %d events; trust radius [%.3f, %.3f] over %d iterations\n",
+			driftEvents, trustMin, trustMax, trustN)
 	}
 }
 

@@ -11,15 +11,20 @@
 #   5. go test -race ./...           (short mode: the crash harness strides
 #                                     its boundary enumeration under -short)
 #   6. a benchmark smoke pass: the batched math-core benchmarks, the
-#      corpus-scale meta-iteration benchmark and the fleet-scaling benchmark
-#      run once (-benchtime=1x) so a broken benchmark cannot land silently
+#      corpus-scale meta-iteration benchmark, the fleet-scaling benchmark
+#      and the simulated-day drift benchmark run once (-benchtime=1x) so a
+#      broken benchmark cannot land silently
 #   7. snapshot guards: the committed BENCH_corpus.json must satisfy the
-#      <= 25% sublinear-meta gate, and the committed BENCH_fleet.json must
-#      satisfy the >= 3x fleet-scaling / > 50% hit-rate gates
-#      (scripts/benchcheck)
+#      <= 25% sublinear-meta gate, the committed BENCH_fleet.json must
+#      satisfy the >= 3x fleet-scaling / > 50% hit-rate gates, and the
+#      committed BENCH_drift.json must satisfy the drift-adaptation gates
+#      (aware strictly fewer SLA violations than stationary, >= 1 drift
+#      event, bounded re-convergence) (scripts/benchcheck)
 #   8. telemetry smoke runs: restune-tune -trace must emit a non-empty,
-#      schema-valid JSONL artifact, and a 2-session restune-server fleet
-#      must emit schema-valid per-session and fleet streams
+#      schema-valid JSONL artifact, a 2-session restune-server fleet must
+#      emit schema-valid per-session and fleet streams, and a drift-aware
+#      restune-bench -timeline day must emit a trace whose core.iteration
+#      spans carry drift/trust-region attrs
 #   9. a fuzz smoke pass: every Fuzz target runs for FUZZTIME (default 30s)
 #
 # Environment:
@@ -55,7 +60,7 @@ go test -race -short ./...
 
 echo "==> benchmark smoke (-benchtime=1x)"
 go test -run '^$' \
-    -bench 'PredictBatch$|OptimizeAcqPointwise$|OptimizeAcqBatched$|^BenchmarkMetaIteration$|^BenchmarkFleetSessions$' \
+    -bench 'PredictBatch$|OptimizeAcqPointwise$|OptimizeAcqBatched$|^BenchmarkMetaIteration$|^BenchmarkFleetSessions$|^BenchmarkDriftSimulatedDay$' \
     -benchtime 1x .
 
 echo "==> corpus snapshot guard (scripts/benchcheck)"
@@ -63,6 +68,9 @@ go run ./scripts/benchcheck BENCH_corpus.json
 
 echo "==> fleet snapshot guard (scripts/benchcheck -fleet)"
 go run ./scripts/benchcheck -fleet BENCH_fleet.json
+
+echo "==> drift snapshot guard (scripts/benchcheck -drift)"
+go run ./scripts/benchcheck -drift BENCH_drift.json
 
 echo "==> telemetry smoke (restune-tune -trace)"
 tracedir="$(mktemp -d)"
@@ -85,6 +93,19 @@ for f in "$tracedir"/fleet/*.jsonl; do
 done
 go run ./scripts/tracecheck "$tracedir"/fleet/*.jsonl
 
+echo "==> timeline smoke (restune-bench -timeline, drift-aware day)"
+go run ./cmd/restune-bench -timeline spike -iters 16 \
+    -trace "$tracedir/timeline.jsonl" >/dev/null
+test -s "$tracedir/timeline.jsonl" || {
+    echo "timeline smoke: trace is empty" >&2
+    exit 1
+}
+go run ./scripts/tracecheck "$tracedir/timeline.jsonl"
+grep -q 'drift_event' "$tracedir/timeline.jsonl" || {
+    echo "timeline smoke: trace has no drift/trust-region attrs" >&2
+    exit 1
+}
+
 if [ "$FUZZTIME" = "0" ]; then
     echo "==> fuzz smoke skipped (FUZZTIME=0)"
     exit 0
@@ -105,5 +126,6 @@ fuzz ./internal/minidb FuzzWALReplay
 fuzz ./internal/replay FuzzExtractTemplate
 fuzz ./internal/gp FuzzPredictBatch
 fuzz ./internal/meta FuzzCorpusIndex
+fuzz ./internal/workload FuzzTimeline
 
 echo "==> verify OK"
