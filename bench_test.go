@@ -379,33 +379,40 @@ func driftDayParams() experiments.Params {
 	}
 }
 
-// BenchmarkDriftSimulatedDay runs the diurnal simulated day with the
-// drift-aware tuner and the stationary baseline (paired RNG streams; only
-// Config.Drift differs) and reports the SLA-violation count, the number of
-// drift events and the worst-case adaptation span as custom metrics. The
-// committed BENCH_drift.json snapshot is the acceptance record for the
-// drift gate: `scripts/benchcheck -drift` requires the aware tuner to
-// violate the load-scaled SLA strictly less often than the stationary one,
-// to fire at least one drift event, and to re-converge within a bounded
-// number of iterations after each event.
+// BenchmarkDriftSimulatedDay runs simulated days with the drift-aware
+// tuner and the stationary baseline (paired RNG streams; only Config.Drift
+// differs) and reports the SLA-violation count, the number of drift events
+// and the worst-case adaptation span as custom metrics. Two profiles are
+// gated: the diurnal day, where regime structure must make the aware tuner
+// strictly better, and the gradual ramp, where the graduated (tier-1
+// translating) response must at least not lose to the stationary baseline
+// — the regression the pre-graduated hard reset exhibited. The committed
+// BENCH_drift.json snapshot is the acceptance record for the drift gate:
+// `scripts/benchcheck -drift` requires diurnal aware to violate the
+// load-scaled SLA strictly less often than stationary, to fire at least
+// one drift event, to re-converge within a bounded number of iterations
+// after each event, and ramp aware to violate no more often than ramp
+// stationary.
 func BenchmarkDriftSimulatedDay(b *testing.B) {
-	for _, mode := range []struct {
-		name  string
-		aware bool
-	}{{"aware", true}, {"stationary", false}} {
-		b.Run(mode.name, func(b *testing.B) {
-			var st *experiments.DayStats
-			for i := 0; i < b.N; i++ {
-				var err error
-				st, err = experiments.SimulatedDay("diurnal", driftDayParams(), mode.aware)
-				if err != nil {
-					b.Fatal(err)
+	for _, profile := range []string{"diurnal", "ramp"} {
+		for _, mode := range []struct {
+			name  string
+			aware bool
+		}{{"aware", true}, {"stationary", false}} {
+			b.Run(profile+"/"+mode.name, func(b *testing.B) {
+				var st *experiments.DayStats
+				for i := 0; i < b.N; i++ {
+					var err error
+					st, err = experiments.SimulatedDay(profile, driftDayParams(), mode.aware)
+					if err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-			b.ReportMetric(float64(st.Violations), "sla_violations")
-			b.ReportMetric(float64(st.DriftEvents), "drift_events")
-			b.ReportMetric(float64(st.AdaptMax), "max_adapt_iters")
-		})
+				b.ReportMetric(float64(st.Violations), "sla_violations")
+				b.ReportMetric(float64(st.DriftEvents), "drift_events")
+				b.ReportMetric(float64(st.AdaptMax), "max_adapt_iters")
+			})
+		}
 	}
 }
 

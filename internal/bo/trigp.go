@@ -27,6 +27,9 @@ type TriGP struct {
 	n    int
 	seed int64
 	rec  obs.Recorder // telemetry only; nil means Nop
+	// obsW holds optional per-observation forgetting weights, applied to
+	// all three metric GPs at the next Fit (gp.GP.SetObservationWeights).
+	obsW []float64
 }
 
 // NewTriGP returns an unfitted surrogate for a dim-dimensional space. The
@@ -73,6 +76,7 @@ func (t *TriGP) FitWithBudget(h History, candidates int) error {
 	for i, m := range Metrics {
 		raw := h.Values(m)
 		t.std[i] = NewStandardizer(raw)
+		t.gps[i].SetObservationWeights(t.obsW)
 		if err := t.gps[i].Fit(x, t.std[i].ApplyAll(raw)); err != nil {
 			return fmt.Errorf("bo: fitting %v surrogate: %w", m, err)
 		}
@@ -80,6 +84,15 @@ func (t *TriGP) FitWithBudget(h History, candidates int) error {
 	}
 	return nil
 }
+
+// SetObservationWeights installs per-observation forgetting weights in
+// (0, 1] for subsequent fits: every metric GP conditions on observation i
+// with noise inflated by 1/w[i] (gp.GP.SetObservationWeights), so stale
+// points fade toward the prior instead of being dropped. The slice is
+// retained by reference and must stay parallel to the history handed to
+// Fit; nil restores uniform weights. All three metric GPs receive the same
+// vector, so the batched posterior path's block/solve sharing is preserved.
+func (t *TriGP) SetObservationWeights(w []float64) { t.obsW = w }
 
 // SetRecorder attaches a telemetry recorder to subsequent fits. The
 // recorder never influences fitted models — it only receives spans.

@@ -27,14 +27,44 @@ type DriftingEvaluator interface {
 	CurrentMetaFeature() []float64
 }
 
-// DriftConfig parameterizes drift detection and safe trust-region
-// exploration (ROADMAP item 1; OnlineTune's contextual-and-safe recipe).
-// The zero value of any field selects its default.
+// DriftConfig parameterizes drift detection and the graduated,
+// magnitude-proportional response (ROADMAP item 1; OnlineTune's
+// contextual-and-safe recipe). The zero value of any field selects its
+// default.
+//
+// The response has two tiers. A small smoothed-distance excursion
+// (Threshold < dist <= ResetThreshold) fires a tier-1 *translation*: the
+// regime anchor shifts to the smoothed signature, the incumbent is kept
+// but aged (its best-feasible record is inflated by AgeBoost so fresher
+// configurations can displace it), and the session decays its GP
+// observation weights by Forget — exponential forgetting implemented as
+// noise inflation, so stale observations fade toward the prior instead of
+// being dropped. A large jump (dist > ResetThreshold) fires the tier-2
+// full reset: incumbent dropped, trust region re-centered on the DBA
+// default, meta-learning corpus re-activated against the new signature.
 type DriftConfig struct {
 	// Threshold is the meta-feature distance between the smoothed workload
 	// signature and the current regime anchor above which drift is
 	// suspected.
 	Threshold float64
+	// ResetThreshold is the smoothed distance above which a drift event
+	// escalates to the tier-2 full reset; events at or below it translate
+	// instead. Defaults to 3x Threshold. Setting it equal to Threshold
+	// makes every event a reset (the pre-graduated hard-reset behaviour).
+	ResetThreshold float64
+	// Forget is the multiplicative decay applied to every existing GP
+	// observation weight on a tier-1 event (exponential forgetting: after k
+	// translations an observation of that age carries weight Forget^k,
+	// floored at WeightFloor). Must lie in (0, 1].
+	Forget float64
+	// WeightFloor bounds forgetting from below so noise inflation stays
+	// finite: no observation weight decays past it.
+	WeightFloor float64
+	// AgeBoost is the relative inflation of the incumbent's best-feasible
+	// resource record on a tier-1 event: bestRes grows by AgeBoost*|bestRes|,
+	// so the translated regime can replace a stale incumbent without the
+	// tier-2 reset's evidence loss.
+	AgeBoost float64
 	// Hysteresis is how many consecutive suspicious iterations are required
 	// before a drift event fires — one noisy measurement never retriggers
 	// meta-learning.
@@ -61,6 +91,18 @@ type DriftConfig struct {
 func (d DriftConfig) withDefaults(initIters int) DriftConfig {
 	if d.Threshold == 0 {
 		d.Threshold = 0.04
+	}
+	if d.ResetThreshold == 0 {
+		d.ResetThreshold = 3 * d.Threshold
+	}
+	if d.Forget == 0 {
+		d.Forget = 0.7
+	}
+	if d.WeightFloor == 0 {
+		d.WeightFloor = 0.05
+	}
+	if d.AgeBoost == 0 {
+		d.AgeBoost = 0.1
 	}
 	if d.Hysteresis == 0 {
 		d.Hysteresis = 2
@@ -120,6 +162,31 @@ func newDriftState(cfg DriftConfig, defaultTheta []float64) *driftState {
 	}
 }
 
+// Drift-response tiers: how hard observe reacted to a fired event.
+const (
+	// DriftNone: no event this iteration.
+	DriftNone = 0
+	// DriftTranslate is the tier-1 graduated response to a small
+	// smoothed-distance excursion: re-anchor the detector, age the
+	// incumbent, decay GP observation weights — no reset.
+	DriftTranslate = 1
+	// DriftReset is the tier-2 full reset for a large jump: incumbent
+	// dropped, trust region re-centered on the DBA default, corpus
+	// re-activated.
+	DriftReset = 2
+)
+
+// warm reports whether iteration iter is still inside the warm-up window:
+// the radius is frozen and the acquisition box inactive. active is its
+// exact complement — both gates share this single boundary definition, so
+// the iteration whose outcome first moves the radius (Warmup+1) is also
+// the first iteration whose candidate was clamped to the box.
+func (d *driftState) warm(iter int) bool { return iter <= d.cfg.Warmup }
+
+// active reports whether the trust region clamps iteration iter's
+// candidate.
+func (d *driftState) active(iter int) bool { return !d.warm(iter) }
+
 // box returns the current trust region as acquisition bounds.
 func (d *driftState) box(dim int) *bo.Box {
 	lo := make([]float64, dim)
@@ -131,11 +198,12 @@ func (d *driftState) box(dim int) *bo.Box {
 	return &bo.Box{Lo: lo, Hi: hi}
 }
 
-// observe processes one iteration's outcome: the trust-region update
+// observe processes iteration iter's outcome: the trust-region update
 // (recentre on the best safe configuration seen this regime, expand on a
 // safe success, shrink on an SLA violation) and the drift detector update
 // over the workload signature. It returns the smoothed distance to the
-// regime anchor and whether a drift event fired.
+// regime anchor and the tier of the drift event that fired (DriftNone when
+// none did).
 //
 // Centering on the best — not the latest — known-safe configuration matters:
 // the latest feasible point is often borderline (the SLA thresholds come
@@ -144,24 +212,37 @@ func (d *driftState) box(dim int) *bo.Box {
 // feasible region, so a box around it keeps exploration safe without
 // trapping the tuner at the boundary.
 //
-// Safety invariant: the radius never grows on an iteration that violated
-// the SLA. A drift event re-opens the region to at least InitRadius only
-// when the triggering iteration was itself feasible; after a violating
-// event the region stays shrunk and re-opens through subsequent safe
-// successes. An event also invalidates the best-feasible record and falls
-// the center back to the DBA default: the old regime's optimum is no
+// The drift response is graduated by the smoothed distance at the moment
+// the hysteresis count is satisfied. A small excursion (at or below
+// ResetThreshold) is tier-1: the regime moved, but continuously — the
+// detector re-anchors so the translation is absorbed, the incumbent stays
+// the center but its record is aged by AgeBoost (organic growth makes an
+// old optimum slowly stale, not suddenly unsafe), and the caller decays
+// its GP observation weights so the surrogate forgets the old regime
+// gradually. A large jump (above ResetThreshold) is tier-2, the full
+// reset: the best-feasible record is invalidated and the center falls
+// back to the DBA default, because the old regime's optimum is no
 // evidence of safety under the new one (a config that merely kept up with
 // the quiet night can be the worst possible anchor for business hours),
 // while the default is the one configuration whose SLA behaviour defined
-// the thresholds in the first place. Re-optimization then descends from
-// safety instead of clawing out of a stale corner.
+// the thresholds in the first place.
 //
-// While warm is set (the initial design is still running) the radius is
-// frozen at InitRadius: those iterations explore the full space by design,
-// so growing or shrinking the region on their outcomes would only randomize
-// the half-width the region opens with. Recentering and drift detection
-// still run — the warm-up's best feasible point is the natural first center.
-func (d *driftState) observe(theta []float64, feasible bool, res float64, sig []float64, warm bool) (dist float64, event bool) {
+// Safety invariant: the radius never grows on an iteration that violated
+// the SLA. A drift event of either tier re-opens the region to at least
+// InitRadius only when the triggering iteration was itself feasible; after
+// a violating event the region stays shrunk (during warm-up, where the
+// frozen radius skipped the ordinary violation shrink, the event applies
+// it so the box opens shrunk there too) and re-opens through subsequent
+// safe successes.
+//
+// While warm(iter) holds (the initial design is still running) the radius
+// is frozen at InitRadius: those iterations explore the full space by
+// design, so growing or shrinking the region on their outcomes would only
+// randomize the half-width the region opens with. Recentering and drift
+// detection still run — the warm-up's best feasible point is the natural
+// first center.
+func (d *driftState) observe(iter int, theta []float64, feasible bool, res float64, sig []float64) (dist float64, tier int) {
+	warm := d.warm(iter)
 	if feasible {
 		if res <= d.bestRes {
 			d.bestRes = res
@@ -175,12 +256,12 @@ func (d *driftState) observe(theta []float64, feasible bool, res float64, sig []
 	}
 
 	if len(sig) == 0 {
-		return 0, false
+		return 0, DriftNone
 	}
 	if d.anchor == nil {
 		d.anchor = append([]float64(nil), sig...)
 		d.smooth = append([]float64(nil), sig...)
-		return 0, false
+		return 0, DriftNone
 	}
 	a := d.cfg.EWMAAlpha
 	for i := range d.smooth {
@@ -193,19 +274,33 @@ func (d *driftState) observe(theta []float64, feasible bool, res float64, sig []
 		d.over = 0
 	}
 	if d.over >= d.cfg.Hysteresis {
-		event = true
 		d.events++
 		d.over = 0
 		d.anchor = append(d.anchor[:0], d.smooth...)
-		d.bestRes = math.Inf(1)
-		d.center = append(d.center[:0], d.def...)
-		if feasible && d.radius < d.cfg.InitRadius {
-			// Regime change: re-open exploration around the last safe
-			// config so the tuner can follow the moved optimum.
+		if dist > d.cfg.ResetThreshold {
+			tier = DriftReset
+			d.bestRes = math.Inf(1)
+			d.center = append(d.center[:0], d.def...)
+		} else {
+			tier = DriftTranslate
+			if !math.IsInf(d.bestRes, 1) {
+				d.bestRes += math.Abs(d.bestRes) * d.cfg.AgeBoost
+			}
+		}
+		switch {
+		case feasible && d.radius < d.cfg.InitRadius:
+			// Regime change on a safe iteration: re-open exploration so
+			// the tuner can follow the moved optimum.
 			d.radius = d.cfg.InitRadius
+		case !feasible && warm:
+			// Warm-up froze the radius, skipping the ordinary violation
+			// shrink above; apply it here so a violating event leaves the
+			// region shrunk exactly as it would post-warm-up, and the box
+			// the event opens with honours the safety invariant.
+			d.radius = max64(d.cfg.MinRadius, d.radius*d.cfg.Shrink)
 		}
 	}
-	return dist, event
+	return dist, tier
 }
 
 func min64(a, b float64) float64 {
@@ -269,29 +364,49 @@ func (e *TimelineEvaluator) DefaultNative() []float64 { return e.inner.DefaultNa
 func (e *TimelineEvaluator) Resource() dbsim.ResourceKind { return e.inner.Resource() }
 
 // Measure implements Evaluator: it advances the simulated clock one step
-// and evaluates the configuration under that instant's load.
+// and evaluates the configuration under that instant's load. The signature
+// is recomputed into a reused buffer: the workload's mix rebalancing
+// (Workload.AtLoad) only matters to the minidb statement generator, while
+// the signature reads the profile alone, so the profile-level load
+// transform plus AppendSignature yields the same bits with no
+// per-iteration allocation.
 func (e *TimelineEvaluator) Measure(native []float64) dbsim.Measurement {
 	t := e.step * time.Duration(e.n)
 	e.n++
 	e.lp = e.tl.At(t)
-	e.sig = e.w.AtLoad(e.lp).Signature()
+	w := e.w
+	w.Profile = w.Profile.AtLoad(e.lp.RateMult, e.lp.WriteBoost)
+	e.sig = w.AppendSignature(e.sig[:0])
 	return e.inner.Sim.EvalAtLoad(e.inner.Knobs, native, e.lp.RateMult, e.lp.WriteBoost)
 }
 
 // CurrentLoad implements DriftingEvaluator.
 func (e *TimelineEvaluator) CurrentLoad() float64 { return e.lp.RateMult }
 
-// CurrentMetaFeature implements DriftingEvaluator.
-func (e *TimelineEvaluator) CurrentMetaFeature() []float64 {
-	return append([]float64(nil), e.sig...)
-}
+// CurrentMetaFeature implements DriftingEvaluator. The returned slice
+// aliases the evaluator's internal buffer and is valid only until the next
+// Measure call; callers that retain it across measurements must copy (the
+// session does, at its single retaining call site in start).
+func (e *TimelineEvaluator) CurrentMetaFeature() []float64 { return e.sig }
 
-// SimTime returns the simulated time of the most recent Measure call.
+// SimTime returns the day-time of the most recent Measure call, wrapped
+// modulo the timeline's Total — multi-day sessions report where in the
+// repeating day the measurement fell, matching what Timeline.At evaluated.
+// Day reports which day it was.
 func (e *TimelineEvaluator) SimTime() time.Duration {
 	if e.n == 0 {
 		return 0
 	}
-	return e.step * time.Duration(e.n-1)
+	return (e.step * time.Duration(e.n-1)) % e.tl.Total()
+}
+
+// Day returns the 0-based index of the simulated day the most recent
+// Measure call fell in (0 before any measurement).
+func (e *TimelineEvaluator) Day() int {
+	if e.n == 0 {
+		return 0
+	}
+	return int((e.step * time.Duration(e.n-1)) / e.tl.Total())
 }
 
 func clamp01(v float64) float64 {

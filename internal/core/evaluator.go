@@ -86,9 +86,14 @@ type Iteration struct {
 	// drift detection is off).
 	DriftDistance float64
 	// DriftEvent reports whether this iteration's measurement fired the
-	// drift detector (hysteresis satisfied): the regime anchor moved and
-	// meta-learning was re-triggered.
+	// drift detector (hysteresis satisfied): the regime anchor moved.
 	DriftEvent bool
+	// DriftTier grades the response to a fired event: DriftTranslate (1)
+	// for a small excursion — trust region translated, incumbent aged, GP
+	// observation weights decayed — or DriftReset (2) for a large jump —
+	// incumbent dropped, region re-centered on the DBA default,
+	// meta-learning re-triggered. DriftNone (0) when no event fired.
+	DriftTier int
 	// TrustRadius is the trust-region half-width in effect when this
 	// iteration's candidate was chosen (0 while the region is inactive —
 	// before warm-up or with drift tuning disabled).

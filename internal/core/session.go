@@ -63,7 +63,17 @@ type Session struct {
 	loadAware   bool
 	baseLoad    float64
 	driftEvents obs.Counter
+	driftTrans  obs.Counter
+	driftResets obs.Counter
 	radiusGauge obs.Gauge
+	weightGauge obs.Gauge
+
+	// obsW holds the session's per-observation GP forgetting weights,
+	// parallel to h. nil until the first tier-1 drift event — the nil path
+	// is bit-identical to the pre-forgetting tuner — then every existing
+	// weight decays by Drift.Forget per translation (floored at
+	// Drift.WeightFloor) while new observations enter at weight 1.
+	obsW []float64
 
 	// incBuf backs the per-iteration incumbent set so acquisition start
 	// points stop allocating each step.
@@ -172,12 +182,18 @@ func (s *Session) start() error {
 	if cfg.Drift != nil {
 		s.drift = newDriftState(cfg.Drift.withDefaults(cfg.InitIters), s.defaultTheta)
 		if drifting {
+			// The single retaining use of the evaluator's signature: the
+			// returned slice may alias the evaluator's buffer (valid only
+			// until the next Measure), so anchor and smooth copy it.
 			sig := dev.CurrentMetaFeature()
 			s.drift.anchor = append([]float64(nil), sig...)
 			s.drift.smooth = append([]float64(nil), sig...)
 		}
 		s.driftEvents = s.rec.Counter("core.drift_events")
+		s.driftTrans = s.rec.Counter("core.drift_translations")
+		s.driftResets = s.rec.Counter("core.drift_resets")
 		s.radiusGauge = s.rec.Gauge("core.trust_radius")
+		s.weightGauge = s.rec.Gauge("core.oldest_obs_weight")
 		s.radiusGauge.Set(s.drift.radius)
 	}
 	return nil
@@ -296,6 +312,13 @@ func (s *Session) runIteration(iter int) error {
 		// snapshot handed to the model layer is just the current slice
 		// header — no per-iteration clone (the old cloneHistory hot path).
 		hist := s.h
+		if s.obsW != nil {
+			// Forgetting active: the target surrogate (and therefore the
+			// meta ensemble's target learner wrapping it) conditions on
+			// the decayed weights. Weights only change at tier-1 events,
+			// so between events the GP's incremental-fit path stays open.
+			s.tri.SetObservationWeights(s.obsW[:len(hist)])
+		}
 		if err := s.tri.FitWithBudget(hist, budget); err != nil {
 			return fmt.Errorf("core: target model at iter %d: %w", iter, err)
 		}
@@ -371,7 +394,7 @@ func (s *Session) runIteration(iter int) error {
 	// the last known-safe configuration.
 	acqCfg := cfg.Acq
 	var trustBox *bo.Box
-	if s.drift != nil && iter > s.drift.cfg.Warmup {
+	if s.drift != nil && s.drift.active(iter) {
 		trustBox = s.drift.box(s.dim)
 		acqCfg.Bounds = trustBox
 		it.TrustRadius = s.drift.radius
@@ -435,12 +458,22 @@ func (s *Session) runIteration(iter int) error {
 	it.Feasible = s.res.SLA.Feasible(it.Observation)
 	if s.drift != nil {
 		// Trust-region update (recentre/expand on safe success, shrink on
-		// violation) and drift detection over the workload signature; a
-		// drift event re-anchors the regime and re-triggers meta-learning:
-		// the corpus shortlist is recomputed against the new signature.
-		it.DriftDistance, it.DriftEvent = s.drift.observe(theta, it.Feasible, it.Observation.Res, sig, iter <= s.drift.cfg.Warmup)
-		if it.DriftEvent {
+		// violation) and drift detection over the workload signature. The
+		// response is graduated: a tier-1 event translates (anchor moved,
+		// incumbent aged, GP observation weights decayed — the surrogate
+		// forgets the old regime gradually); a tier-2 event is the full
+		// reset, which also re-triggers meta-learning by recomputing the
+		// corpus shortlist against the new regime signature.
+		it.DriftDistance, it.DriftTier = s.drift.observe(iter, theta, it.Feasible, it.Observation.Res, sig)
+		it.DriftEvent = it.DriftTier != DriftNone
+		switch it.DriftTier {
+		case DriftTranslate:
 			s.driftEvents.Add(1)
+			s.driftTrans.Add(1)
+			s.decayObservationWeights()
+		case DriftReset:
+			s.driftEvents.Add(1)
+			s.driftResets.Add(1)
 			cfg.TargetMetaFeature = append([]float64(nil), s.drift.anchor...)
 			if cfg.Corpus != nil {
 				if err := cfg.Corpus.Activate(cfg.TargetMetaFeature); err != nil {
@@ -452,6 +485,11 @@ func (s *Session) runIteration(iter int) error {
 	}
 	s.res.Iterations = append(s.res.Iterations, it)
 	s.h = append(s.h, it.Observation)
+	if s.obsW != nil {
+		// The new observation enters at full weight: it is the freshest
+		// evidence of the (possibly just-translated) current regime.
+		s.obsW = append(s.obsW, 1)
+	}
 
 	if rec.Enabled() {
 		attrs := []obs.Attr{
@@ -486,7 +524,14 @@ func (s *Session) runIteration(iter int) error {
 			attrs = append(attrs,
 				obs.Float("drift_dist", it.DriftDistance),
 				obs.Bool("drift_event", it.DriftEvent),
+				obs.Int("drift_tier", it.DriftTier),
 				obs.Float("trust_radius", s.drift.radius))
+			if s.obsW != nil {
+				// Forgetting telemetry: the oldest observation's weight is
+				// Forget^k after k translations — how much of the original
+				// regime's evidence the surrogate still credits.
+				attrs = append(attrs, obs.Float("oldest_obs_weight", s.obsW[0]))
+			}
 		}
 		iterSpan.SetAttrs(attrs...)
 		s.iterGauge.Set(float64(iter))
@@ -496,6 +541,25 @@ func (s *Session) runIteration(iter int) error {
 	}
 	iterSpan.End()
 	return nil
+}
+
+// decayObservationWeights applies one tier-1 forgetting step: every
+// existing observation's GP weight decays by Drift.Forget (floored at
+// Drift.WeightFloor so noise inflation stays finite). The weight track is
+// lazily materialized at the first translation — until then it is nil and
+// the GP fit path is bit-identical to the pre-forgetting tuner.
+func (s *Session) decayObservationWeights() {
+	if s.obsW == nil {
+		s.obsW = make([]float64, len(s.h), s.budget+1)
+		for i := range s.obsW {
+			s.obsW[i] = 1
+		}
+	}
+	f, floor := s.drift.cfg.Forget, s.drift.cfg.WeightFloor
+	for i, w := range s.obsW {
+		s.obsW[i] = max64(floor, w*f)
+	}
+	s.weightGauge.Set(s.obsW[0])
 }
 
 // incumbents assembles acquisition start points — the best feasible

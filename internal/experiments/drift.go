@@ -98,6 +98,44 @@ func SimulatedDay(profile string, p Params, aware bool) (*DayStats, error) {
 // behind restune-bench -timeline with a CSV load file. name labels the
 // timeline in the returned stats.
 func SimulatedDayTimeline(name string, tl *workload.Timeline, p Params, aware bool) (*DayStats, error) {
+	var drift *core.DriftConfig
+	if aware {
+		drift = &core.DriftConfig{}
+	}
+	return SimulatedDayTimelineDrift(name, tl, p, drift)
+}
+
+// SimulatedDayDrift is SimulatedDay under an explicit drift configuration
+// (nil runs the stationary tuner) — the path for comparing graduated
+// defaults against ablations like the ResetThreshold==Threshold hard-reset
+// mode.
+func SimulatedDayDrift(profile string, p Params, drift *core.DriftConfig) (*DayStats, error) {
+	tl, err := workload.TimelineProfile(profile)
+	if err != nil {
+		return nil, err
+	}
+	return SimulatedDayTimelineDrift(profile, tl, p, drift)
+}
+
+// SimulatedDayTimelineDrift runs one session over an explicit timeline and
+// drift configuration and summarizes it; simulatedDayResult exposes the raw
+// session result for tests.
+func SimulatedDayTimelineDrift(name string, tl *workload.Timeline, p Params, drift *core.DriftConfig) (*DayStats, error) {
+	res, cfg, err := simulatedDayResult(name, tl, p, drift)
+	if err != nil {
+		return nil, err
+	}
+	st := dayStatsFrom(res, cfg.InitIters)
+	st.Profile = name
+	if drift != nil {
+		st.Method = "ResTune-drift"
+	} else {
+		st.Method = "ResTune-stationary"
+	}
+	return st, nil
+}
+
+func simulatedDayResult(name string, tl *workload.Timeline, p Params, drift *core.DriftConfig) (*core.Result, core.Config, error) {
 	w := workload.Twitter()
 	sim := dbsim.New(dbsim.Instance("A"), w.Profile, p.Seed, dbsim.WithHalfRAMBufferPool())
 	space := knobs.CaseStudySpace()
@@ -108,26 +146,17 @@ func SimulatedDayTimeline(name string, tl *workload.Timeline, p Params, aware bo
 	cfg.Recorder = p.Recorder
 	cfg.Corpus = driftTimelineCorpus(p)
 	cfg.TargetMetaFeature = w.Signature()
-	if aware {
-		cfg.Drift = &core.DriftConfig{}
-	}
-	// The method name is left at its default for BOTH arms on purpose: the
+	cfg.Drift = drift
+	// The method name is left at its default for EVERY arm on purpose: the
 	// session derives its RNG stream from the name, so distinct names would
-	// unpair the two runs and turn the comparison into a seed lottery. With
+	// unpair the runs and turn the comparison into a seed lottery. With
 	// identical names the arms share every random draw and differ only in
 	// Config.Drift — the quantity under test.
 	res, err := core.New(cfg).Run(ev, p.Iters)
 	if err != nil {
-		return nil, err
+		return nil, core.Config{}, err
 	}
-	st := dayStatsFrom(res, cfg.InitIters)
-	st.Profile = name
-	if aware {
-		st.Method = "ResTune-drift"
-	} else {
-		st.Method = "ResTune-stationary"
-	}
-	return st, nil
+	return res, cfg, nil
 }
 
 // dayStatsFrom derives the day's summary from a finished session. warmup is

@@ -26,19 +26,29 @@ type GP struct {
 	y     []float64
 	meanY float64
 
+	// obsW holds optional per-observation weights in (0, 1] (parallel to x
+	// at Fit time). Observation i contributes with effective noise variance
+	// NoiseVariance/obsW[i] — exponential-forgetting weights implemented as
+	// age-scaled noise inflation, so a down-weighted point behaves like a
+	// noisier measurement of the same function. nil means uniform weights;
+	// the nil path adds NoiseVariance directly, and since w==1 divides to
+	// the identical bits, weights ≡ 1 are indistinguishable from no weights.
+	obsW []float64
+
 	chol  *mat.Cholesky
-	alpha []float64  // (K + σ²I)⁻¹ (y - mean)
+	alpha []float64  // (K + Σ)⁻¹ (y - mean), Σ the (weighted) noise diagonal
 	kinv  *mat.Dense // lazily computed inverse for LOO
 
 	// kmat is the kernel-matrix scratch reused across refactors, so the
 	// repeated factorizations of hyperparameter search allocate nothing
 	// after the first candidate.
 	kmat *mat.Dense
-	// factorParams/factorNoise record the hyperparameters the current
-	// factorization was built with; Fit takes the O(n²) incremental path
-	// only when they still match the kernel.
+	// factorParams/factorNoise/factorW record the hyperparameters and
+	// observation weights the current factorization was built with; Fit
+	// takes the O(n²) incremental path only when they still match.
 	factorParams []float64
 	factorNoise  float64
+	factorW      []float64
 
 	// scratch pools per-Predict buffers so the acquisition path (which
 	// calls Predict tens of thousands of times per tuning iteration, from
@@ -93,6 +103,29 @@ func (g *GP) X() [][]float64 { return g.x }
 // Y returns the training targets (shared storage).
 func (g *GP) Y() []float64 { return g.y }
 
+// SetObservationWeights installs per-observation weights for subsequent Fit
+// calls: observation i is conditioned on with effective noise variance
+// NoiseVariance/w[i], so w[i]=1 is an ordinary observation and w[i]→0
+// forgets the point (its likelihood contribution decays toward the prior).
+// The slice is retained by reference and must stay parallel to the inputs
+// handed to Fit; nil restores uniform weights. Weights must be positive and
+// finite (validated at Fit). A fit whose weights are all exactly 1 is
+// bit-identical to an unweighted fit.
+func (g *GP) SetObservationWeights(w []float64) { g.obsW = w }
+
+// ObservationWeights returns the installed per-observation weights (nil
+// when uniform).
+func (g *GP) ObservationWeights() []float64 { return g.obsW }
+
+// obsNoise returns observation i's effective noise variance: the
+// homoscedastic NoiseVariance inflated by the inverse observation weight.
+func (g *GP) obsNoise(i int) float64 {
+	if g.obsW == nil {
+		return g.NoiseVariance
+	}
+	return g.NoiseVariance / g.obsW[i]
+}
+
 // Fit conditions the GP on observations (x, y). It copies neither slice, so
 // callers must not mutate them afterwards.
 //
@@ -102,7 +135,11 @@ func (g *GP) Y() []float64 { return g.y }
 // O(n³). The appended factor is bit-identical to a full refactor (see
 // mat.Cholesky.Append), so the fast path is invisible to callers. Targets
 // may change wholesale between fits (e.g. re-standardized histories): they
-// only enter the O(n²) weight solve, not the factorization.
+// only enter the O(n²) weight solve, not the factorization. Observation
+// weights (SetObservationWeights) do enter the factorization's noise
+// diagonal, so the incremental path additionally requires the prefix
+// weights to be unchanged since the last factorization — a forgetting
+// decay pays one full refactor, after which appends are O(n²) again.
 func (g *GP) Fit(x [][]float64, y []float64) error {
 	if len(x) != len(y) {
 		return fmt.Errorf("gp: %d inputs but %d targets", len(x), len(y))
@@ -110,8 +147,19 @@ func (g *GP) Fit(x [][]float64, y []float64) error {
 	if len(x) == 0 {
 		return errors.New("gp: no observations")
 	}
+	if g.obsW != nil {
+		if len(g.obsW) != len(x) {
+			return fmt.Errorf("gp: %d observation weights but %d inputs", len(g.obsW), len(x))
+		}
+		for i, w := range g.obsW {
+			if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+				return fmt.Errorf("gp: observation weight %d is %v (must be finite and positive)", i, w)
+			}
+		}
+	}
 	incremental := g.chol != nil && len(x) == len(g.x)+1 &&
-		g.factorMatchesKernel() && extendsPrefix(x, g.x)
+		g.factorMatchesKernel() && g.factorMatchesWeights(len(g.x)) &&
+		extendsPrefix(x, g.x)
 	g.x, g.y = x, y
 	g.meanY = mean(y)
 	if incremental {
@@ -136,6 +184,25 @@ func (g *GP) factorMatchesKernel() bool {
 	}
 	for i := range p {
 		if p[i] != g.factorParams[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// factorMatchesWeights reports whether the current factorization's noise
+// diagonal was built with the first n of the presently installed
+// observation weights. A weights change (forgetting decayed the history)
+// forces a full refactor; between changes the incremental path stays open.
+func (g *GP) factorMatchesWeights(n int) bool {
+	if g.factorW == nil {
+		return g.obsW == nil
+	}
+	if g.obsW == nil || len(g.factorW) != n || len(g.obsW) < n {
+		return false
+	}
+	for i, w := range g.factorW {
+		if g.obsW[i] != w {
 			return false
 		}
 	}
@@ -171,9 +238,12 @@ func (g *GP) appendPoint() error {
 	for i := 0; i < n-1; i++ {
 		row[i] = g.kernel.Eval(xn, g.x[i])
 	}
-	row[n-1] = g.kernel.Eval(xn, xn) + g.NoiseVariance + 1e-8 // jitter as in refactor
+	row[n-1] = g.kernel.Eval(xn, xn) + g.obsNoise(n-1) + 1e-8 // jitter as in refactor
 	if err := g.chol.Append(row); err != nil {
 		return err
+	}
+	if g.obsW != nil {
+		g.factorW = append(g.factorW, g.obsW[n-1])
 	}
 	g.solveAlpha()
 	return nil
@@ -195,7 +265,7 @@ func (g *GP) refactor() error {
 			k.Set(i, j, v)
 			k.Set(j, i, v)
 		}
-		k.Set(i, i, k.At(i, i)+g.NoiseVariance+1e-8) // jitter for stability
+		k.Set(i, i, k.At(i, i)+g.obsNoise(i)+1e-8) // jitter for stability
 	}
 	if g.chol == nil {
 		g.chol = &mat.Cholesky{}
@@ -203,10 +273,16 @@ func (g *GP) refactor() error {
 	if err := g.chol.Factor(k); err != nil {
 		g.chol = nil
 		g.factorParams = nil
+		g.factorW = nil
 		return fmt.Errorf("gp: factorization failed: %w", err)
 	}
 	g.factorParams = append(g.factorParams[:0], g.kernel.Params()...)
 	g.factorNoise = g.NoiseVariance
+	if g.obsW == nil {
+		g.factorW = nil
+	} else {
+		g.factorW = append(g.factorW[:0], g.obsW[:n]...)
+	}
 	g.solveAlpha()
 	return nil
 }
@@ -306,16 +382,35 @@ func (g *GP) SharesCrossCov(o *GP) bool {
 
 // SharesSolve reports whether g and o compute bit-identical posterior
 // variances for any candidate batch: SharesCrossCov plus equal noise
-// variance on two fitted GPs. The factorization is a pure function of
-// (training inputs, kernel, noise) — mat.Cholesky.Append is bit-identical to
-// a full Factor — so two such GPs carry the same Cholesky factor, the same
-// prior variances, and therefore the same forward solve and posterior
-// variance. Only the mean differs (it depends on the targets), so a sharing
+// variance and equal observation weights on two fitted GPs. The
+// factorization is a pure function of (training inputs, kernel, noise
+// diagonal) — mat.Cholesky.Append is bit-identical to a full Factor — so
+// two such GPs carry the same Cholesky factor, the same prior variances,
+// and therefore the same forward solve and posterior variance. Only the mean differs (it depends on the targets), so a sharing
 // caller pairs one full posterior computation with MeanBatchCov calls for
 // the rest of the family and copies the variance outright.
 func (g *GP) SharesSolve(o *GP) bool {
 	return g.chol != nil && o.chol != nil &&
-		g.NoiseVariance == o.NoiseVariance && g.SharesCrossCov(o)
+		g.NoiseVariance == o.NoiseVariance &&
+		weightsEqual(g.obsW, o.obsW) && g.SharesCrossCov(o)
+}
+
+// weightsEqual reports whether two observation-weight vectors build the
+// same noise diagonal (nil means uniform; an all-ones vector is a distinct
+// representation and compared elementwise).
+func weightsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) > 0 && &a[0] == &b[0] {
+		return true
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // MeanBatchCov fills mu with the posterior mean at every candidate from a
@@ -478,6 +573,7 @@ func (g *GP) cloneForSearch() *GP {
 		NoiseVariance: g.NoiseVariance,
 		x:             g.x,
 		y:             g.y,
+		obsW:          g.obsW,
 		meanY:         g.meanY,
 	}
 }
@@ -494,6 +590,11 @@ func (g *GP) adopt(c *GP) {
 	g.kmat = c.kmat
 	g.factorParams = append(g.factorParams[:0], c.factorParams...)
 	g.factorNoise = c.factorNoise
+	if c.factorW == nil {
+		g.factorW = nil
+	} else {
+		g.factorW = append(g.factorW[:0], c.factorW...)
+	}
 }
 
 func mean(y []float64) float64 {

@@ -115,7 +115,7 @@ func (e *Evaluator) Measure(native []float64) dbsim.Measurement {
 		t := e.Timeline.Total() / time.Duration(steps) * time.Duration(e.runs)
 		e.lp = e.Timeline.At(t)
 		e.Workload = saved.AtLoad(e.lp)
-		e.sig = e.Workload.Signature()
+		e.sig = e.Workload.AppendSignature(e.sig[:0])
 	}
 	e.runs++
 	dir := filepath.Join(e.BaseDir, fmt.Sprintf("run-%d", e.runs))
@@ -425,12 +425,15 @@ func (e *Evaluator) CurrentLoad() float64 {
 }
 
 // CurrentMetaFeature implements core.DriftingEvaluator: the effective
-// workload's signature at the most recent Measure call.
+// workload's signature at the most recent Measure call. Like
+// core.TimelineEvaluator, the returned slice aliases the evaluator's
+// internal buffer and is valid only until the next Measure call; callers
+// that retain it across measurements must copy.
 func (e *Evaluator) CurrentMetaFeature() []float64 {
 	if e.sig == nil {
 		return e.Workload.Signature()
 	}
-	return append([]float64(nil), e.sig...)
+	return e.sig
 }
 
 func maxDur(a, b time.Duration) time.Duration {

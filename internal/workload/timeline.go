@@ -343,6 +343,13 @@ func (w Workload) AtLoad(lp LoadPoint) Workload {
 // embedding: cheap enough to recompute every iteration, and comparable with
 // MetaFeatureDistance, which is what the drift detector streams over.
 func (w Workload) Signature() []float64 {
+	return w.AppendSignature(nil)
+}
+
+// AppendSignature appends the workload's signature (see Signature) to dst
+// and returns the extended slice — the allocation-free variant for callers
+// that recompute the signature every iteration into a reused buffer.
+func (w Workload) AppendSignature(dst []float64) []float64 {
 	p := w.Profile
 	logs := func(v, scale float64) float64 {
 		if v < 1 {
@@ -350,11 +357,11 @@ func (w Workload) Signature() []float64 {
 		}
 		return math.Log10(v) / scale
 	}
-	return []float64{
+	return append(dst,
 		logs(p.RequestRate, 6),
 		p.WriteRatio(),
 		logs(p.CPUMsPerTxn*1000, 6),
 		logs(p.PagesPerTxn, 4),
 		logs(float64(p.DataBytes), 12),
-	}
+	)
 }

@@ -24,14 +24,16 @@
 #                       (>= 3x session throughput at 8 workers vs 1, shared
 #                       fit-cache hit rate > 50%); run
 #                       `scripts/benchcheck -fleet` against it to re-verify.
-#   drift               BenchmarkDriftSimulatedDay: the diurnal simulated
-#                       24h day with the drift-aware tuner vs the stationary
-#                       baseline -> BENCH_drift.json. The committed snapshot
-#                       is the acceptance record for the drift gate (aware
-#                       strictly fewer post-warmup SLA violations than
-#                       stationary, at least one drift event, bounded
-#                       re-convergence); run `scripts/benchcheck -drift`
-#                       against it to re-verify.
+#   drift               BenchmarkDriftSimulatedDay: the diurnal and gradual
+#                       ramp simulated 24h days with the drift-aware tuner
+#                       vs the stationary baseline -> BENCH_drift.json. The
+#                       committed snapshot is the acceptance record for the
+#                       drift gate (diurnal: aware strictly fewer
+#                       post-warmup SLA violations than stationary, at
+#                       least one drift event, bounded re-convergence;
+#                       ramp: aware no more violations than stationary);
+#                       run `scripts/benchcheck -drift` against it to
+#                       re-verify.
 #
 # Environment:
 #   BENCHTIME=2s   per-benchmark budget (any go test -benchtime value)

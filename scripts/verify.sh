@@ -18,8 +18,9 @@
 #      <= 25% sublinear-meta gate, the committed BENCH_fleet.json must
 #      satisfy the >= 3x fleet-scaling / > 50% hit-rate gates, and the
 #      committed BENCH_drift.json must satisfy the drift-adaptation gates
-#      (aware strictly fewer SLA violations than stationary, >= 1 drift
-#      event, bounded re-convergence) (scripts/benchcheck)
+#      (diurnal: aware strictly fewer SLA violations than stationary, >= 1
+#      drift event, bounded re-convergence; ramp: aware no more violations
+#      than stationary) (scripts/benchcheck)
 #   8. telemetry smoke runs: restune-tune -trace must emit a non-empty,
 #      schema-valid JSONL artifact, a 2-session restune-server fleet must
 #      emit schema-valid per-session and fleet streams, and a drift-aware
