@@ -109,14 +109,20 @@ func benchKernelMatrix(n, dim int, seed int64) *mat.Dense {
 
 // BenchmarkCholAppend measures growing a factorization one bordered row at a
 // time across a whole session (1..n), the incremental model-update path.
-// Compare against BenchmarkCholFullRefactor, which re-factorizes from scratch
-// at every step the way the pre-incremental pipeline did.
+// The factor is reused across sessions (Reserve once, Reset per session),
+// the way GP.appendPoint drives it — the append loop itself is
+// allocation-free (TestCholAppendReservedAllocFree pins zero allocs/op).
+// Compare against BenchmarkCholFullRefactor, which re-factorizes from
+// scratch at every step the way the pre-incremental pipeline did.
 func BenchmarkCholAppend(b *testing.B) {
 	const n = 128
 	a := benchKernelMatrix(n, 14, 4)
+	var c mat.Cholesky
+	c.Reserve(n)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		var c mat.Cholesky
+		c.Reset()
 		for m := 0; m < n; m++ {
 			if err := c.Append(a.Row(m)[:m+1]); err != nil {
 				b.Fatal(err)
@@ -175,6 +181,41 @@ func BenchmarkGPFitFromScratch(b *testing.B) {
 		g := gp.New(gp.NewMatern52(1, 0.5), 0.01)
 		if err := g.Fit(xs, ys); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGPFitLongHistory is the long-history scaling benchmark behind
+// the sparse-inference gate (scripts/benchcheck -gpscale): one full model
+// update — conditioning plus a warm-iteration hyperparameter search — on a
+// thousand-observation-class history, exact versus subset-of-data sparse
+// (gp.DefaultSparseConfig: 256 anchors). The exact arm pays O(n³) per
+// search candidate; the sparse arm pays one O(n·m) anchor selection plus
+// O(m³) per candidate, and the gate pins sparse/n=2000 at ≤20% of
+// exact/n=2000.
+func BenchmarkGPFitLongHistory(b *testing.B) {
+	cfg := gp.DefaultFitConfig()
+	cfg.Candidates = 6 // warm-iteration search budget (core session RefitEvery path)
+	for _, n := range []int{1000, 2000} {
+		h := syntheticHistory(n, 12, 6)
+		xs, ys := h.Thetas(), h.Values(bo.Res)
+		for _, sparse := range []bool{false, true} {
+			name := fmt.Sprintf("exact/n=%d", n)
+			if sparse {
+				name = fmt.Sprintf("sparse/n=%d", n)
+			}
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					g := gp.New(gp.NewMatern52(1, 0.5), 0.01)
+					if sparse {
+						g.SetSparse(gp.DefaultSparseConfig())
+					}
+					if err := g.Fit(xs, ys); err != nil {
+						b.Fatal(err)
+					}
+					gp.FitHyperparams(g, cfg, rand.New(rand.NewSource(9)))
+				}
+			})
 		}
 	}
 }

@@ -9,6 +9,7 @@
 //	restune-bench -id table4 -full
 //	restune-bench -all -iters 40 > results.txt
 //	restune-bench -corpus-size 34,100,1000 -corpus-seed 1
+//	restune-bench -history-size 256,1000,2000
 //	restune-bench -timeline diurnal -iters 48
 //	restune-bench -timeline sched.csv
 package main
@@ -42,6 +43,8 @@ func main() {
 		corpusSize = flag.String("corpus-size", "", "run the corpus-scaling measurement over these synthetic corpus sizes (comma-separated, e.g. 34,100,1000) instead of a paper experiment")
 		corpusSeed = flag.Int64("corpus-seed", 1, "seed for the deterministic synthetic corpus (-corpus-size)")
 
+		historySize = flag.String("history-size", "", "run the long-history model-update comparison (exact vs sparse GP inference) at these observation counts (comma-separated, e.g. 256,1000,2000) instead of a paper experiment")
+
 		timeline = flag.String("timeline", "", "run the simulated-day drift comparison (drift-aware vs stationary tuning) over this timeline: a profile name (diurnal, spike, ramp, flat), \"all\", or a CSV load file of offset_seconds,rate_mult[,write_boost] rows")
 	)
 	flag.Parse()
@@ -61,8 +64,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "restune-bench: -corpus-size is mutually exclusive with -id/-all")
 		os.Exit(2)
 	}
-	if *timeline != "" && (*all || *id != "" || *corpusSize != "") {
-		fmt.Fprintln(os.Stderr, "restune-bench: -timeline is mutually exclusive with -id/-all/-corpus-size")
+	if *historySize != "" && (*all || *id != "" || *corpusSize != "") {
+		fmt.Fprintln(os.Stderr, "restune-bench: -history-size is mutually exclusive with -id/-all/-corpus-size")
+		os.Exit(2)
+	}
+	if *timeline != "" && (*all || *id != "" || *corpusSize != "" || *historySize != "") {
+		fmt.Fprintln(os.Stderr, "restune-bench: -timeline is mutually exclusive with -id/-all/-corpus-size/-history-size")
 		os.Exit(2)
 	}
 
@@ -95,6 +102,31 @@ func main() {
 			fmt.Printf("(series written to %s)\n", path)
 		}
 		fmt.Printf("(corpus scaling completed in %s)\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	if *historySize != "" {
+		sizes, err := parseSizesFlag("-history-size", *historySize)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "restune-bench:", err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		rep, err := restune.HistoryScale(sizes, *seed, *iters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "restune-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		if *csvDir != "" {
+			path, err := writeCSV(*csvDir, rep)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "restune-bench: writing CSV:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("(series written to %s)\n", path)
+		}
+		fmt.Printf("(history scaling completed in %s)\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 
@@ -160,7 +192,7 @@ func main() {
 	if *all {
 		ids = restune.ExperimentIDs()
 	} else if *id == "" {
-		fmt.Fprintln(os.Stderr, "restune-bench: pass -id <experiment>, -all, -list, -timeline or -corpus-size")
+		fmt.Fprintln(os.Stderr, "restune-bench: pass -id <experiment>, -all, -list, -timeline, -corpus-size or -history-size")
 		os.Exit(2)
 	}
 
@@ -244,12 +276,18 @@ func runTimeline(arg string, p restune.ExperimentParams) error {
 
 // parseSizes parses the -corpus-size list ("34,100,1000") into sizes.
 func parseSizes(s string) ([]int, error) {
+	return parseSizesFlag("-corpus-size", s)
+}
+
+// parseSizesFlag parses a comma-separated positive size list for the named
+// flag (-corpus-size, -history-size).
+func parseSizesFlag(name, s string) ([]int, error) {
 	parts := strings.Split(s, ",")
 	sizes := make([]int, 0, len(parts))
 	for _, p := range parts {
 		n, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("-corpus-size: %q is not a positive corpus size", p)
+			return nil, fmt.Errorf("%s: %q is not a positive size", name, p)
 		}
 		sizes = append(sizes, n)
 	}

@@ -94,6 +94,24 @@ func (t *TriGP) FitWithBudget(h History, candidates int) error {
 // vector, so the batched posterior path's block/solve sharing is preserved.
 func (t *TriGP) SetObservationWeights(w []float64) { t.obsW = w }
 
+// SetSparse configures subset-of-data sparse inference on all three metric
+// GPs (gp.GP.SetSparse): once the fitted history exceeds the configured
+// threshold, each GP conditions on a farthest-point anchor subset instead
+// of the full track. Anchor selection is a pure input-only function of the
+// shared theta track, so the three GPs always agree on one anchor set and
+// the batched posterior path's block/solve sharing survives sparse mode.
+// Call before Fit; the zero config keeps exact inference.
+func (t *TriGP) SetSparse(cfg gp.SparseConfig) {
+	for i := range t.gps {
+		t.gps[i].SetSparse(cfg)
+	}
+}
+
+// SparseStats reports the sparse-inference state of the last fit. The three
+// metric GPs share configuration and theta track, so their states agree;
+// the resource GP's is returned.
+func (t *TriGP) SparseStats() gp.SparseStats { return t.gps[Res].SparseStats() }
+
 // SetRecorder attaches a telemetry recorder to subsequent fits. The
 // recorder never influences fitted models — it only receives spans.
 func (t *TriGP) SetRecorder(rec obs.Recorder) { t.rec = rec }
@@ -148,7 +166,7 @@ func (t *TriGP) PredictBatch(X [][]float64, post *BatchPosterior) {
 			done[i] = true
 			continue
 		}
-		kstar := bb.get(i, gi.N(), len(X))
+		kstar := bb.get(i, gi.TrainN(), len(X))
 		gi.CrossCovTo(kstar, X)
 		gi.PredictBatchCov(kstar, X, post.Mu[i], post.Var[i])
 		done[i] = true

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bo"
 	"repro/internal/dbsim"
+	"repro/internal/gp"
 	"repro/internal/lhs"
 	"repro/internal/meta"
 	"repro/internal/obs"
@@ -84,6 +85,12 @@ type Config struct {
 	Drift *DriftConfig
 	// Acq tunes acquisition optimization.
 	Acq bo.OptimizerConfig
+	// Sparse opts the target surrogate into subset-of-data inference once
+	// the observation history exceeds Sparse.Threshold
+	// (gp.DefaultSparseConfig gives the paper-scale settings). The zero
+	// value — and any history at or below the threshold — runs the exact
+	// path bit for bit, so enabling it never perturbs short sessions.
+	Sparse gp.SparseConfig
 	// Recorder receives the session's telemetry (per-iteration spans with
 	// phase, chosen θ, CEI value, ensemble weights, stage timings and the
 	// feasibility verdict, plus spans from the GP/BO/meta layers underneath).

@@ -299,6 +299,12 @@ func (s *Session) runIteration(iter int) error {
 	if !lhsPhase {
 		if s.tri == nil {
 			s.tri = bo.NewTriGP(s.dim, cfg.Seed)
+			if cfg.Sparse.Enabled() {
+				// Long-history sessions cap the cubic surrogate fit on an
+				// anchor subset; below the threshold this is bit-identical
+				// to the exact tuner (gp.SparseConfig).
+				s.tri.SetSparse(cfg.Sparse)
+			}
 			s.tri.SetRecorder(rec)
 		}
 		// Warm-started hyperparameter search: full budget every
@@ -519,6 +525,16 @@ func (s *Session) runIteration(iter int) error {
 		}
 		if s.loadAware {
 			attrs = append(attrs, obs.Float("load", it.LoadMult))
+		}
+		if s.tri != nil {
+			if st := s.tri.SparseStats(); st.Active {
+				// Sparse-inference telemetry, emitted only while the anchor
+				// subset is live so exact-mode traces are byte-identical to
+				// sessions built before the sparse path existed.
+				attrs = append(attrs,
+					obs.Int("gp_sparse_m", st.Anchors),
+					obs.Int("gp_sparse_reselect", st.Reselects))
+			}
 		}
 		if s.drift != nil {
 			attrs = append(attrs,

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/gp"
+	"repro/internal/obs"
+)
+
+// sparseSessionRun executes one small simulated session with the given
+// sparse configuration and returns its decision trace plus canonicalized
+// telemetry stream.
+func sparseSessionRun(t *testing.T, sparse gp.SparseConfig, iters int) (trace, telemetry string) {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := obs.NewJSONL(&buf)
+	cfg := DefaultConfig(7)
+	cfg.InitIters = 3
+	cfg.Acq = fastAcq()
+	cfg.DynamicSamples = 40
+	cfg.Sparse = sparse
+	cfg.Recorder = rec
+	res, err := New(cfg).Run(twitterEvaluator(7), iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return sessionTrace(res), canonicalJSONL(t, buf.Bytes())
+}
+
+// TestSessionSparseBelowThresholdTraceByteIdentical is the session half of
+// the differential gate: a sparse configuration whose threshold the session
+// never reaches must leave the decision trace AND the canonicalized
+// telemetry stream byte-identical to a session with sparse inference
+// disabled — enabling the flag on short sessions is a no-op, all the way
+// down to the absence of gp_sparse_* attributes.
+func TestSessionSparseBelowThresholdTraceByteIdentical(t *testing.T) {
+	const iters = 9
+	exactTrace, exactTel := sparseSessionRun(t, gp.SparseConfig{}, iters)
+	sparseTrace, sparseTel := sparseSessionRun(t, gp.DefaultSparseConfig(), iters)
+	if sparseTrace != exactTrace {
+		t.Fatalf("decision trace differs with inactive sparse config:\n--- exact\n%s\n--- sparse\n%s",
+			exactTrace, sparseTrace)
+	}
+	if sparseTel != exactTel {
+		t.Fatalf("telemetry differs with inactive sparse config:\n--- exact\n%s\n--- sparse\n%s",
+			exactTel, sparseTel)
+	}
+	if strings.Contains(sparseTel, "gp_sparse_m") {
+		t.Fatal("gp_sparse_m attribute emitted while sparse inference never activated")
+	}
+}
+
+// TestSessionSparseActiveDeterministicAcrossGOMAXPROCS extends the
+// determinism suite over the sparse path: with a threshold small enough
+// that the target surrogate crosses into anchor-subset inference
+// mid-session, the full trace must stay bit-identical at GOMAXPROCS=1, at
+// an oversubscribed worker count, and across repeated runs — anchor
+// selection is a pure input-order function, so parallel hyperparameter
+// search and batched acquisition cannot perturb it. The telemetry stream
+// must carry the gp_sparse_m / gp_sparse_reselect attributes once active.
+func TestSessionSparseActiveDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	const iters = 14
+	sparse := gp.SparseConfig{Threshold: 8, MaxAnchors: 6, ReselectEvery: 3}
+	run := func(procs int) (string, string) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		return sparseSessionRun(t, sparse, iters)
+	}
+
+	serialTrace, serialTel := run(1)
+	if !strings.Contains(serialTel, "gp_sparse_m") || !strings.Contains(serialTel, "gp_sparse_reselect") {
+		t.Fatal("active sparse session emitted no gp_sparse_* telemetry")
+	}
+	if againTrace, againTel := run(1); againTrace != serialTrace || againTel != serialTel {
+		t.Fatalf("sparse session not deterministic at GOMAXPROCS=1:\n%s\nvs\n%s", serialTrace, againTrace)
+	}
+	procs := runtime.NumCPU()
+	if procs < 4 {
+		procs = 4 // oversubscribe single-core hosts so goroutines interleave
+	}
+	parTrace, parTel := run(procs)
+	if parTrace != serialTrace {
+		t.Fatalf("sparse session trace differs between GOMAXPROCS=1 and %d:\n%s\nvs\n%s",
+			procs, serialTrace, parTrace)
+	}
+	if parTel != serialTel {
+		t.Fatalf("sparse session telemetry differs between GOMAXPROCS=1 and %d", procs)
+	}
+}

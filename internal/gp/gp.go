@@ -50,6 +50,23 @@ type GP struct {
 	factorNoise  float64
 	factorW      []float64
 
+	// sparse configures subset-of-data inference (SetSparse); the zero
+	// value keeps every fit exact. anchorIdx/anchorX are the active anchor
+	// subset — ascending indices into x and views of the corresponding rows
+	// — nil whenever the last fit was exact, so `anchorIdx != nil` is the
+	// single activation test every effective-training-set accessor keys on.
+	// appendsSinceSelect counts incremental appends against the amortized
+	// re-selection budget; reselects counts selection passes (telemetry).
+	sparse             SparseConfig
+	anchorIdx          []int
+	anchorX            [][]float64
+	appendsSinceSelect int
+	reselects          int
+
+	// rowBuf is appendPoint's persistent bordered-row scratch, so the
+	// incremental fit path allocates nothing in steady state.
+	rowBuf []float64
+
 	// scratch pools per-Predict buffers so the acquisition path (which
 	// calls Predict tens of thousands of times per tuning iteration, from
 	// many goroutines) runs allocation-free in steady state.
@@ -97,6 +114,12 @@ func (g *GP) Kernel() Kernel { return g.kernel }
 // N returns the number of training observations.
 func (g *GP) N() int { return len(g.x) }
 
+// TrainN returns the effective training-set size the current fit conditions
+// on — the anchor count under sparse inference (SetSparse), N() otherwise.
+// Callers building cross-covariance blocks for CrossCovTo size them by
+// TrainN.
+func (g *GP) TrainN() int { return len(g.trainX()) }
+
 // X returns the training inputs (shared storage).
 func (g *GP) X() [][]float64 { return g.x }
 
@@ -117,13 +140,16 @@ func (g *GP) SetObservationWeights(w []float64) { g.obsW = w }
 // when uniform).
 func (g *GP) ObservationWeights() []float64 { return g.obsW }
 
-// obsNoise returns observation i's effective noise variance: the
+// obsNoise returns effective training observation i's noise variance: the
 // homoscedastic NoiseVariance inflated by the inverse observation weight.
+// Under sparse conditioning i indexes the anchor subset and maps back to
+// its history position, so an anchor keeps the exact noise it would have
+// carried in a full fit.
 func (g *GP) obsNoise(i int) float64 {
 	if g.obsW == nil {
 		return g.NoiseVariance
 	}
-	return g.NoiseVariance / g.obsW[i]
+	return g.NoiseVariance / g.effWeight(i)
 }
 
 // Fit conditions the GP on observations (x, y). It copies neither slice, so
@@ -156,6 +182,15 @@ func (g *GP) Fit(x [][]float64, y []float64) error {
 				return fmt.Errorf("gp: observation weight %d is %v (must be finite and positive)", i, w)
 			}
 		}
+	}
+	if g.sparse.Threshold > 0 && len(x) > g.sparse.Threshold {
+		return g.fitSparse(x, y)
+	}
+	// At or below the threshold (or with sparse disabled) the fit is exact.
+	// If the previous fit was sparse, its factor covers only the anchors —
+	// drop it so the gate below cannot mistake it for an exact factor.
+	if g.anchorIdx != nil {
+		g.dropAnchors()
 	}
 	incremental := g.chol != nil && len(x) == len(g.x)+1 &&
 		g.factorMatchesKernel() && g.factorMatchesWeights(len(g.x)) &&
@@ -230,29 +265,42 @@ func extendsPrefix(x, old [][]float64) bool {
 	return true
 }
 
-// appendPoint extends the factorization by the last training point in O(n²).
+// appendPoint extends the factorization by the last effective training
+// point in O(n²), n the effective (anchor-subset or full) set size. The
+// bordered row lives in a persistent scratch buffer — mat.Cholesky.Append
+// copies it into the packed factor — so steady-state appends allocate
+// nothing beyond the factor's own amortized growth.
 func (g *GP) appendPoint() error {
-	n := len(g.x)
-	xn := g.x[n-1]
-	row := make([]float64, n)
+	tx := g.trainX()
+	n := len(tx)
+	xn := tx[n-1]
+	if cap(g.rowBuf) < n {
+		g.rowBuf = make([]float64, n, 2*n)
+	}
+	row := g.rowBuf[:n]
 	for i := 0; i < n-1; i++ {
-		row[i] = g.kernel.Eval(xn, g.x[i])
+		row[i] = g.kernel.Eval(xn, tx[i])
 	}
 	row[n-1] = g.kernel.Eval(xn, xn) + g.obsNoise(n-1) + 1e-8 // jitter as in refactor
 	if err := g.chol.Append(row); err != nil {
 		return err
 	}
 	if g.obsW != nil {
-		g.factorW = append(g.factorW, g.obsW[n-1])
+		g.factorW = append(g.factorW, g.effWeight(n-1))
 	}
 	g.solveAlpha()
 	return nil
 }
 
-// refactor rebuilds the Cholesky factorization for the current data and
-// hyperparameters, reusing the kernel-matrix and factor storage.
+// refactor rebuilds the Cholesky factorization for the current effective
+// training set and hyperparameters, reusing the kernel-matrix and factor
+// storage. Under sparse conditioning the effective set is the anchor
+// subset; it never re-selects anchors (Fit owns that decision), so
+// hyperparameter-search clones and AdoptHyperparamsFrom refactor the same
+// subset they were handed.
 func (g *GP) refactor() error {
-	n := len(g.x)
+	tx := g.trainX()
+	n := len(tx)
 	if g.kmat == nil {
 		g.kmat = mat.NewDense(n, n)
 	} else if r, _ := g.kmat.Dims(); r != n {
@@ -261,7 +309,7 @@ func (g *GP) refactor() error {
 	k := g.kmat
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
-			v := g.kernel.Eval(g.x[i], g.x[j])
+			v := g.kernel.Eval(tx[i], tx[j])
 			k.Set(i, j, v)
 			k.Set(j, i, v)
 		}
@@ -281,22 +329,28 @@ func (g *GP) refactor() error {
 	if g.obsW == nil {
 		g.factorW = nil
 	} else {
-		g.factorW = append(g.factorW[:0], g.obsW[:n]...)
+		g.factorW = g.factorW[:0]
+		for i := 0; i < n; i++ {
+			g.factorW = append(g.factorW, g.effWeight(i))
+		}
 	}
 	g.solveAlpha()
 	return nil
 }
 
 // solveAlpha recomputes the weight vector α = (K + σ²I)⁻¹ (y − mean) for the
-// current factorization, reusing the α buffer.
+// current factorization, reusing the α buffer. The targets are the effective
+// training targets (anchor-mapped under sparse conditioning), but the mean
+// is always the full-history mean — the constant-mean estimate uses every
+// observation even when the covariance conditions on a subset.
 func (g *GP) solveAlpha() {
-	n := len(g.y)
+	n := len(g.trainX())
 	if cap(g.alpha) < n {
 		g.alpha = make([]float64, n)
 	}
 	g.alpha = g.alpha[:n]
-	for i, yi := range g.y {
-		g.alpha[i] = yi - g.meanY
+	for i := 0; i < n; i++ {
+		g.alpha[i] = g.trainYAt(i) - g.meanY
 	}
 	g.chol.SolveVecTo(g.alpha, g.alpha)
 	g.kinv = nil
@@ -311,7 +365,8 @@ func (g *GP) Predict(x []float64) (mu, variance float64) {
 	if g.chol == nil {
 		return 0, prior
 	}
-	n := len(g.x)
+	tx := g.trainX()
+	n := len(tx)
 	pb, _ := g.scratch.Get().(*predictBuf)
 	if pb == nil {
 		pb = &predictBuf{}
@@ -321,7 +376,7 @@ func (g *GP) Predict(x []float64) (mu, variance float64) {
 		pb.v = make([]float64, n)
 	}
 	ks, v := pb.ks[:n], pb.v[:n]
-	for i, xi := range g.x {
+	for i, xi := range tx {
 		ks[i] = g.kernel.Eval(x, xi)
 	}
 	mu = g.meanY + mat.Dot(ks, g.alpha)
@@ -342,40 +397,57 @@ func (g *GP) Predict(x []float64) (mu, variance float64) {
 // Kernel.EvalRow with batch-invariant terms hoisted per training point.
 // Either way every entry matches the point-wise Eval bit for bit.
 func (g *GP) CrossCovTo(dst *mat.Dense, X [][]float64) {
-	if r, c := dst.Dims(); r != len(g.x) || c != len(X) {
+	tx := g.trainX()
+	if r, c := dst.Dims(); r != len(tx) || c != len(X) {
 		panic("gp: cross-covariance dimension mismatch")
 	}
-	if len(X) == 0 || len(g.x) == 0 {
+	if len(X) == 0 || len(tx) == 0 {
 		return
 	}
 	switch k := g.kernel.(type) {
 	case *Matern52:
 		if len(k.LengthScales) == 1 {
-			crossCovMatern52Iso(dst, g.x, X, k)
+			crossCovMatern52Iso(dst, tx, X, k)
 			return
 		}
 	case *RBF:
 		if len(k.LengthScales) == 1 {
-			crossCovRBFIso(dst, g.x, X, k)
+			crossCovRBFIso(dst, tx, X, k)
 			return
 		}
 	}
-	for i, xi := range g.x {
+	for i, xi := range tx {
 		g.kernel.EvalRow(xi, X, dst.Row(i))
 	}
 }
 
 // SharesCrossCov reports whether g and o would build bit-identical
-// cross-covariance blocks for any candidate batch: the same training inputs
-// (pointer-identical storage) under equal kernels. Co-trained surrogates
-// (TriGP's three metric GPs, fitted on one shared theta track) use this to
-// compute the block once and share it.
+// cross-covariance blocks for any candidate batch: the same effective
+// training inputs (pointer-identical history storage, and under sparse
+// conditioning the same anchor indices into it) under equal kernels.
+// Co-trained surrogates (TriGP's three metric GPs, fitted on one shared
+// theta track) use this to compute the block once and share it; anchor
+// selection is a pure function of the shared inputs, so sibling GPs with
+// the same sparse configuration always agree on the subset.
 func (g *GP) SharesCrossCov(o *GP) bool {
 	if len(g.x) != len(o.x) {
 		return false
 	}
 	if len(g.x) > 0 && &g.x[0] != &o.x[0] {
 		return false
+	}
+	if (g.anchorIdx == nil) != (o.anchorIdx == nil) {
+		return false
+	}
+	if g.anchorIdx != nil {
+		if len(g.anchorIdx) != len(o.anchorIdx) {
+			return false
+		}
+		for i, idx := range g.anchorIdx {
+			if o.anchorIdx[i] != idx {
+				return false
+			}
+		}
 	}
 	return KernelsEqual(g.kernel, o.kernel)
 }
@@ -443,7 +515,7 @@ func (g *GP) PredictBatch(X [][]float64, mu, variance []float64) {
 		g.priorBatch(X, mu, variance)
 		return
 	}
-	bb := g.getBatchBuf(len(g.x), m)
+	bb := g.getBatchBuf(len(g.trainX()), m)
 	g.CrossCovTo(&bb.kstar, X)
 	g.predictBatchCov(bb, &bb.kstar, X, mu, variance)
 	g.batch.Put(bb)
@@ -467,7 +539,7 @@ func (g *GP) PredictBatchCov(kstar *mat.Dense, X [][]float64, mu, variance []flo
 		g.priorBatch(X, mu, variance)
 		return
 	}
-	bb := g.getBatchBuf(len(g.x), m)
+	bb := g.getBatchBuf(len(g.trainX()), m)
 	g.predictBatchCov(bb, kstar, X, mu, variance)
 	g.batch.Put(bb)
 }
@@ -525,17 +597,19 @@ func (g *GP) AdoptHyperparamsFrom(o *GP) error {
 	return g.refactor()
 }
 
-// LogMarginalLikelihood returns log p(y | X, θ) for the current fit.
+// LogMarginalLikelihood returns log p(y | X, θ) for the current fit. Under
+// sparse conditioning it is the anchor subset's marginal likelihood — the
+// subset-of-data objective the hyperparameter search maximizes.
 func (g *GP) LogMarginalLikelihood() float64 {
 	if g.chol == nil {
 		return math.Inf(-1)
 	}
-	n := float64(len(g.y))
+	m := len(g.alpha)
 	quad := 0.0
-	for i, yi := range g.y {
-		quad += (yi - g.meanY) * g.alpha[i]
+	for i := 0; i < m; i++ {
+		quad += (g.trainYAt(i) - g.meanY) * g.alpha[i]
 	}
-	return -0.5*quad - 0.5*g.chol.LogDet() - 0.5*n*math.Log(2*math.Pi)
+	return -0.5*quad - 0.5*g.chol.LogDet() - 0.5*float64(m)*math.Log(2*math.Pi)
 }
 
 // LOO returns leave-one-out posterior means and variances at every training
@@ -543,6 +617,13 @@ func (g *GP) LogMarginalLikelihood() float64 {
 // μ_i = y_i − α_i / K⁻¹_ii and σ²_i = 1 / K⁻¹_ii. This is exactly the
 // "remove the data point from the GP model, kernel hyper-parameters do not
 // need re-estimation" construction of paper Section 6.4.2.
+//
+// The returned vectors always span the full fitted history, so ranking-loss
+// consumers (meta.DynamicWeightsOpts) see one entry per observation whether
+// or not sparse conditioning is active. Under sparse conditioning, anchors
+// use the LOO identity on the anchor factor; every non-anchor observation
+// is genuinely held out of the subset-of-data fit already, so its
+// leave-one-out posterior is simply the model's posterior at that input.
 func (g *GP) LOO() (mu, variance []float64) {
 	if g.chol == nil {
 		return nil, nil
@@ -553,12 +634,31 @@ func (g *GP) LOO() (mu, variance []float64) {
 	n := len(g.y)
 	mu = make([]float64, n)
 	variance = make([]float64, n)
+	if g.anchorIdx == nil {
+		for i := 0; i < n; i++ {
+			kii := g.kinv.At(i, i)
+			mu[i] = g.y[i] - g.alpha[i]/kii
+			variance[i] = 1 / kii
+			if variance[i] < 1e-12 {
+				variance[i] = 1e-12
+			}
+		}
+		return mu, variance
+	}
+	isAnchor := make([]bool, n)
+	for k, idx := range g.anchorIdx {
+		kii := g.kinv.At(k, k)
+		mu[idx] = g.y[idx] - g.alpha[k]/kii
+		v := 1 / kii
+		if v < 1e-12 {
+			v = 1e-12
+		}
+		variance[idx] = v
+		isAnchor[idx] = true
+	}
 	for i := 0; i < n; i++ {
-		kii := g.kinv.At(i, i)
-		mu[i] = g.y[i] - g.alpha[i]/kii
-		variance[i] = 1 / kii
-		if variance[i] < 1e-12 {
-			variance[i] = 1e-12
+		if !isAnchor[i] {
+			mu[i], variance[i] = g.Predict(g.x[i])
 		}
 	}
 	return mu, variance
@@ -566,7 +666,10 @@ func (g *GP) LOO() (mu, variance []float64) {
 
 // cloneForSearch returns a GP sharing the (read-only) training data with an
 // independent kernel and factorization state, for concurrent hyperparameter
-// candidate evaluation.
+// candidate evaluation. Anchor state is shared too: every candidate of a
+// search refactors the same subset the incumbent conditions on (selection
+// is input-only, so candidates could never disagree on it anyway), and the
+// winning clone's factor is adopted without touching the anchors.
 func (g *GP) cloneForSearch() *GP {
 	return &GP{
 		kernel:        g.kernel.Clone(),
@@ -575,6 +678,9 @@ func (g *GP) cloneForSearch() *GP {
 		y:             g.y,
 		obsW:          g.obsW,
 		meanY:         g.meanY,
+		sparse:        g.sparse,
+		anchorIdx:     g.anchorIdx,
+		anchorX:       g.anchorX,
 	}
 }
 

@@ -1,0 +1,296 @@
+package gp
+
+import (
+	"math"
+	"sort"
+)
+
+// SparseConfig configures subset-of-data (SoD) sparse inference on a GP
+// (SetSparse). The zero value disables it: every Fit stays exact.
+//
+// With Threshold > 0, a Fit whose history exceeds Threshold observations
+// conditions on m = MaxAnchors anchor observations chosen by deterministic
+// farthest-point selection (SelectAnchors) instead of the full history,
+// capping the cubic factorization (and the hyperparameter search built on
+// it) at O(m³) per candidate. Fits at or below the threshold run the exact
+// path bit for bit — sparse inference is invisible until it activates.
+//
+// Between selections the anchor set is append-only: each new observation
+// joins the anchors through the exact rank-1 incremental Cholesky, so the
+// most recent evidence is always conditioned on. A full re-selection (an
+// O(n·m) scan plus one O(m³) refactor) is amortized to every ReselectEvery
+// appends, and forced early whenever the incremental invariants break —
+// a kernel/noise change that was not adopted from the factor's own search,
+// an observation-weight decay (forgetting), or a non-extending history —
+// mirroring the exact path's factorParams/factorW gating.
+type SparseConfig struct {
+	// Threshold activates sparse inference once the fitted history has more
+	// than this many observations; <= 0 disables sparse inference entirely.
+	Threshold int
+	// MaxAnchors is the anchor-subset size m at (re-)selection time; between
+	// re-selections appends grow the working set up to m + ReselectEvery.
+	// <= 0 defaults to Threshold.
+	MaxAnchors int
+	// ReselectEvery is the append budget between full anchor re-selections.
+	// <= 0 defaults to 64.
+	ReselectEvery int
+}
+
+// DefaultSparseConfig returns the paper-scale sparse settings: activate
+// past 256 observations, keep 256 anchors, re-select every 64 appends.
+func DefaultSparseConfig() SparseConfig {
+	return SparseConfig{Threshold: 256, MaxAnchors: 256, ReselectEvery: 64}
+}
+
+// Enabled reports whether the configuration activates sparse inference for
+// any history length.
+func (c SparseConfig) Enabled() bool { return c.Threshold > 0 }
+
+// withDefaults normalizes a sparse configuration: a disabled config is the
+// zero value, an enabled one has its optional fields defaulted.
+func (c SparseConfig) withDefaults() SparseConfig {
+	if c.Threshold <= 0 {
+		return SparseConfig{}
+	}
+	if c.MaxAnchors <= 0 {
+		c.MaxAnchors = c.Threshold
+	}
+	if c.ReselectEvery <= 0 {
+		c.ReselectEvery = 64
+	}
+	return c
+}
+
+// anchorSqDist is the anchor-selection metric: squared Euclidean distance
+// over the leading min(len(a), len(b)) coordinates of the raw (unscaled)
+// inputs. It deliberately ignores kernel hyperparameters, so one selection
+// pass serves every candidate of a hyperparameter search and every
+// co-trained metric GP on the same theta track. A non-finite accumulation
+// (NaN coordinates, overflowing magnitudes) collapses to +Inf, giving every
+// input — however malformed — one deterministic place in the total order.
+func anchorSqDist(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	s := 0.0
+	for d := 0; d < n; d++ {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	if math.IsNaN(s) {
+		return math.Inf(1)
+	}
+	return s
+}
+
+// SelectAnchors returns the indices of m anchor observations chosen by
+// deterministic farthest-point selection over x: the first anchor is the
+// point farthest from the input centroid, each subsequent anchor maximizes
+// the minimum distance to the anchors chosen so far, and every distance tie
+// resolves to the lowest index (total tie order, like meta.CorpusIndex's
+// ordering) — so the result is a pure function of the inputs, independent
+// of GOMAXPROCS, map iteration or RNG state. Duplicate points (min distance
+// zero) and NaN coordinates (distance +Inf, see anchorSqDist) are handled
+// by the same total order. m >= len(x) selects everything. The returned
+// indices are sorted ascending, so the anchor subset reads as a
+// sub-history in observation order.
+func SelectAnchors(x [][]float64, m int) []int {
+	n := len(x)
+	if m <= 0 || n == 0 {
+		return []int{}
+	}
+	if m >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	dim := len(x[0])
+	cent := make([]float64, dim)
+	for _, xi := range x {
+		for d := 0; d < dim && d < len(xi); d++ {
+			cent[d] += xi[d]
+		}
+	}
+	for d := range cent {
+		cent[d] /= float64(n)
+	}
+	first, bestD := 0, -1.0
+	for i, xi := range x {
+		if d := anchorSqDist(xi, cent); d > bestD {
+			first, bestD = i, d
+		}
+	}
+	sel := make([]int, 0, m)
+	chosen := make([]bool, n)
+	sel = append(sel, first)
+	chosen[first] = true
+	minD := make([]float64, n)
+	for i := range minD {
+		minD[i] = anchorSqDist(x[i], x[first])
+	}
+	for len(sel) < m {
+		next, bestD := -1, -1.0
+		for i := 0; i < n; i++ {
+			if chosen[i] {
+				continue
+			}
+			if minD[i] > bestD {
+				next, bestD = i, minD[i]
+			}
+		}
+		sel = append(sel, next)
+		chosen[next] = true
+		for i := 0; i < n; i++ {
+			if chosen[i] {
+				continue
+			}
+			if d := anchorSqDist(x[i], x[next]); d < minD[i] {
+				minD[i] = d
+			}
+		}
+	}
+	sort.Ints(sel)
+	return sel
+}
+
+// SparseStats reports a GP's sparse-inference state after a Fit.
+type SparseStats struct {
+	// Active reports whether the current fit conditions on an anchor subset
+	// rather than the full history.
+	Active bool
+	// Anchors is the current anchor count m (0 when exact).
+	Anchors int
+	// Reselects counts full anchor-selection passes over the GP's lifetime.
+	Reselects int
+}
+
+// SetSparse configures subset-of-data sparse inference for subsequent Fit
+// calls; the zero SparseConfig disables it. Any existing anchor state and
+// factorization are dropped, so the next Fit either re-selects under the
+// new configuration or refactors exactly — call SetSparse before fitting
+// (or between fits), not between a Fit and its Predicts.
+func (g *GP) SetSparse(cfg SparseConfig) {
+	g.sparse = cfg.withDefaults()
+	g.dropAnchors()
+}
+
+// Sparse returns the installed sparse configuration (zero when disabled).
+func (g *GP) Sparse() SparseConfig { return g.sparse }
+
+// SparseStats returns the sparse-inference state of the last Fit.
+func (g *GP) SparseStats() SparseStats {
+	return SparseStats{
+		Active:    g.anchorIdx != nil,
+		Anchors:   len(g.anchorIdx),
+		Reselects: g.reselects,
+	}
+}
+
+// dropAnchors deactivates sparse conditioning and invalidates the factor
+// (which, if present, belongs to the anchor subset): the next Fit rebuilds
+// from scratch on whichever training set its gate selects.
+func (g *GP) dropAnchors() {
+	if g.anchorIdx == nil {
+		return
+	}
+	g.anchorIdx = nil
+	g.anchorX = g.anchorX[:0]
+	g.appendsSinceSelect = 0
+	g.chol = nil
+	g.factorParams = nil
+	g.factorW = nil
+	g.kinv = nil
+}
+
+// fitSparse is Fit's subset-of-data path, entered once the history exceeds
+// SparseConfig.Threshold. The state machine mirrors the exact path's: an
+// extending history with an unchanged factor appends the new observation to
+// the anchor set through the exact rank-1 Cholesky in O(m²); anything else
+// — activation, the amortized re-selection budget expiring, a kernel or
+// noise change, an observation-weight decay, a non-extending history — pays
+// one farthest-point re-selection and an O(m³) refactor.
+func (g *GP) fitSparse(x [][]float64, y []float64) error {
+	incremental := g.anchorIdx != nil && g.chol != nil &&
+		len(x) == len(g.x)+1 &&
+		g.appendsSinceSelect < g.sparse.ReselectEvery &&
+		g.factorMatchesKernel() && g.anchorWeightsMatch() &&
+		extendsPrefix(x, g.x)
+	g.x, g.y = x, y
+	g.meanY = mean(y)
+	if incremental {
+		n := len(x)
+		g.anchorIdx = append(g.anchorIdx, n-1)
+		g.anchorX = append(g.anchorX, x[n-1])
+		if err := g.appendPoint(); err == nil {
+			g.appendsSinceSelect++
+			return nil
+		}
+		// Numerically borderline append: drop the speculative anchor and
+		// let the full re-selection + refactor below decide for real.
+		g.anchorIdx = g.anchorIdx[:len(g.anchorIdx)-1]
+		g.anchorX = g.anchorX[:len(g.anchorX)-1]
+	}
+	g.selectAnchors()
+	return g.refactor()
+}
+
+// selectAnchors runs one full farthest-point selection pass over the
+// current inputs, resetting the append budget.
+func (g *GP) selectAnchors() {
+	g.anchorIdx = SelectAnchors(g.x, g.sparse.MaxAnchors)
+	g.anchorX = g.anchorX[:0]
+	for _, idx := range g.anchorIdx {
+		g.anchorX = append(g.anchorX, g.x[idx])
+	}
+	g.appendsSinceSelect = 0
+	g.reselects++
+}
+
+// anchorWeightsMatch reports whether the current factorization's noise
+// diagonal was built with the presently installed observation weights at
+// every anchor — the sparse counterpart of factorMatchesWeights. A decay
+// anywhere in the anchor set forces a full re-selection and refactor.
+func (g *GP) anchorWeightsMatch() bool {
+	if g.factorW == nil {
+		return g.obsW == nil
+	}
+	if g.obsW == nil || len(g.factorW) != len(g.anchorIdx) {
+		return false
+	}
+	for k, idx := range g.anchorIdx {
+		if idx >= len(g.obsW) || g.obsW[idx] != g.factorW[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// trainX returns the effective training inputs: the anchor subset when
+// sparse conditioning is active, the full history otherwise. Every
+// factorization, solve and prediction runs over this set.
+func (g *GP) trainX() [][]float64 {
+	if g.anchorIdx != nil {
+		return g.anchorX
+	}
+	return g.x
+}
+
+// trainYAt returns effective training target i (anchor-mapped when sparse).
+func (g *GP) trainYAt(i int) float64 {
+	if g.anchorIdx != nil {
+		return g.y[g.anchorIdx[i]]
+	}
+	return g.y[i]
+}
+
+// effWeight returns the observation weight of effective training point i
+// (anchor-mapped when sparse); the caller has checked g.obsW != nil.
+func (g *GP) effWeight(i int) float64 {
+	if g.anchorIdx != nil {
+		return g.obsW[g.anchorIdx[i]]
+	}
+	return g.obsW[i]
+}

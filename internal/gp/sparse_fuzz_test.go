@@ -1,0 +1,127 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refSelectAnchors is a brute-force reference for SelectAnchors: the same
+// farthest-point rule written the obvious way — recompute every
+// min-distance-to-chosen from scratch each round instead of maintaining it
+// incrementally. Differential fuzzing against it pins the production
+// implementation's incremental bookkeeping and tie handling.
+func refSelectAnchors(x [][]float64, m int) []int {
+	n := len(x)
+	if m <= 0 || n == 0 {
+		return []int{}
+	}
+	if m >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	dim := len(x[0])
+	cent := make([]float64, dim)
+	for _, xi := range x {
+		for d := 0; d < dim && d < len(xi); d++ {
+			cent[d] += xi[d]
+		}
+	}
+	for d := range cent {
+		cent[d] /= float64(n)
+	}
+	chosen := make([]bool, n)
+	var sel []int
+	for len(sel) < m {
+		next, bestD := -1, -1.0
+		for i := 0; i < n; i++ {
+			if chosen[i] {
+				continue
+			}
+			var d float64
+			if len(sel) == 0 {
+				d = anchorSqDist(x[i], cent)
+			} else {
+				d = math.Inf(1)
+				for _, j := range sel {
+					if dj := anchorSqDist(x[i], x[j]); dj < d {
+						d = dj
+					}
+				}
+			}
+			if d > bestD {
+				next, bestD = i, d
+			}
+		}
+		chosen[next] = true
+		// Insert in ascending order so the reference matches SelectAnchors'
+		// sorted output without a final sort.
+		pos := len(sel)
+		for pos > 0 && sel[pos-1] > next {
+			pos--
+		}
+		sel = append(sel, 0)
+		copy(sel[pos+1:], sel[pos:])
+		sel[pos] = next
+	}
+	return sel
+}
+
+// FuzzSparseSelect differentially fuzzes the deterministic farthest-point
+// anchor selection against the brute-force reference, over inputs salted
+// with duplicate rows and NaN coordinates — the two classes the total tie
+// order exists for. Any divergence (or an unsorted / out-of-range /
+// duplicated result) breaks the cross-GP anchor agreement TriGP's sharing
+// relies on, so exact index equality is required.
+func FuzzSparseSelect(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(3), uint8(4), uint8(0))
+	f.Add(int64(2), uint8(40), uint8(6), uint8(16), uint8(3))
+	f.Add(int64(3), uint8(7), uint8(2), uint8(7), uint8(1))    // m == n
+	f.Add(int64(4), uint8(12), uint8(4), uint8(200), uint8(2)) // m > n
+	f.Add(int64(5), uint8(25), uint8(5), uint8(8), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, dimRaw, mRaw, weird uint8) {
+		n := 1 + int(nRaw)%64
+		dim := 1 + int(dimRaw)%8
+		m := int(mRaw) % (n + 4)
+		r := rand.New(rand.NewSource(seed))
+		x := make([][]float64, n)
+		for i := range x {
+			x[i] = make([]float64, dim)
+			for d := range x[i] {
+				x[i][d] = r.Float64()
+			}
+		}
+		if weird&1 != 0 { // duplicate rows: zero-distance ties everywhere
+			for i := 1; i < n; i += 3 {
+				copy(x[i], x[i-1])
+			}
+		}
+		if weird&2 != 0 { // NaN coordinates: +Inf distances via anchorSqDist
+			for i := 0; i < n; i += 5 {
+				x[i][r.Intn(dim)] = math.NaN()
+			}
+		}
+		got := SelectAnchors(x, m)
+		want := refSelectAnchors(x, m)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d m=%d: got %d anchors, reference %d", n, m, len(got), len(want))
+		}
+		seen := make(map[int]bool, len(got))
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d m=%d weird=%d: selection diverged at %d: got %v, reference %v",
+					n, m, weird, i, got, want)
+			}
+			if got[i] < 0 || got[i] >= n || seen[got[i]] {
+				t.Fatalf("invalid anchor set %v (n=%d)", got, n)
+			}
+			if i > 0 && got[i] <= got[i-1] {
+				t.Fatalf("anchors not sorted: %v", got)
+			}
+			seen[got[i]] = true
+		}
+	})
+}

@@ -1,0 +1,359 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+func defaultTestSparse(threshold, anchors, reselect int) SparseConfig {
+	return SparseConfig{Threshold: threshold, MaxAnchors: anchors, ReselectEvery: reselect}
+}
+
+// TestSparseBelowThresholdBitIdenticalToExact pins the activation contract:
+// a sparse-configured GP whose history never exceeds the threshold must be
+// bit-identical to a plain exact GP — across incremental fits, the
+// hyperparameter search and point predictions, at GOMAXPROCS 1 and
+// oversubscribed. This is what makes the sparse option safe to leave
+// enabled on sessions that never grow long histories.
+func TestSparseBelowThresholdBitIdenticalToExact(t *testing.T) {
+	for _, procs := range []int{1, 8} {
+		old := runtime.GOMAXPROCS(procs)
+		x, y := randPoints(40, 4, 11)
+		probe, _ := randPoints(6, 4, 73)
+
+		exact := New(NewMatern52(1, 0.5), 0.01)
+		sparse := New(NewMatern52(1, 0.5), 0.01)
+		sparse.SetSparse(defaultTestSparse(40, 16, 8))
+
+		for n := 2; n <= 40; n++ {
+			if err := exact.Fit(x[:n], y[:n]); err != nil {
+				t.Fatal(err)
+			}
+			if err := sparse.Fit(x[:n], y[:n]); err != nil {
+				t.Fatal(err)
+			}
+			if st := sparse.SparseStats(); st.Active {
+				t.Fatalf("procs=%d n=%d: sparse mode active at or below threshold", procs, n)
+			}
+			if n%10 == 0 {
+				le := FitHyperparams(exact, DefaultFitConfig(), rand.New(rand.NewSource(int64(n))))
+				ls := FitHyperparams(sparse, DefaultFitConfig(), rand.New(rand.NewSource(int64(n))))
+				if le != ls {
+					t.Fatalf("procs=%d n=%d: hyperparameter search diverged (%v vs %v)", procs, n, le, ls)
+				}
+			}
+			for _, p := range probe {
+				me, ve := exact.Predict(p)
+				ms, vs := sparse.Predict(p)
+				if math.Float64bits(me) != math.Float64bits(ms) ||
+					math.Float64bits(ve) != math.Float64bits(vs) {
+					t.Fatalf("procs=%d n=%d: posterior differs below threshold: (%v,%v) vs (%v,%v)",
+						procs, n, me, ve, ms, vs)
+				}
+			}
+			if exact.LogMarginalLikelihood() != sparse.LogMarginalLikelihood() {
+				t.Fatalf("procs=%d n=%d: LML differs below threshold", procs, n)
+			}
+		}
+		runtime.GOMAXPROCS(old)
+	}
+}
+
+// TestSparseActivationBoundsAnchors checks the sparse state machine over a
+// growing history: activation exactly past the threshold, the anchor count
+// bounded by MaxAnchors + ReselectEvery, the re-selection budget amortizing
+// (one selection pass per ReselectEvery appends, not per fit), and batch
+// predictions bit-identical to point-wise ones in sparse mode.
+func TestSparseActivationBoundsAnchors(t *testing.T) {
+	cfg := defaultTestSparse(24, 16, 4)
+	x, y := randPoints(60, 5, 21)
+	probe, _ := randPoints(7, 5, 77)
+
+	g := New(NewMatern52(1, 0.5), 0.01)
+	g.SetSparse(cfg)
+	for n := 2; n <= 60; n++ {
+		if err := g.Fit(x[:n], y[:n]); err != nil {
+			t.Fatal(err)
+		}
+		st := g.SparseStats()
+		if want := n > cfg.Threshold; st.Active != want {
+			t.Fatalf("n=%d: Active=%v, want %v", n, st.Active, want)
+		}
+		if st.Active {
+			if st.Anchors > cfg.MaxAnchors+cfg.ReselectEvery {
+				t.Fatalf("n=%d: %d anchors exceeds MaxAnchors+ReselectEvery=%d",
+					n, st.Anchors, cfg.MaxAnchors+cfg.ReselectEvery)
+			}
+			if st.Anchors > n {
+				t.Fatalf("n=%d: %d anchors exceeds history", n, st.Anchors)
+			}
+		}
+	}
+	st := g.SparseStats()
+	// 36 sparse fits after activation with a 4-append budget: the selection
+	// count must be amortized, far below one per fit.
+	if st.Reselects < 2 || st.Reselects > 12 {
+		t.Fatalf("reselects = %d, want amortized (2..12) over 36 sparse fits", st.Reselects)
+	}
+
+	mu := make([]float64, len(probe))
+	va := make([]float64, len(probe))
+	g.PredictBatch(probe, mu, va)
+	for j, p := range probe {
+		wm, wv := g.Predict(p)
+		if math.Float64bits(mu[j]) != math.Float64bits(wm) ||
+			math.Float64bits(va[j]) != math.Float64bits(wv) {
+			t.Fatalf("candidate %d: sparse batch posterior (%x,%x) != point-wise (%x,%x)",
+				j, mu[j], va[j], wm, wv)
+		}
+	}
+}
+
+// TestSparseAppendMatchesRefactor pins the incremental invariant inside
+// sparse mode: growing the anchor factor by rank-1 appends yields the same
+// bits as a from-scratch refactor of the identical anchor set
+// (AdoptHyperparamsFrom on itself refactors without re-selecting).
+func TestSparseAppendMatchesRefactor(t *testing.T) {
+	cfg := defaultTestSparse(20, 12, 50) // budget high: growth is appends only
+	x, y := randPoints(40, 4, 31)
+	probe, _ := randPoints(6, 4, 79)
+
+	g := New(NewMatern52(1, 0.5), 0.01)
+	g.SetSparse(cfg)
+	for n := 2; n <= 40; n++ {
+		if err := g.Fit(x[:n], y[:n]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := g.SparseStats()
+	if !st.Active || st.Reselects != 1 {
+		t.Fatalf("want one activation selection then appends, got %+v", st)
+	}
+	type post struct{ mu, va uint64 }
+	before := make([]post, len(probe))
+	for j, p := range probe {
+		m, v := g.Predict(p)
+		before[j] = post{math.Float64bits(m), math.Float64bits(v)}
+	}
+	if err := g.AdoptHyperparamsFrom(g); err != nil { // full refactor, same anchors
+		t.Fatal(err)
+	}
+	if got := g.SparseStats(); got.Reselects != st.Reselects || got.Anchors != st.Anchors {
+		t.Fatalf("refactor changed the anchor set: %+v -> %+v", st, got)
+	}
+	for j, p := range probe {
+		m, v := g.Predict(p)
+		if math.Float64bits(m) != before[j].mu || math.Float64bits(v) != before[j].va {
+			t.Fatalf("probe %d: appended factor differs from refactored factor", j)
+		}
+	}
+}
+
+// TestSparseForgettingDecayForcesReselect is the forgetting × sparse
+// interplay gate (mirroring TestDecayedWeightsIncrementalMatchesFullRefit
+// on the dense path): an observation-weight decay must force a full anchor
+// re-selection and refactor, after which the incremental state is
+// bit-identical to a fresh sparse GP fitted once on the same history and
+// weights — and appends reopen the O(m²) path until the next decay.
+func TestSparseForgettingDecayForcesReselect(t *testing.T) {
+	cfg := defaultTestSparse(16, 12, 100) // only decays force re-selection
+	x, y := randPoints(30, 3, 41)
+	probe, _ := randPoints(5, 3, 83)
+	w := make([]float64, 0, len(x))
+
+	inc := New(NewMatern52(1, 0.5), 0.01)
+	inc.SetSparse(cfg)
+	prevReselects := 0
+	for n := 2; n <= 30; n++ {
+		for len(w) < n {
+			w = append(w, 1)
+		}
+		decayed := n == 20 || n == 26
+		if decayed { // drift translations: decay, floored
+			for i := 0; i < n-1; i++ {
+				w[i] *= 0.7
+				if w[i] < 0.05 {
+					w[i] = 0.05
+				}
+			}
+		}
+		inc.SetObservationWeights(w[:n])
+		if err := inc.Fit(x[:n], y[:n]); err != nil {
+			t.Fatalf("incremental sparse fit at n=%d: %v", n, err)
+		}
+		st := inc.SparseStats()
+		if st.Active {
+			switch {
+			case decayed && st.Reselects != prevReselects+1:
+				t.Fatalf("n=%d: weight decay did not force a re-selection (%d -> %d)",
+					n, prevReselects, st.Reselects)
+			case !decayed && n > cfg.Threshold+1 && st.Reselects != prevReselects:
+				t.Fatalf("n=%d: append without decay re-selected (%d -> %d)",
+					n, prevReselects, st.Reselects)
+			}
+		}
+		prevReselects = st.Reselects
+
+		// A fresh sparse fit matches bitwise exactly at selection points:
+		// activation (n=17) and each decay. Between them the incremental
+		// anchor set intentionally trails the from-scratch selection.
+		if n == cfg.Threshold+1 || decayed {
+			full := New(NewMatern52(1, 0.5), 0.01)
+			full.SetSparse(cfg)
+			full.SetObservationWeights(append([]float64(nil), w[:n]...))
+			if err := full.Fit(x[:n], y[:n]); err != nil {
+				t.Fatalf("full sparse fit at n=%d: %v", n, err)
+			}
+			for _, p := range probe {
+				mi, vi := inc.Predict(p)
+				mf, vf := full.Predict(p)
+				if math.Float64bits(mi) != math.Float64bits(mf) ||
+					math.Float64bits(vi) != math.Float64bits(vf) {
+					t.Fatalf("n=%d: sparse incremental posterior differs from full refit: (%v,%v) vs (%v,%v)",
+						n, mi, vi, mf, vf)
+				}
+			}
+			if inc.LogMarginalLikelihood() != full.LogMarginalLikelihood() {
+				t.Fatalf("n=%d: sparse LML differs from full refit", n)
+			}
+		}
+	}
+}
+
+// TestSparseLOOFullLength pins the LOO contract the meta-learner's dynamic
+// weights rely on: whatever the anchor subset, LOO returns one (mean,
+// variance) pair per history observation — anchors through the
+// leave-one-out identity, non-anchors through the posterior they are
+// genuinely held out of — with every variance floored positive.
+func TestSparseLOOFullLength(t *testing.T) {
+	x, y := randPoints(40, 4, 51)
+	g := New(NewMatern52(1, 0.5), 0.01)
+	g.SetSparse(defaultTestSparse(20, 12, 6))
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if st := g.SparseStats(); !st.Active {
+		t.Fatal("sparse mode should be active at n=40 with threshold 20")
+	}
+	mu, va := g.LOO()
+	if len(mu) != len(x) || len(va) != len(x) {
+		t.Fatalf("sparse LOO returned %d/%d entries, want %d (full history)", len(mu), len(va), len(x))
+	}
+	for i := range mu {
+		if math.IsNaN(mu[i]) || math.IsInf(mu[i], 0) || !(va[i] > 0) {
+			t.Fatalf("LOO entry %d not finite/positive: mu=%v var=%v", i, mu[i], va[i])
+		}
+	}
+}
+
+// TestSelectAnchorsDeterministic pins the selection rule's corner cases:
+// duplicate points and NaN coordinates still yield one deterministic,
+// sorted, duplicate-free index set of exactly min(m, n) entries, and the
+// same inputs always select the same anchors.
+func TestSelectAnchorsDeterministic(t *testing.T) {
+	x := [][]float64{
+		{0.5, 0.5}, {0.5, 0.5}, {0.9, 0.1}, {0.1, 0.9},
+		{math.NaN(), 0.2}, {0.5, 0.5}, {0, 0}, {1, 1},
+	}
+	for m := 0; m <= len(x)+2; m++ {
+		a := SelectAnchors(x, m)
+		b := SelectAnchors(x, m)
+		want := m
+		if want > len(x) {
+			want = len(x)
+		}
+		if want < 0 {
+			want = 0
+		}
+		if len(a) != want {
+			t.Fatalf("m=%d: got %d anchors, want %d", m, len(a), want)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("m=%d: selection not deterministic: %v vs %v", m, a, b)
+			}
+			if i > 0 && a[i] <= a[i-1] {
+				t.Fatalf("m=%d: anchors not sorted/unique: %v", m, a)
+			}
+			if a[i] < 0 || a[i] >= len(x) {
+				t.Fatalf("m=%d: anchor index %d out of range", m, a[i])
+			}
+		}
+	}
+}
+
+// TestSparseAccuracyCloseToExact is the model-quality half of the sparse
+// gate at the GP level: on a long history over a smooth response, the
+// subset-of-data posterior's held-out ranking must stay within a few points
+// of the exact GP's (the session-level gate in internal/meta asserts the
+// same at 34-task corpus scale).
+func TestSparseAccuracyCloseToExact(t *testing.T) {
+	const n, dim, held = 400, 6, 120
+	r := rand.New(rand.NewSource(61))
+	truth := func(p []float64) float64 {
+		s := 0.0
+		for d, v := range p {
+			c := 0.3 + 0.05*float64(d)
+			s += (v - c) * (v - c)
+		}
+		return s
+	}
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = make([]float64, dim)
+		for d := range x[i] {
+			x[i][d] = r.Float64()
+		}
+		y[i] = truth(x[i]) + 0.01*r.NormFloat64()
+	}
+	hx := make([][]float64, held)
+	hy := make([]float64, held)
+	for i := range hx {
+		hx[i] = make([]float64, dim)
+		for d := range hx[i] {
+			hx[i][d] = r.Float64()
+		}
+		hy[i] = truth(hx[i])
+	}
+
+	discordant := func(g *GP) float64 {
+		bad, total := 0, 0
+		for i := 0; i < held; i++ {
+			mi, _ := g.Predict(hx[i])
+			for j := i + 1; j < held; j++ {
+				mj, _ := g.Predict(hx[j])
+				total++
+				if (mi < mj) != (hy[i] < hy[j]) {
+					bad++
+				}
+			}
+		}
+		return float64(bad) / float64(total)
+	}
+
+	cfg := DefaultFitConfig()
+	cfg.Candidates = 8
+	exact := New(NewMatern52(1, 0.5), 0.01)
+	if err := exact.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	FitHyperparams(exact, cfg, rand.New(rand.NewSource(5)))
+	sparse := New(NewMatern52(1, 0.5), 0.01)
+	sparse.SetSparse(defaultTestSparse(256, 128, 64))
+	if err := sparse.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	FitHyperparams(sparse, cfg, rand.New(rand.NewSource(5)))
+	if st := sparse.SparseStats(); !st.Active || st.Anchors != 128 {
+		t.Fatalf("sparse fit not in expected state: %+v", st)
+	}
+
+	de, ds := discordant(exact), discordant(sparse)
+	t.Logf("held-out ranking loss: exact %.4f, sparse(m=128) %.4f", de, ds)
+	if ds > de+0.05 {
+		t.Fatalf("sparse ranking loss %.4f exceeds exact %.4f by more than 0.05", ds, de)
+	}
+}

@@ -84,6 +84,51 @@ func TestCholeskyFactorReusesStorage(t *testing.T) {
 	}
 }
 
+// TestCholAppendReservedAllocFree pins the pooled append path
+// BenchmarkCholAppend measures: once capacity is Reserved, a Reset +
+// append-to-n session performs zero heap allocations, and Reset/Reserve
+// preserve both the packed contents and the factor's correctness.
+func TestCholAppendReservedAllocFree(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(17))
+	a := randomSPD(n, rng)
+	rows := make([][]float64, n)
+	for k := 0; k < n; k++ {
+		rows[k] = make([]float64, k+1)
+		for j := 0; j <= k; j++ {
+			rows[k][j] = a.At(k, j)
+		}
+	}
+	var c Cholesky
+	c.Reserve(n)
+	allocs := testing.AllocsPerRun(10, func() {
+		c.Reset()
+		for k := 0; k < n; k++ {
+			if err := c.Append(rows[k]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("reserved append session allocates %.0f times, want 0", allocs)
+	}
+
+	// Reserve on a live factor must keep its contents (it may reallocate).
+	want, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Reserve(4 * n)
+	if c.N() != n {
+		t.Fatalf("Reserve changed dimension to %d", c.N())
+	}
+	for i := range want.d {
+		if c.d[i] != want.d[i] {
+			t.Fatalf("packed factor differs at %d after Reserve", i)
+		}
+	}
+}
+
 // Property: the allocation-free solve variants agree with the allocating
 // ones, including when dst aliases b.
 func TestQuickSolveToVariants(t *testing.T) {

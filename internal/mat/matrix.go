@@ -345,6 +345,27 @@ func (c *Cholesky) Append(row []float64) error {
 // N returns the factored dimension.
 func (c *Cholesky) N() int { return c.n }
 
+// Reset empties the factorization while keeping the packed storage, so a
+// caller can regrow a factor with Append (or Factor at any size up to the
+// retained capacity) without reallocating.
+func (c *Cholesky) Reset() {
+	c.n = 0
+	c.d = c.d[:0]
+}
+
+// Reserve grows the packed storage to hold an n×n factor, preserving the
+// current factorization. After Reserve(n), Append calls up to dimension n
+// (and Factor calls up to size n) allocate nothing — the companion of Reset
+// for allocation-free incremental growth loops.
+func (c *Cholesky) Reserve(n int) {
+	size := n * (n + 1) / 2
+	if cap(c.d) < size {
+		d := make([]float64, len(c.d), size)
+		copy(d, c.d)
+		c.d = d
+	}
+}
+
 // L returns the lower-triangular factor as a dense matrix (freshly
 // allocated; mutating it does not affect the factorization).
 func (c *Cholesky) L() *Dense {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/bo"
+	"repro/internal/gp"
 	"repro/internal/rng"
 )
 
@@ -19,6 +20,17 @@ import (
 // The same (n, metaDim, dim, histLen, seed) always yields the same corpus,
 // independent of GOMAXPROCS or call order.
 func SyntheticCorpus(n, metaDim, dim, histLen int, seed int64) []CorpusTask {
+	return SyntheticCorpusSparse(n, metaDim, dim, histLen, seed, gp.SparseConfig{})
+}
+
+// SyntheticCorpusSparse is SyntheticCorpus with a sparse-inference
+// configuration applied to every deferred base-learner fit
+// (NewBaseLearnerSparse) — the generator for long-history corpora where the
+// exact cubic fit would dominate the benchmark being measured. The corpus
+// contents (meta-features, histories, seeds) are identical to
+// SyntheticCorpus; only the surrogate inference mode differs, and not at
+// all when histLen is at or below the sparse threshold.
+func SyntheticCorpusSparse(n, metaDim, dim, histLen int, seed int64, sparse gp.SparseConfig) []CorpusTask {
 	tasks := make([]CorpusTask, n)
 	for i := 0; i < n; i++ {
 		r := rng.Derive(seed, fmt.Sprintf("synth-task:%d", i))
@@ -48,7 +60,7 @@ func SyntheticCorpus(n, metaDim, dim, histLen int, seed int64) []CorpusTask {
 			MetaFeature: mf,
 			Fit: func() (*BaseLearner, error) {
 				h := syntheticQuadHistory(histLen, dim, opt, scale, off, hseed)
-				return NewBaseLearner(id, id, "synth", mfCopy, h, dim, hseed)
+				return NewBaseLearnerSparse(id, id, "synth", mfCopy, h, dim, hseed, sparse)
 			},
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"sync"
 
+	"repro/internal/gp"
 	"repro/internal/knobs"
 	"repro/internal/meta"
 )
@@ -55,7 +56,19 @@ type LazyRepository struct {
 	// is never released mid-read.
 	mu     sync.RWMutex
 	closed bool
+
+	// sparse configures subset-of-data inference on base-learner fits
+	// (SetSparse); the zero value keeps every fit exact.
+	sparse gp.SparseConfig
 }
+
+// SetSparse installs a sparse-inference configuration for base-learner
+// surrogates (meta.NewBaseLearnerSparse): corpus tasks whose histories
+// exceed the threshold fit on an anchor subset, capping the per-candidate
+// cubic cost of the hyperparameter search. Call before BaseLearners /
+// Corpus / CorpusTasks — the Fit closures capture the configuration
+// installed at build time. The zero config restores exact fits.
+func (l *LazyRepository) SetSparse(cfg gp.SparseConfig) { l.sparse = cfg }
 
 // OpenLazy opens a repository file, reading only its index. For v1 files
 // there is no index segment, so the whole file is decoded eagerly and
@@ -243,8 +256,8 @@ func (l *LazyRepository) CorpusTasks(space *knobs.Space, seed int64, pred func(T
 				if err != nil {
 					return nil, fmt.Errorf("repo: task %s: %w", m.TaskID, err)
 				}
-				return meta.NewBaseLearner(m.TaskID, m.Workload, m.Hardware,
-					m.MetaFeature, h, space.Dim(), seed+int64(i))
+				return meta.NewBaseLearnerSparse(m.TaskID, m.Workload, m.Hardware,
+					m.MetaFeature, h, space.Dim(), seed+int64(i), l.sparse)
 			},
 		})
 	}
@@ -285,8 +298,8 @@ func (r *Repository) CorpusTasks(space *knobs.Space, seed int64, pred func(TaskR
 				if err != nil {
 					return nil, fmt.Errorf("repo: task %s: %w", t.TaskID, err)
 				}
-				return meta.NewBaseLearner(t.TaskID, t.Workload, t.Hardware,
-					t.MetaFeature, h, space.Dim(), seed+int64(i))
+				return meta.NewBaseLearnerSparse(t.TaskID, t.Workload, t.Hardware,
+					t.MetaFeature, h, space.Dim(), seed+int64(i), r.sparse)
 			},
 		})
 	}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/bo"
 	"repro/internal/core"
+	"repro/internal/gp"
 	"repro/internal/knobs"
 	"repro/internal/meta"
 )
@@ -60,7 +61,17 @@ type Repository struct {
 	// matched once instead of per task per call.
 	permMu    sync.Mutex
 	permCache map[string]permResult
+
+	// sparse configures subset-of-data inference on base-learner fits
+	// (SetSparse); the zero value keeps every fit exact.
+	sparse gp.SparseConfig
 }
+
+// SetSparse installs a sparse-inference configuration for base-learner
+// surrogates (meta.NewBaseLearnerSparse); see LazyRepository.SetSparse.
+// Call before BaseLearners / Corpus / CorpusTasks; the zero config
+// restores exact fits.
+func (r *Repository) SetSparse(cfg gp.SparseConfig) { r.sparse = cfg }
 
 type permResult struct {
 	perm []int
@@ -153,8 +164,8 @@ func (r *Repository) BaseLearners(space *knobs.Space, seed int64, pred func(Task
 		if err != nil {
 			return nil, fmt.Errorf("repo: task %s: %w", t.TaskID, err)
 		}
-		bl, err := meta.NewBaseLearner(t.TaskID, t.Workload, t.Hardware,
-			t.MetaFeature, h, space.Dim(), seed+int64(i))
+		bl, err := meta.NewBaseLearnerSparse(t.TaskID, t.Workload, t.Hardware,
+			t.MetaFeature, h, space.Dim(), seed+int64(i), r.sparse)
 		if err != nil {
 			return nil, fmt.Errorf("repo: task %s: %w", t.TaskID, err)
 		}

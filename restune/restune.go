@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dbsim"
 	"repro/internal/experiments"
+	"repro/internal/gp"
 	"repro/internal/knobs"
 	"repro/internal/meta"
 	"repro/internal/minidb"
@@ -132,6 +133,10 @@ type (
 	// DriftConfig parameterizes drift detection and safe trust-region
 	// exploration for online tuning (Config.Drift).
 	DriftConfig = core.DriftConfig
+	// SparseConfig switches the GP surrogate to subset-of-data sparse
+	// inference once a session's history exceeds its threshold
+	// (Config.Sparse); the zero value keeps exact inference.
+	SparseConfig = gp.SparseConfig
 	// Timeline is a piecewise load schedule over a simulated day.
 	Timeline = workload.Timeline
 	// TimelinePhase is one named phase of a Timeline.
@@ -159,6 +164,11 @@ const (
 
 // PenaltyBO returns the penalty-method constrained-BO ablation tuner.
 func PenaltyBO(seed int64) Tuner { return baselines.NewPenaltyBO(seed) }
+
+// DefaultSparseConfig returns the default subset-of-data sparse-GP
+// configuration (activation threshold 256 observations) for
+// Config.Sparse. See DESIGN.md §14.
+func DefaultSparseConfig() SparseConfig { return gp.DefaultSparseConfig() }
 
 // Resource kinds.
 const (
@@ -483,6 +493,15 @@ func ExperimentIDs() []string { return experiments.IDs() }
 // scaling argument needs would dominate an -all run.
 func CorpusScale(sizes []int, seed int64, iters int) (*ExperimentReport, error) {
 	return experiments.CorpusScale(sizes, seed, iters)
+}
+
+// HistoryScale measures the per-iteration surrogate model-update cost of
+// exact versus subset-of-data sparse GP inference at the given observation
+// history lengths, along with the recommendation each arm lands on
+// (restune-bench -history-size). Like CorpusScale it is not part of
+// ExperimentIDs: the exact arm at n=2000 is deliberately cubic.
+func HistoryScale(sizes []int, seed int64, iters int) (*ExperimentReport, error) {
+	return experiments.HistoryScale(sizes, seed, iters)
 }
 
 // ExperimentTitle returns an experiment's description.

@@ -11,6 +11,14 @@
 #                       (PredictBatch, and the point-wise vs batched
 #                       OptimizeAcq pair whose ratio is the batching
 #                       speedup) -> BENCH_mathcore.json
+#   gpscale             BenchmarkGPFitLongHistory: exact vs subset-of-data
+#                       sparse model update at n in {1000, 2000}, merged
+#                       line-wise into BENCH_mathcore.json (other entries
+#                       untouched). The committed snapshot is the
+#                       acceptance record for the sparse-GP gate
+#                       (sparse/n=2000 <= 20% of exact/n=2000); run
+#                       `scripts/benchcheck -gpscale` against it to
+#                       re-verify.
 #   corpus              BenchmarkMetaIteration: shortlisted corpus path vs
 #                       all-learners baseline at N in {34, 100, 1000, 4000}
 #                       -> BENCH_corpus.json. The committed snapshot is the
@@ -50,7 +58,12 @@ TARGET="${1:-mathcore}"
 case "$TARGET" in
 mathcore)
     OUT="BENCH_mathcore.json"
-    PATTERN='^(BenchmarkCholAppend|BenchmarkCholFullRefactor|BenchmarkGPFitIncremental|BenchmarkGPPredict|BenchmarkGPPredictNoAlloc|BenchmarkPredictBatch|BenchmarkCEI|BenchmarkOptimizeAcqParallel|BenchmarkOptimizeAcqPointwise|BenchmarkOptimizeAcqBatched|BenchmarkDynamicWeights)$'
+    PATTERN='^(BenchmarkCholAppend|BenchmarkCholFullRefactor|BenchmarkGPFitIncremental|BenchmarkGPFitLongHistory|BenchmarkGPPredict|BenchmarkGPPredictNoAlloc|BenchmarkPredictBatch|BenchmarkCEI|BenchmarkOptimizeAcqParallel|BenchmarkOptimizeAcqPointwise|BenchmarkOptimizeAcqBatched|BenchmarkDynamicWeights)$'
+    ;;
+gpscale)
+    OUT="BENCH_mathcore.json"
+    MERGE=1
+    PATTERN='^BenchmarkGPFitLongHistory$'
     ;;
 corpus)
     OUT="BENCH_corpus.json"
@@ -65,13 +78,15 @@ drift)
     PATTERN='^BenchmarkDriftSimulatedDay$'
     ;;
 *)
-    echo "usage: $0 [mathcore|corpus|fleet|drift]" >&2
+    echo "usage: $0 [mathcore|gpscale|corpus|fleet|drift]" >&2
     exit 2
     ;;
 esac
 
+MERGE="${MERGE:-0}"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+new="$(mktemp)"
+trap 'rm -f "$raw" "$new"' EXIT
 
 echo "==> go test -bench $TARGET (benchtime=$BENCHTIME, count=$COUNT)"
 go test -run '^$' -bench "$PATTERN" -benchmem \
@@ -120,7 +135,38 @@ END {
     }
     printf "}\n"
 }
-' "$raw" > "$OUT"
+' "$raw" > "$new"
+
+if [ "$MERGE" = 1 ] && [ -f "$OUT" ]; then
+    # Line-wise merge into the existing snapshot: entries keep the committed
+    # file's order, re-measured names are replaced in place, names only in
+    # the new run are appended — so a gpscale refresh never clobbers the
+    # other mathcore numbers.
+    merged="$(mktemp)"
+    awk '
+    /^  "/ {
+        line = $0
+        sub(/,$/, "", line)
+        name = line
+        sub(/^  "/, "", name)
+        sub(/".*/, "", name)
+        val = line
+        sub(/^[^:]*: /, "", val)
+        if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+        vals[name] = val
+    }
+    END {
+        printf "{\n"
+        for (i = 1; i <= n; i++) {
+            printf "  \"%s\": %s%s\n", order[i], vals[order[i]], (i < n ? "," : "")
+        }
+        printf "}\n"
+    }
+    ' "$OUT" "$new" > "$merged"
+    mv "$merged" "$OUT"
+else
+    cp "$new" "$OUT"
+fi
 
 echo "==> wrote $OUT"
 cat "$OUT"

@@ -24,6 +24,14 @@
 //
 //	go run ./scripts/benchcheck -drift BENCH_drift.json
 //
+// -gpscale checks BENCH_mathcore.json against the sparse-GP scaling gate:
+// at n=2000 observations, one model update on the subset-of-data sparse
+// path (BenchmarkGPFitLongHistory/sparse) must cost at most 20% of the
+// exact path — the snapshot is refreshed by `scripts/bench_snapshot.sh
+// gpscale`, which merges into the committed mathcore file.
+//
+//	go run ./scripts/benchcheck -gpscale BENCH_mathcore.json
+//
 // Exit 1 on a malformed snapshot, a missing benchmark entry, or a gate
 // violation.
 package main
@@ -46,6 +54,11 @@ const (
 	// maxAdaptIters bounds re-convergence after a drift event: the worst-case
 	// span from an event to the next SLA-feasible iteration on the diurnal day.
 	maxAdaptIters = 12
+	// gpScaleN and maxSparseRatio define the sparse-GP gate: at gpScaleN
+	// observations the sparse model update must cost at most maxSparseRatio
+	// of the exact one.
+	gpScaleN       = 2000
+	maxSparseRatio = 0.20
 )
 
 type entry struct {
@@ -61,18 +74,25 @@ type entry struct {
 func main() {
 	fleet := flag.Bool("fleet", false, "validate a BENCH_fleet.json snapshot against the fleet-scaling gates")
 	drift := flag.Bool("drift", false, "validate a BENCH_drift.json snapshot against the drift-adaptation gates")
+	gpscale := flag.Bool("gpscale", false, "validate a BENCH_mathcore.json snapshot against the sparse-GP scaling gate")
 	flag.Parse()
-	if flag.NArg() != 1 || (*fleet && *drift) {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck [-fleet|-drift] <BENCH_*.json>")
+	modes := 0
+	for _, on := range []bool{*fleet, *drift, *gpscale} {
+		if on {
+			modes++
+		}
+	}
+	if flag.NArg() != 1 || modes > 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-fleet|-drift|-gpscale] <BENCH_*.json>")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *fleet, *drift); err != nil {
+	if err := run(flag.Arg(0), *fleet, *drift, *gpscale); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, fleet, drift bool) error {
+func run(path string, fleet, drift, gpscale bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -95,7 +115,33 @@ func run(path string, fleet, drift bool) error {
 	if drift {
 		return checkDrift(path, snap)
 	}
+	if gpscale {
+		return checkGPScale(path, snap)
+	}
 	return checkCorpus(path, snap)
+}
+
+// checkGPScale enforces the sparse-GP gate on BENCH_mathcore.json: one
+// model update (fit plus warm hyperparameter search) at n=2000 on the
+// subset-of-data path must cost at most maxSparseRatio of the exact cubic
+// path. The n=1000 pair is reported for the scaling table but not gated.
+func checkGPScale(path string, snap map[string]entry) error {
+	sparse, err := lookup(snap, fmt.Sprintf("BenchmarkGPFitLongHistory/sparse/n=%d", gpScaleN))
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	exact, err := lookup(snap, fmt.Sprintf("BenchmarkGPFitLongHistory/exact/n=%d", gpScaleN))
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	ratio := sparse.NsPerOp / exact.NsPerOp
+	fmt.Printf("%s: %d entries OK; n=%d sparse/exact = %.0f/%.0f ns = %.3f (gate %.2f)\n",
+		path, len(snap), gpScaleN, sparse.NsPerOp, exact.NsPerOp, ratio, maxSparseRatio)
+	if ratio > maxSparseRatio {
+		return fmt.Errorf("n=%d sparse model update is %.1f%% of exact, gate is %.0f%%",
+			gpScaleN, ratio*100, maxSparseRatio*100)
+	}
+	return nil
 }
 
 func checkCorpus(path string, snap map[string]entry) error {

@@ -11,16 +11,19 @@
 #   5. go test -race ./...           (short mode: the crash harness strides
 #                                     its boundary enumeration under -short)
 #   6. a benchmark smoke pass: the batched math-core benchmarks, the
-#      corpus-scale meta-iteration benchmark, the fleet-scaling benchmark
-#      and the simulated-day drift benchmark run once (-benchtime=1x) so a
-#      broken benchmark cannot land silently
+#      corpus-scale meta-iteration benchmark, the fleet-scaling benchmark,
+#      the simulated-day drift benchmark and the long-history sparse-GP
+#      benchmark run once (-benchtime=1x) so a broken benchmark cannot land
+#      silently
 #   7. snapshot guards: the committed BENCH_corpus.json must satisfy the
 #      <= 25% sublinear-meta gate, the committed BENCH_fleet.json must
-#      satisfy the >= 3x fleet-scaling / > 50% hit-rate gates, and the
+#      satisfy the >= 3x fleet-scaling / > 50% hit-rate gates, the
 #      committed BENCH_drift.json must satisfy the drift-adaptation gates
 #      (diurnal: aware strictly fewer SLA violations than stationary, >= 1
 #      drift event, bounded re-convergence; ramp: aware no more violations
-#      than stationary) (scripts/benchcheck)
+#      than stationary), and the committed BENCH_mathcore.json must satisfy
+#      the sparse-GP gate (sparse model update at n=2000 <= 20% of exact)
+#      (scripts/benchcheck)
 #   8. telemetry smoke runs: restune-tune -trace must emit a non-empty,
 #      schema-valid JSONL artifact, a 2-session restune-server fleet must
 #      emit schema-valid per-session and fleet streams, and a drift-aware
@@ -61,7 +64,7 @@ go test -race -short ./...
 
 echo "==> benchmark smoke (-benchtime=1x)"
 go test -run '^$' \
-    -bench 'PredictBatch$|OptimizeAcqPointwise$|OptimizeAcqBatched$|^BenchmarkMetaIteration$|^BenchmarkFleetSessions$|^BenchmarkDriftSimulatedDay$' \
+    -bench 'PredictBatch$|OptimizeAcqPointwise$|OptimizeAcqBatched$|^BenchmarkMetaIteration$|^BenchmarkFleetSessions$|^BenchmarkDriftSimulatedDay$|^BenchmarkGPFitLongHistory$' \
     -benchtime 1x .
 
 echo "==> corpus snapshot guard (scripts/benchcheck)"
@@ -72,6 +75,9 @@ go run ./scripts/benchcheck -fleet BENCH_fleet.json
 
 echo "==> drift snapshot guard (scripts/benchcheck -drift)"
 go run ./scripts/benchcheck -drift BENCH_drift.json
+
+echo "==> sparse-GP snapshot guard (scripts/benchcheck -gpscale)"
+go run ./scripts/benchcheck -gpscale BENCH_mathcore.json
 
 echo "==> telemetry smoke (restune-tune -trace)"
 tracedir="$(mktemp -d)"
@@ -126,6 +132,7 @@ fuzz ./internal/minidb FuzzBTreeOperations
 fuzz ./internal/minidb FuzzWALReplay
 fuzz ./internal/replay FuzzExtractTemplate
 fuzz ./internal/gp FuzzPredictBatch
+fuzz ./internal/gp FuzzSparseSelect
 fuzz ./internal/meta FuzzCorpusIndex
 fuzz ./internal/workload FuzzTimeline
 
